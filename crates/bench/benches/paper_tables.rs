@@ -1,0 +1,108 @@
+//! Criterion benches mirroring the paper's tables at reduced sizes.
+//!
+//! The table-printing binaries in `src/bin/` regenerate the full figures;
+//! these benches measure the same workloads with statistical rigor:
+//!
+//! * `fig3_lapd/*` — valid LAPD trace analysis per order-checking mode;
+//! * `fig4_tp0/*` — invalid TP0 trace analysis per order-checking mode;
+//! * `tp0_valid/*` — the §4.2 linear-time claim on valid TP0 traces;
+//! * `machine_ops/*` — the four primitive operations of §2.2 (generate,
+//!   update, save, restore), the per-edge costs behind every table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protocols::{lapd, tp0};
+use std::hint::black_box;
+use tango::{AnalysisOptions, OrderOptions};
+
+fn fig3_lapd(c: &mut Criterion) {
+    let analyzer = lapd::analyzer();
+    let mut group = c.benchmark_group("fig3_lapd");
+    for di in [5usize, 15] {
+        let trace = lapd::valid_trace(di, di, di as u64);
+        for (order, label) in [
+            (OrderOptions::none(), "NR"),
+            (OrderOptions::full(), "FULL"),
+        ] {
+            let options = AnalysisOptions::with_order(order);
+            group.bench_with_input(
+                BenchmarkId::new(label, di),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        let r = analyzer.analyze(black_box(trace), &options).unwrap();
+                        assert!(r.verdict.is_valid());
+                        r.stats.transitions_executed
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig4_tp0(c: &mut Criterion) {
+    let analyzer = tp0::analyzer();
+    let bad = tp0::invalidate_last_data(&tp0::complete_valid_trace(2, 2, 13)).unwrap();
+    let mut group = c.benchmark_group("fig4_tp0_invalid");
+    for (order, label) in [
+        (OrderOptions::none(), "NR"),
+        (OrderOptions::io(), "IO"),
+        (OrderOptions::ip(), "IP"),
+        (OrderOptions::full(), "FULL"),
+    ] {
+        let mut options = AnalysisOptions::with_order(order);
+        options.limits.max_transitions = 10_000_000;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let r = analyzer.analyze(black_box(&bad), &options).unwrap();
+                assert!(!r.verdict.is_valid());
+                r.stats.transitions_executed
+            })
+        });
+    }
+    group.finish();
+}
+
+fn tp0_valid_linear(c: &mut Criterion) {
+    let analyzer = tp0::analyzer();
+    let options = AnalysisOptions::with_order(OrderOptions::full());
+    let mut group = c.benchmark_group("tp0_valid");
+    for n in [5usize, 10, 20] {
+        let trace = tp0::valid_trace(n, n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, trace| {
+            b.iter(|| {
+                let r = analyzer.analyze(black_box(trace), &options).unwrap();
+                assert!(r.verdict.is_valid());
+                r.stats.transitions_executed
+            })
+        });
+    }
+    group.finish();
+}
+
+fn machine_ops(c: &mut Criterion) {
+    use estelle_runtime::env::NullEnv;
+    let analyzer = tp0::analyzer();
+    let machine = &analyzer.machine;
+    let mut group = c.benchmark_group("machine_ops");
+
+    group.bench_function("initial_state", |b| {
+        b.iter(|| machine.initial_state().unwrap())
+    });
+
+    let state = machine.initial_state().unwrap();
+    group.bench_function("save_restore_clone", |b| {
+        b.iter(|| black_box(state.clone()))
+    });
+
+    let mut st = machine.initial_state().unwrap();
+    let env = NullEnv::default();
+    group.bench_function("generate", |b| {
+        b.iter(|| machine.generate(black_box(&mut st), &env).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, fig3_lapd, fig4_tp0, tp0_valid_linear, machine_ops);
+criterion_main!(benches);

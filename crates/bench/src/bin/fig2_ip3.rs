@@ -1,0 +1,73 @@
+//! Figure 2 / §3.1.2: MDFS termination behaviour on `ip3` vs `ip3'`.
+//!
+//! Feeds the paper's scenario — an `x` input and a traced `o` output,
+//! followed by relayed B/C data — to both variants on-line:
+//!
+//! * `ip3'` (t1–t3 only): `o` can never be generated, yet the analyzer
+//!   keeps verifying B/C data and can only report **likely invalid**;
+//! * full `ip3`: once `finished` arrives, t4+t5 explain `o` → **valid**.
+//!
+//! ```sh
+//! cargo run -p bench --bin fig2_ip3 --release
+//! ```
+
+use protocols::ip3;
+use tango::{AnalysisOptions, ChannelSource, Event, Feed, OrderOptions, Verdict};
+
+fn scenario(tx: &crossbeam_channel::Sender<Feed>, rounds: usize) {
+    tx.send(Feed::Event(Event::input("A", "x", vec![]))).unwrap();
+    tx.send(Feed::Event(Event::output("A", "o", vec![]))).unwrap();
+    for _ in 0..rounds {
+        tx.send(Feed::Event(Event::input("B", "data", vec![]))).unwrap();
+        tx.send(Feed::Event(Event::output("C", "data", vec![]))).unwrap();
+    }
+}
+
+fn main() {
+    let options = AnalysisOptions::with_order(OrderOptions::none());
+
+    println!("ip3' (t1-t3 only): the o output is unexplainable, but data keeps verifying");
+    {
+        let analyzer = ip3::analyzer_prime();
+        let (tx, mut source) = ChannelSource::pair();
+        scenario(&tx, 3);
+        let mut polls = 0;
+        let report = analyzer
+            .analyze_online(&mut source, &options, &mut |v| {
+                polls += 1;
+                println!("  status after drain #{}: {}", polls, v);
+                if polls < 3 {
+                    // More relayed data arrives; the verdict cannot improve.
+                    tx.send(Feed::Event(Event::input("B", "data", vec![]))).unwrap();
+                    tx.send(Feed::Event(Event::output("C", "data", vec![]))).unwrap();
+                    true
+                } else {
+                    false
+                }
+            })
+            .expect("online analysis runs");
+        println!("  final: {}  [{}]", report.verdict, report.stats);
+        assert_eq!(report.verdict, Verdict::LikelyInvalid);
+    }
+
+    println!("\nip3 (t1-t5): a finished at B resolves the o");
+    {
+        let analyzer = ip3::analyzer_full();
+        let (tx, mut source) = ChannelSource::pair();
+        scenario(&tx, 3);
+        let mut sent = false;
+        let report = analyzer
+            .analyze_online(&mut source, &options, &mut |v| {
+                println!("  status: {}", v);
+                if !sent {
+                    sent = true;
+                    tx.send(Feed::Event(Event::input("B", "finished", vec![]))).unwrap();
+                    tx.send(Feed::Eof).unwrap();
+                }
+                true
+            })
+            .expect("online analysis runs");
+        println!("  final: {}  [{}]", report.verdict, report.stats);
+        assert_eq!(report.verdict, Verdict::Valid);
+    }
+}

@@ -1,0 +1,49 @@
+//! §3.2.2 — the cost of dynamic memory in state saves/restores.
+//!
+//! "The saving and restoring operations on dynamic memory … require
+//! substantially more memory and CPU time than they do in standard DFS."
+//! Both TP0 variants accept exactly the same traces; the only difference
+//! is buffer representation — pointer-linked heap cells vs. a bounded
+//! array. Analyzing the same invalid trace (heavy backtracking ⇒ heavy
+//! save/restore traffic) against both isolates the heap's share of the
+//! state-snapshot cost.
+//!
+//! ```sh
+//! cargo run -p bench --bin heap_cost --release
+//! ```
+
+use protocols::tp0;
+use tango::{AnalysisOptions, OrderOptions};
+
+fn main() {
+    let heap = tp0::analyzer();
+    let bounded = tp0::analyzer_bounded();
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12}",
+        "variant", "data", "TE", "SA", "CPUT(s)"
+    );
+    for (up, down) in [(3usize, 3usize), (4, 4)] {
+        let bad = tp0::invalidate_last_data(&tp0::complete_valid_trace(up, down, 13)).unwrap();
+        for (label, analyzer) in [("heap", &heap), ("array", &bounded)] {
+            let mut options = AnalysisOptions::with_order(OrderOptions::none());
+            options.limits.max_transitions = 30_000_000;
+            let r = analyzer.analyze(&bad, &options).unwrap();
+            println!(
+                "{:>8} {:>10} {:>12} {:>12} {:>12.3}",
+                label,
+                format!("{}+{}", up, down),
+                r.stats.transitions_executed,
+                r.stats.saves,
+                r.stats.cpu_time.as_secs_f64()
+            );
+        }
+    }
+    println!(
+        "\nSame TE/SA counts (the search trees are identical); the CPUT gap\n\
+         is pure state-snapshot cost. Note the direction: with only a\n\
+         handful of live cells, cloning the heap is *cheaper* than cloning\n\
+         a pre-allocated 64-slot array — snapshot cost tracks live state\n\
+         size, which is the general form of the paper's §3.2.2 warning\n\
+         (their heaps were large relative to their scalar state)."
+    );
+}

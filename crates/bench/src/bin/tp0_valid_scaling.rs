@@ -1,0 +1,41 @@
+//! §4.2: analysis of *valid* TP0 traces is linear in trace length.
+//!
+//! "Taking any sequence of transitions (T13 through T16) which consume
+//! input when available … would eventually consume all inputs and verify
+//! all outputs … there are an exponential number of solutions … finding
+//! one of them requires no backtracking. Therefore, the search time would
+//! be linear with respect to the length of the trace."
+//!
+//! Expected shape: TE ≈ trace length, RE ≈ 0, time linear — under every
+//! checking mode, since any greedy interleaving works.
+//!
+//! ```sh
+//! cargo run -p bench --bin tp0_valid_scaling --release
+//! ```
+
+use bench::{analyze_row, order_presets, print_table, Row};
+use protocols::tp0;
+
+fn main() {
+    let analyzer = tp0::analyzer();
+    for (order, label) in order_presets() {
+        let rows: Vec<Row> = [5usize, 10, 20, 40, 80, 160]
+            .iter()
+            .map(|&n| {
+                let trace = tp0::valid_trace(n, n, n as u64);
+                analyze_row(
+                    &analyzer,
+                    &trace,
+                    order,
+                    format!("{}+{}", n, n),
+                    50_000_000,
+                )
+            })
+            .collect();
+        print_table(
+            &format!("TP0 valid traces, mode {} (expect linear TE, tiny RE)", label),
+            "data",
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! §4 throughput claim: transitions searched per second vs. spec size.
+//!
+//! "For simple test-specifications with under 10 transition declarations,
+//! TAMs can search up to 250 transitions per second. For … TP0 (19
+//! transition declarations) … between 40 and 60 … LAPD (over 800
+//! transition declarations) … only 10."
+//!
+//! The absolute numbers belong to a 1995 SUN 4; the *inverse relation*
+//! between declaration count and throughput is the claim to reproduce.
+//! Synthetic ring specifications give a controlled declaration-count
+//! sweep; TP0 and LAPD are measured alongside for reference.
+//!
+//! ```sh
+//! cargo run -p bench --bin tps_by_spec_size --release
+//! ```
+
+use protocols::synthetic::SyntheticSpec;
+use protocols::{lapd, tp0};
+use tango::{AnalysisOptions, ChoicePolicy, OrderOptions};
+
+fn main() {
+    println!(
+        "{:>14} {:>8} {:>12} {:>12} {:>14}",
+        "spec", "decls", "TE", "CPUT(s)", "trans/sec"
+    );
+
+    for decls in [5usize, 19, 50, 100, 200, 400, 800] {
+        let spec = SyntheticSpec::new(4, decls);
+        let analyzer = spec.analyzer();
+        let trace = analyzer
+            .generate_trace(&spec.workload(400), ChoicePolicy::First, 100_000)
+            .expect("workload runs");
+        let report = analyzer
+            .analyze(&trace, &AnalysisOptions::with_order(OrderOptions::none()))
+            .expect("analysis runs");
+        println!(
+            "{:>14} {:>8} {:>12} {:>12.3} {:>14.0}",
+            "synthetic",
+            decls,
+            report.stats.transitions_executed,
+            report.stats.cpu_time.as_secs_f64(),
+            report.stats.transitions_per_second()
+        );
+    }
+
+    // Reference points: the paper's two protocols.
+    {
+        let analyzer = tp0::analyzer();
+        let trace = tp0::valid_trace(60, 60, 4);
+        let report = analyzer
+            .analyze(&trace, &AnalysisOptions::with_order(OrderOptions::none()))
+            .unwrap();
+        println!(
+            "{:>14} {:>8} {:>12} {:>12.3} {:>14.0}",
+            "tp0",
+            analyzer.module().declared_transition_count(),
+            report.stats.transitions_executed,
+            report.stats.cpu_time.as_secs_f64(),
+            report.stats.transitions_per_second()
+        );
+    }
+    {
+        let analyzer = lapd::analyzer();
+        let trace = lapd::valid_trace(60, 0, 4);
+        let report = analyzer
+            .analyze(&trace, &AnalysisOptions::with_order(OrderOptions::none()))
+            .unwrap();
+        println!(
+            "{:>14} {:>8} {:>12} {:>12.3} {:>14.0}",
+            "lapd",
+            analyzer.module().declared_transition_count(),
+            report.stats.transitions_executed,
+            report.stats.cpu_time.as_secs_f64(),
+            report.stats.transitions_per_second()
+        );
+    }
+    {
+        // The paper's LAPD size class: 800+ compiled transitions.
+        let analyzer = lapd::analyzer_expanded();
+        let trace = lapd::valid_trace(60, 0, 4);
+        let report = analyzer
+            .analyze(&trace, &AnalysisOptions::with_order(OrderOptions::none()))
+            .unwrap();
+        println!(
+            "{:>14} {:>8} {:>12} {:>12.3} {:>14.0}",
+            "lapd-800",
+            analyzer.machine.module.transition_count(),
+            report.stats.transitions_executed,
+            report.stats.cpu_time.as_secs_f64(),
+            report.stats.transitions_per_second()
+        );
+    }
+}

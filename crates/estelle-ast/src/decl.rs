@@ -1,0 +1,285 @@
+//! Declarations.
+//!
+//! Everything that may appear in a specification's declaration part or in a
+//! module body: constants, types, variables, channels, module headers,
+//! interaction points, Pascal procedures/functions, state (set)
+//! declarations, the `initialize` transition, and ordinary transitions with
+//! their Estelle clauses (`from`, `to`, `when`, `provided`, `priority`,
+//! `delay`, `any`, `name`).
+
+use crate::expr::Expr;
+use crate::ident::Ident;
+use crate::span::Span;
+use crate::stmt::Stmt;
+use crate::types::TypeExpr;
+
+/// `const name = value;`
+#[derive(Clone, Debug)]
+pub struct ConstDecl {
+    pub name: Ident,
+    pub value: Expr,
+    pub span: Span,
+}
+
+/// `type name = T;`
+#[derive(Clone, Debug)]
+pub struct TypeDecl {
+    pub name: Ident,
+    pub ty: TypeExpr,
+    pub span: Span,
+}
+
+/// `var a, b : T;` — one group sharing a type.
+#[derive(Clone, Debug)]
+pub struct VarDecl {
+    pub names: Vec<Ident>,
+    pub ty: TypeExpr,
+    pub span: Span,
+}
+
+/// One parameter of an interaction: `n : integer`.
+#[derive(Clone, Debug)]
+pub struct ParamDecl {
+    pub name: Ident,
+    pub ty: TypeExpr,
+    pub span: Span,
+}
+
+/// An interaction declared inside a channel: `data(seq: integer);`
+#[derive(Clone, Debug)]
+pub struct InteractionDecl {
+    pub name: Ident,
+    pub params: Vec<ParamDecl>,
+    pub span: Span,
+}
+
+/// A `by role:` group inside a channel declaration.
+#[derive(Clone, Debug)]
+pub struct ChannelDirection {
+    /// The roles that may *send* these interactions.
+    pub roles: Vec<Ident>,
+    pub interactions: Vec<InteractionDecl>,
+    pub span: Span,
+}
+
+/// `channel Ch(user, provider); by user: ...; by provider: ...;`
+#[derive(Clone, Debug)]
+pub struct ChannelDecl {
+    pub name: Ident,
+    /// The two role names, e.g. `(user, provider)`.
+    pub roles: Vec<Ident>,
+    pub directions: Vec<ChannelDirection>,
+    pub span: Span,
+}
+
+/// An interaction point of a module: `ip U : Ch(provider);`
+#[derive(Clone, Debug)]
+pub struct IpDecl {
+    pub name: Ident,
+    pub channel: Ident,
+    /// The role this module plays on the channel.
+    pub role: Ident,
+    /// `individual queue` / `common queue` — recorded but the runtime always
+    /// uses individual FIFO queues, which is also what Tango assumes.
+    pub queue_kind: QueueKind,
+    pub span: Span,
+}
+
+/// Queue discipline named in an IP declaration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    #[default]
+    Individual,
+    Common,
+}
+
+/// Module class keyword from the header. Tango treats all single-module
+/// specifications alike; the class is kept for fidelity of the source model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ModuleClass {
+    #[default]
+    Process,
+    SystemProcess,
+    Activity,
+    SystemActivity,
+}
+
+/// `module M systemprocess; ip ...; end;`
+#[derive(Clone, Debug)]
+pub struct ModuleHeader {
+    pub name: Ident,
+    pub class: ModuleClass,
+    pub ips: Vec<IpDecl>,
+    pub span: Span,
+}
+
+/// A procedure or function declaration in a module body.
+#[derive(Clone, Debug)]
+pub struct RoutineDecl {
+    pub name: Ident,
+    pub params: Vec<RoutineParam>,
+    /// `Some` for functions, `None` for procedures.
+    pub result: Option<TypeExpr>,
+    /// Local declarations.
+    pub consts: Vec<ConstDecl>,
+    pub types: Vec<TypeDecl>,
+    pub vars: Vec<VarDecl>,
+    /// `None` when declared `primitive` (externally implemented) — parsed
+    /// so semantic analysis can reject it with a precise message, exactly
+    /// as Tango does not support primitive routines.
+    pub body: Option<Vec<Stmt>>,
+    pub span: Span,
+}
+
+/// A formal parameter of a procedure/function.
+#[derive(Clone, Debug)]
+pub struct RoutineParam {
+    pub names: Vec<Ident>,
+    pub ty: TypeExpr,
+    /// `var` parameters are passed by reference.
+    pub by_ref: bool,
+    pub span: Span,
+}
+
+/// `state S1, S2, S3;`
+#[derive(Clone, Debug)]
+pub struct StateDecl {
+    pub names: Vec<Ident>,
+    pub span: Span,
+}
+
+/// `stateset Ready = [S1, S2];`
+#[derive(Clone, Debug)]
+pub struct StateSetDecl {
+    pub name: Ident,
+    pub members: Vec<Ident>,
+    pub span: Span,
+}
+
+/// The mandatory `initialize to S begin ... end;` transition.
+#[derive(Clone, Debug)]
+pub struct InitTrans {
+    pub to: Ident,
+    pub block: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// The `to` clause of a transition.
+#[derive(Clone, Debug)]
+pub enum ToClause {
+    /// `to S`.
+    State(Ident),
+    /// `to same` — stay in the source state (useful with `from` lists).
+    Same,
+}
+
+/// The `when` clause: `when ip.interaction`.
+#[derive(Clone, Debug)]
+pub struct WhenClause {
+    pub ip: Ident,
+    pub interaction: Ident,
+    pub span: Span,
+}
+
+/// `any i : T do` — replicates the transition for every value of `T`.
+#[derive(Clone, Debug)]
+pub struct AnyClause {
+    pub var: Ident,
+    pub ty: TypeExpr,
+    pub span: Span,
+}
+
+/// `delay(e1 [, e2])` — parsed so the analyzer can reject it; Tango does
+/// not support delay clauses (the paper, §2.1).
+#[derive(Clone, Debug)]
+pub struct DelayClause {
+    pub min: Expr,
+    pub max: Option<Expr>,
+    pub span: Span,
+}
+
+/// One transition declaration.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// Source states (a `from` list or a stateset name resolves to several).
+    pub from: Vec<Ident>,
+    pub to: ToClause,
+    /// `None` makes the transition spontaneous.
+    pub when: Option<WhenClause>,
+    pub provided: Option<Expr>,
+    pub priority: Option<Expr>,
+    pub delay: Option<DelayClause>,
+    pub any: Vec<AnyClause>,
+    /// The optional `name T1:` label; compiled transitions without one get
+    /// a synthesized label.
+    pub name: Option<Ident>,
+    pub block: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// A module body: declarations, states, routines, initialization and the
+/// transition part.
+#[derive(Clone, Debug)]
+pub struct ModuleBody {
+    pub name: Ident,
+    /// Name of the module header this body is `for`.
+    pub for_module: Ident,
+    pub consts: Vec<ConstDecl>,
+    pub types: Vec<TypeDecl>,
+    pub vars: Vec<VarDecl>,
+    pub states: Vec<StateDecl>,
+    pub statesets: Vec<StateSetDecl>,
+    pub routines: Vec<RoutineDecl>,
+    pub initialize: Option<InitTrans>,
+    pub transitions: Vec<Transition>,
+    pub span: Span,
+}
+
+impl ModuleBody {
+    /// All declared state names in declaration order.
+    pub fn state_names(&self) -> impl Iterator<Item = &Ident> {
+        self.states.iter().flat_map(|s| s.names.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident(s: &str) -> Ident {
+        Ident::synthetic(s)
+    }
+
+    #[test]
+    fn state_names_flattens_groups() {
+        let body = ModuleBody {
+            name: ident("b"),
+            for_module: ident("m"),
+            consts: vec![],
+            types: vec![],
+            vars: vec![],
+            states: vec![
+                StateDecl {
+                    names: vec![ident("s1"), ident("s2")],
+                    span: Span::DUMMY,
+                },
+                StateDecl {
+                    names: vec![ident("s3")],
+                    span: Span::DUMMY,
+                },
+            ],
+            statesets: vec![],
+            routines: vec![],
+            initialize: None,
+            transitions: vec![],
+            span: Span::DUMMY,
+        };
+        let names: Vec<_> = body.state_names().map(|i| i.key().to_string()).collect();
+        assert_eq!(names, ["s1", "s2", "s3"]);
+    }
+
+    #[test]
+    fn queue_kind_defaults_to_individual() {
+        assert_eq!(QueueKind::default(), QueueKind::Individual);
+    }
+}

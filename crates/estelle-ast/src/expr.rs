@@ -1,0 +1,194 @@
+//! Expressions.
+//!
+//! Estelle expressions are Pascal expressions: literals, variable accesses
+//! (with field selection, array indexing and pointer dereference), the usual
+//! arithmetic/relational/boolean operators, set membership, set constructors
+//! and function calls.
+
+use crate::ident::Ident;
+use crate::span::Span;
+use std::fmt;
+
+/// An expression with its source location.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Convenience constructor for a bare name reference.
+    pub fn name(id: Ident) -> Self {
+        let span = id.span;
+        Expr::new(ExprKind::Name(id), span)
+    }
+}
+
+/// The syntactic forms of an expression.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// `true` / `false`.
+    BoolLit(bool),
+    /// `nil` — the null pointer.
+    NilLit,
+    /// A bare identifier: variable, constant, enum literal, or a call of a
+    /// parameterless function — disambiguated by semantic analysis.
+    Name(Ident),
+    /// Record field selection: `base.field`.
+    Field(Box<Expr>, Ident),
+    /// Array indexing: `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Pointer dereference: `base^`.
+    Deref(Box<Expr>),
+    /// Unary operator application.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call with arguments: `f(a, b)`.
+    Call(Ident, Vec<Expr>),
+    /// Set constructor: `[a, b, lo..hi]`.
+    SetCtor(Vec<SetElem>),
+}
+
+/// An element of a set constructor — a single value or an inclusive range.
+#[derive(Clone, Debug)]
+pub enum SetElem {
+    Single(Expr),
+    Range(Expr, Expr),
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation, `-x`.
+    Neg,
+    /// Arithmetic identity, `+x`.
+    Plus,
+    /// Boolean negation, `not x`.
+    Not,
+}
+
+/// Binary operators, in Pascal's four precedence classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    // multiplying operators
+    Mul,
+    Div,
+    Mod,
+    And,
+    // adding operators
+    Add,
+    Sub,
+    Or,
+    // relational operators
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Set membership, `x in s`.
+    In,
+}
+
+impl BinOp {
+    /// Pascal precedence level: higher binds tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Mul | BinOp::Div | BinOp::Mod | BinOp::And => 3,
+            BinOp::Add | BinOp::Sub | BinOp::Or => 2,
+            BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::In => 1,
+        }
+    }
+
+    /// The operator's surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Mul => "*",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+            BinOp::And => "and",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Or => "or",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::In => "in",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl UnOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Plus => "+",
+            UnOp::Not => "not",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_ordering_matches_pascal() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Eq.precedence());
+        assert_eq!(BinOp::And.precedence(), BinOp::Div.precedence());
+        assert_eq!(BinOp::Or.precedence(), BinOp::Sub.precedence());
+        assert_eq!(BinOp::In.precedence(), BinOp::Le.precedence());
+    }
+
+    #[test]
+    fn symbols_round_trip() {
+        for op in [
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Mod,
+            BinOp::And,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Or,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::In,
+        ] {
+            assert!(!op.symbol().is_empty());
+        }
+        assert_eq!(UnOp::Not.symbol(), "not");
+    }
+}

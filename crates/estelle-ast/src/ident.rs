@@ -1,0 +1,98 @@
+//! Identifiers.
+//!
+//! Estelle inherits Pascal's case-insensitive identifiers: `Buffer1`,
+//! `BUFFER1` and `buffer1` denote the same name. [`Ident`] stores the text
+//! as written (for diagnostics and pretty printing) together with a
+//! lower-cased key used for all comparisons and hashing.
+
+use crate::span::Span;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A case-insensitive identifier with its source span.
+#[derive(Clone)]
+pub struct Ident {
+    /// The identifier exactly as written in the source.
+    pub text: String,
+    /// Lower-cased form; the canonical key for lookups.
+    key: String,
+    /// Where the identifier appeared.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Build an identifier from its source text.
+    pub fn new(text: impl Into<String>, span: Span) -> Self {
+        let text = text.into();
+        let key = text.to_ascii_lowercase();
+        Ident { text, key, span }
+    }
+
+    /// Synthesize an identifier that has no source location.
+    pub fn synthetic(text: impl Into<String>) -> Self {
+        Ident::new(text, Span::DUMMY)
+    }
+
+    /// The canonical (lower-cased) key of this identifier.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Case-insensitive comparison against an arbitrary string.
+    pub fn is(&self, name: &str) -> bool {
+        self.key.eq_ignore_ascii_case(name)
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for Ident {}
+
+impl Hash for Ident {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key.hash(state);
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl fmt::Debug for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ident({})", self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn case_insensitive_equality() {
+        let a = Ident::synthetic("Buffer1");
+        let b = Ident::synthetic("BUFFER1");
+        assert_eq!(a, b);
+        assert!(a.is("buffer1"));
+    }
+
+    #[test]
+    fn hashing_follows_equality() {
+        let mut set = HashSet::new();
+        set.insert(Ident::synthetic("State_A"));
+        assert!(set.contains(&Ident::synthetic("state_a")));
+        assert!(!set.contains(&Ident::synthetic("state_b")));
+    }
+
+    #[test]
+    fn display_preserves_original_case() {
+        assert_eq!(Ident::synthetic("MixedCase").to_string(), "MixedCase");
+    }
+}

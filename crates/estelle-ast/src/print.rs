@@ -1,0 +1,578 @@
+//! Pretty printer: renders a syntax tree back to Estelle source text.
+//!
+//! The output re-parses to an equivalent tree (checked by round-trip
+//! property tests in `estelle-frontend`), which makes the printer useful
+//! for testing, for dumping the normal-form transformation of §5.3, and
+//! for generating synthetic specifications in the benchmark harness.
+
+use crate::decl::*;
+use crate::expr::{Expr, ExprKind, SetElem, UnOp};
+use crate::spec::Specification;
+use crate::stmt::{ForDirection, Stmt, StmtKind};
+use crate::types::{TypeExpr, TypeExprKind};
+use std::fmt::Write;
+
+/// Render a full specification as Estelle source.
+pub fn print_specification(spec: &Specification) -> String {
+    let mut p = Printer::new();
+    p.specification(spec);
+    p.out
+}
+
+/// Render a single expression (used in diagnostics).
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(expr);
+    p.out
+}
+
+/// Render a single statement at indent level zero.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(stmt);
+    p.out
+}
+
+/// Render a type expression.
+pub fn print_type(ty: &TypeExpr) -> String {
+    let mut p = Printer::new();
+    p.type_expr(ty);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn raw(&mut self, text: &str) {
+        self.out.push_str(text);
+    }
+
+    fn open(&mut self, text: &str) {
+        self.line(text);
+        self.indent += 1;
+    }
+
+    fn close(&mut self, text: &str) {
+        self.indent -= 1;
+        self.line(text);
+    }
+
+    fn specification(&mut self, spec: &Specification) {
+        self.open(&format!("specification {};", spec.name));
+        for c in &spec.body.consts {
+            self.line(&format!("const {} = {};", c.name, print_expr(&c.value)));
+        }
+        for t in &spec.body.types {
+            self.line(&format!("type {} = {};", t.name, print_type(&t.ty)));
+        }
+        for ch in &spec.body.channels {
+            self.channel(ch);
+        }
+        for m in &spec.body.modules {
+            self.module_header(m);
+        }
+        for b in &spec.body.bodies {
+            self.module_body(b);
+        }
+        self.close("end.");
+    }
+
+    fn channel(&mut self, ch: &ChannelDecl) {
+        let roles: Vec<String> = ch.roles.iter().map(|r| r.to_string()).collect();
+        self.open(&format!("channel {}({});", ch.name, roles.join(", ")));
+        for dir in &ch.directions {
+            let by: Vec<String> = dir.roles.iter().map(|r| r.to_string()).collect();
+            self.open(&format!("by {}:", by.join(", ")));
+            for i in &dir.interactions {
+                if i.params.is_empty() {
+                    self.line(&format!("{};", i.name));
+                } else {
+                    let params: Vec<String> = i
+                        .params
+                        .iter()
+                        .map(|p| format!("{} : {}", p.name, print_type(&p.ty)))
+                        .collect();
+                    self.line(&format!("{}({});", i.name, params.join("; ")));
+                }
+            }
+            self.indent -= 1;
+        }
+        self.close("end;");
+    }
+
+    fn module_header(&mut self, m: &ModuleHeader) {
+        let class = match m.class {
+            ModuleClass::Process => "process",
+            ModuleClass::SystemProcess => "systemprocess",
+            ModuleClass::Activity => "activity",
+            ModuleClass::SystemActivity => "systemactivity",
+        };
+        self.open(&format!("module {} {};", m.name, class));
+        for ip in &m.ips {
+            let queue = match ip.queue_kind {
+                QueueKind::Individual => " individual queue",
+                QueueKind::Common => " common queue",
+            };
+            self.line(&format!(
+                "ip {} : {}({}){};",
+                ip.name, ip.channel, ip.role, queue
+            ));
+        }
+        self.close("end;");
+    }
+
+    fn module_body(&mut self, b: &ModuleBody) {
+        self.open(&format!("body {} for {};", b.name, b.for_module));
+        for c in &b.consts {
+            self.line(&format!("const {} = {};", c.name, print_expr(&c.value)));
+        }
+        for t in &b.types {
+            self.line(&format!("type {} = {};", t.name, print_type(&t.ty)));
+        }
+        for v in &b.vars {
+            let names: Vec<String> = v.names.iter().map(|n| n.to_string()).collect();
+            self.line(&format!("var {} : {};", names.join(", "), print_type(&v.ty)));
+        }
+        for s in &b.states {
+            let names: Vec<String> = s.names.iter().map(|n| n.to_string()).collect();
+            self.line(&format!("state {};", names.join(", ")));
+        }
+        for ss in &b.statesets {
+            let names: Vec<String> = ss.members.iter().map(|n| n.to_string()).collect();
+            self.line(&format!("stateset {} = [{}];", ss.name, names.join(", ")));
+        }
+        for r in &b.routines {
+            self.routine(r);
+        }
+        if let Some(init) = &b.initialize {
+            self.open(&format!("initialize to {}", init.to));
+            self.block(&init.block);
+            self.indent -= 1;
+        }
+        if !b.transitions.is_empty() {
+            self.open("trans");
+            for t in &b.transitions {
+                self.transition(t);
+            }
+            self.indent -= 1;
+        }
+        self.close("end;");
+    }
+
+    fn routine(&mut self, r: &RoutineDecl) {
+        let kind = if r.result.is_some() {
+            "function"
+        } else {
+            "procedure"
+        };
+        let mut header = format!("{} {}", kind, r.name);
+        if !r.params.is_empty() {
+            let params: Vec<String> = r
+                .params
+                .iter()
+                .map(|p| {
+                    let names: Vec<String> = p.names.iter().map(|n| n.to_string()).collect();
+                    format!(
+                        "{}{} : {}",
+                        if p.by_ref { "var " } else { "" },
+                        names.join(", "),
+                        print_type(&p.ty)
+                    )
+                })
+                .collect();
+            write!(header, "({})", params.join("; ")).unwrap();
+        }
+        if let Some(res) = &r.result {
+            write!(header, " : {}", print_type(res)).unwrap();
+        }
+        header.push(';');
+        if r.body.is_none() {
+            self.line(&format!("{} primitive;", header));
+            return;
+        }
+        self.open(&header);
+        for c in &r.consts {
+            self.line(&format!("const {} = {};", c.name, print_expr(&c.value)));
+        }
+        for t in &r.types {
+            self.line(&format!("type {} = {};", t.name, print_type(&t.ty)));
+        }
+        for v in &r.vars {
+            let names: Vec<String> = v.names.iter().map(|n| n.to_string()).collect();
+            self.line(&format!("var {} : {};", names.join(", "), print_type(&v.ty)));
+        }
+        self.block(r.body.as_ref().unwrap());
+        self.indent -= 1;
+    }
+
+    fn transition(&mut self, t: &Transition) {
+        let from: Vec<String> = t.from.iter().map(|f| f.to_string()).collect();
+        let to = match &t.to {
+            ToClause::State(s) => s.to_string(),
+            ToClause::Same => "same".to_string(),
+        };
+        let mut header = format!("from {} to {}", from.join(", "), to);
+        if let Some(w) = &t.when {
+            write!(header, " when {}.{}", w.ip, w.interaction).unwrap();
+        }
+        if let Some(p) = &t.provided {
+            write!(header, " provided {}", print_expr(p)).unwrap();
+        }
+        if let Some(p) = &t.priority {
+            write!(header, " priority {}", print_expr(p)).unwrap();
+        }
+        if let Some(d) = &t.delay {
+            match &d.max {
+                Some(max) => write!(
+                    header,
+                    " delay({}, {})",
+                    print_expr(&d.min),
+                    print_expr(max)
+                )
+                .unwrap(),
+                None => write!(header, " delay({})", print_expr(&d.min)).unwrap(),
+            }
+        }
+        for a in &t.any {
+            write!(header, " any {} : {} do", a.var, print_type(&a.ty)).unwrap();
+        }
+        if let Some(n) = &t.name {
+            write!(header, " name {} :", n).unwrap();
+        }
+        self.open(&header);
+        self.block(&t.block);
+        self.indent -= 1;
+    }
+
+    /// Print a `begin ... end;` block.
+    fn block(&mut self, stmts: &[Stmt]) {
+        self.open("begin");
+        for s in stmts {
+            self.stmt(s);
+        }
+        self.close("end;");
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Empty => self.line(";"),
+            StmtKind::Assign { target, value } => {
+                self.line(&format!("{} := {};", print_expr(target), print_expr(value)));
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.open(&format!("if {} then", print_expr(cond)));
+                self.stmt(then_branch);
+                self.indent -= 1;
+                if let Some(e) = else_branch {
+                    self.open("else");
+                    self.stmt(e);
+                    self.indent -= 1;
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.open(&format!("while {} do", print_expr(cond)));
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            StmtKind::Repeat { body, cond } => {
+                self.open("repeat");
+                for st in body {
+                    self.stmt(st);
+                }
+                self.close(&format!("until {};", print_expr(cond)));
+            }
+            StmtKind::For {
+                var,
+                from,
+                dir,
+                to,
+                body,
+            } => {
+                let dir = match dir {
+                    ForDirection::Up => "to",
+                    ForDirection::Down => "downto",
+                };
+                self.open(&format!(
+                    "for {} := {} {} {} do",
+                    var,
+                    print_expr(from),
+                    dir,
+                    print_expr(to)
+                ));
+                self.stmt(body);
+                self.indent -= 1;
+            }
+            StmtKind::Case {
+                scrutinee,
+                arms,
+                else_arm,
+            } => {
+                self.open(&format!("case {} of", print_expr(scrutinee)));
+                for arm in arms {
+                    let labels: Vec<String> = arm.labels.iter().map(print_expr).collect();
+                    self.open(&format!("{} :", labels.join(", ")));
+                    self.stmt(&arm.body);
+                    self.indent -= 1;
+                }
+                if let Some(stmts) = else_arm {
+                    self.open("else");
+                    for st in stmts {
+                        self.stmt(st);
+                    }
+                    self.indent -= 1;
+                }
+                self.close("end;");
+            }
+            StmtKind::Compound(stmts) => self.block(stmts),
+            StmtKind::Output {
+                ip,
+                interaction,
+                args,
+            } => {
+                if args.is_empty() {
+                    self.line(&format!("output {}.{};", ip, interaction));
+                } else {
+                    let args: Vec<String> = args.iter().map(print_expr).collect();
+                    self.line(&format!("output {}.{}({});", ip, interaction, args.join(", ")));
+                }
+            }
+            StmtKind::ProcCall { name, args } => {
+                if args.is_empty() {
+                    self.line(&format!("{};", name));
+                } else {
+                    let args: Vec<String> = args.iter().map(print_expr).collect();
+                    self.line(&format!("{}({});", name, args.join(", ")));
+                }
+            }
+            StmtKind::New(e) => self.line(&format!("new({});", print_expr(e))),
+            StmtKind::Dispose(e) => self.line(&format!("dispose({});", print_expr(e))),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::IntLit(v) => self.raw(&v.to_string()),
+            ExprKind::BoolLit(b) => self.raw(if *b { "true" } else { "false" }),
+            ExprKind::NilLit => self.raw("nil"),
+            ExprKind::Name(n) => self.raw(&n.text),
+            ExprKind::Field(base, f) => {
+                self.postfix_base(base);
+                self.raw(&format!(".{}", f));
+            }
+            ExprKind::Index(base, idx) => {
+                self.postfix_base(base);
+                self.raw("[");
+                self.expr(idx);
+                self.raw("]");
+            }
+            ExprKind::Deref(base) => {
+                self.postfix_base(base);
+                self.raw("^");
+            }
+            ExprKind::Unary(op, operand) => {
+                // Signs are only legal at the head of a simple expression
+                // in Pascal, so the whole signed term is parenthesized to
+                // stay printable in any operand position.
+                match op {
+                    UnOp::Not => {
+                        self.raw("not (");
+                        self.expr(operand);
+                        self.raw(")");
+                    }
+                    UnOp::Neg => {
+                        self.raw("(-(");
+                        self.expr(operand);
+                        self.raw("))");
+                    }
+                    UnOp::Plus => {
+                        self.raw("(+(");
+                        self.expr(operand);
+                        self.raw("))");
+                    }
+                }
+            }
+            ExprKind::Binary(op, l, r) => {
+                // Fully parenthesized: correctness over prettiness; the
+                // round-trip tests only require parse equivalence.
+                self.raw("(");
+                self.expr(l);
+                self.raw(&format!(" {} ", op.symbol()));
+                self.expr(r);
+                self.raw(")");
+            }
+            ExprKind::Call(name, args) => {
+                self.raw(&name.text);
+                self.raw("(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.raw(", ");
+                    }
+                    self.expr(a);
+                }
+                self.raw(")");
+            }
+            ExprKind::SetCtor(elems) => {
+                self.raw("[");
+                for (i, el) in elems.iter().enumerate() {
+                    if i > 0 {
+                        self.raw(", ");
+                    }
+                    match el {
+                        SetElem::Single(e) => self.expr(e),
+                        SetElem::Range(a, b) => {
+                            self.expr(a);
+                            self.raw("..");
+                            self.expr(b);
+                        }
+                    }
+                }
+                self.raw("]");
+            }
+        }
+    }
+
+    /// Print the base of a postfix operator (`.f`, `[i]`, `^`). Postfix
+    /// binds tighter than unary/binary operators in Pascal, so non-postfix
+    /// bases need parentheses: `(-x)[i]` is not `-x[i]`.
+    fn postfix_base(&mut self, base: &Expr) {
+        let atomic = matches!(
+            base.kind,
+            ExprKind::IntLit(_)
+                | ExprKind::BoolLit(_)
+                | ExprKind::NilLit
+                | ExprKind::Name(_)
+                | ExprKind::Field(..)
+                | ExprKind::Index(..)
+                | ExprKind::Deref(_)
+                | ExprKind::Call(..)
+                | ExprKind::SetCtor(_)
+        );
+        if atomic {
+            self.expr(base);
+        } else {
+            self.raw("(");
+            self.expr(base);
+            self.raw(")");
+        }
+    }
+
+    fn type_expr(&mut self, ty: &TypeExpr) {
+        match &ty.kind {
+            TypeExprKind::Named(n) => self.raw(&n.text),
+            TypeExprKind::Enum(names) => {
+                let names: Vec<String> = names.iter().map(|n| n.to_string()).collect();
+                self.raw(&format!("({})", names.join(", ")));
+            }
+            TypeExprKind::Subrange(lo, hi) => {
+                self.expr(lo);
+                self.raw("..");
+                self.expr(hi);
+            }
+            TypeExprKind::Array { index, element } => {
+                self.raw("array [");
+                self.type_expr(index);
+                self.raw("] of ");
+                self.type_expr(element);
+            }
+            TypeExprKind::Record(fields) => {
+                self.raw("record ");
+                for (i, f) in fields.iter().enumerate() {
+                    if i > 0 {
+                        self.raw("; ");
+                    }
+                    let names: Vec<String> = f.names.iter().map(|n| n.to_string()).collect();
+                    self.raw(&format!("{} : ", names.join(", ")));
+                    self.type_expr(&f.ty);
+                }
+                self.raw(" end");
+            }
+            TypeExprKind::SetOf(base) => {
+                self.raw("set of ");
+                self.type_expr(base);
+            }
+            TypeExprKind::Pointer(target) => {
+                self.raw("^");
+                self.type_expr(target);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::ident::Ident;
+    use crate::span::Span;
+
+    fn e(kind: ExprKind) -> Expr {
+        Expr::new(kind, Span::DUMMY)
+    }
+
+    #[test]
+    fn expr_printing_parenthesizes() {
+        let tree = e(ExprKind::Binary(
+            BinOp::Add,
+            Box::new(Expr::name(Ident::synthetic("a"))),
+            Box::new(e(ExprKind::Binary(
+                BinOp::Mul,
+                Box::new(e(ExprKind::IntLit(2))),
+                Box::new(Expr::name(Ident::synthetic("b"))),
+            ))),
+        ));
+        assert_eq!(print_expr(&tree), "(a + (2 * b))");
+    }
+
+    #[test]
+    fn output_statement_with_args() {
+        let s = Stmt::new(
+            StmtKind::Output {
+                ip: Ident::synthetic("U"),
+                interaction: Ident::synthetic("data"),
+                args: vec![e(ExprKind::IntLit(7))],
+            },
+            Span::DUMMY,
+        );
+        assert_eq!(print_stmt(&s).trim(), "output U.data(7);");
+    }
+
+    #[test]
+    fn pointer_and_set_types() {
+        let t = TypeExpr::new(
+            TypeExprKind::Pointer(Box::new(TypeExpr::new(
+                TypeExprKind::Named(Ident::synthetic("cell")),
+                Span::DUMMY,
+            ))),
+            Span::DUMMY,
+        );
+        assert_eq!(print_type(&t), "^cell");
+    }
+
+    #[test]
+    fn deref_expression() {
+        let d = e(ExprKind::Deref(Box::new(Expr::name(Ident::synthetic("p")))));
+        assert_eq!(print_expr(&d), "p^");
+    }
+}

@@ -1,0 +1,113 @@
+//! Byte-offset source spans.
+//!
+//! Every AST node carries a [`Span`] pointing back into the original
+//! specification text so diagnostics from the semantic analyzer, the
+//! compiler and the trace analyzer can show the offending Estelle source.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// The empty span at offset zero, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Smallest span enclosing both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True if the span covers no text.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// The text this span covers inside `source`.
+    ///
+    /// Returns an empty string if the span is out of bounds (e.g. a
+    /// synthesized node being reported against the wrong file).
+    pub fn slice(self, source: &str) -> &str {
+        source
+            .get(self.start as usize..self.end as usize)
+            .unwrap_or("")
+    }
+
+    /// 1-based line and column of the start of this span within `source`.
+    pub fn line_col(self, source: &str) -> (usize, usize) {
+        let upto = &source[..(self.start as usize).min(source.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto.len() - upto.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        (line, col)
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_enclosing() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn slice_in_bounds() {
+        let src = "specification s;";
+        assert_eq!(Span::new(0, 13).slice(src), "specification");
+    }
+
+    #[test]
+    fn slice_out_of_bounds_is_empty() {
+        assert_eq!(Span::new(5, 50).slice("tiny"), "");
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "a\nbb\nccc";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(2, 3).line_col(src), (2, 1));
+        assert_eq!(Span::new(6, 7).line_col(src), (3, 2));
+    }
+
+    #[test]
+    fn dummy_is_empty() {
+        assert!(Span::DUMMY.is_empty());
+        assert_eq!(Span::DUMMY.len(), 0);
+    }
+}

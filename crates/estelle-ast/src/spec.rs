@@ -1,0 +1,112 @@
+//! The top-level specification node.
+
+use crate::decl::{ChannelDecl, ConstDecl, ModuleBody, ModuleHeader, TypeDecl};
+use crate::ident::Ident;
+use crate::span::Span;
+
+/// A complete Estelle specification as parsed from one source file.
+///
+/// Tango's input requirement (paper §2.1) is a *single-module* specification
+/// with a fully defined body; the parser accepts any number of module
+/// headers/bodies so that semantic analysis can produce the precise
+/// "multiple modules not supported" diagnostic instead of a parse error.
+#[derive(Clone, Debug)]
+pub struct Specification {
+    pub name: Ident,
+    pub body: SpecificationBody,
+    pub span: Span,
+}
+
+/// The declaration part of a specification.
+#[derive(Clone, Debug)]
+pub struct SpecificationBody {
+    pub consts: Vec<ConstDecl>,
+    pub types: Vec<TypeDecl>,
+    pub channels: Vec<ChannelDecl>,
+    pub modules: Vec<ModuleHeader>,
+    pub bodies: Vec<ModuleBody>,
+}
+
+impl Specification {
+    /// The single module header/body pair, if the specification indeed has
+    /// exactly one of each (Tango's requirement). Pairing is by the body's
+    /// `for` clause.
+    pub fn single_module(&self) -> Option<(&ModuleHeader, &ModuleBody)> {
+        if self.body.modules.len() != 1 || self.body.bodies.len() != 1 {
+            return None;
+        }
+        let header = &self.body.modules[0];
+        let body = &self.body.bodies[0];
+        if body.for_module == header.name {
+            Some((header, body))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decl::{ModuleClass, ModuleHeader};
+
+    fn header(name: &str) -> ModuleHeader {
+        ModuleHeader {
+            name: Ident::synthetic(name),
+            class: ModuleClass::Process,
+            ips: vec![],
+            span: Span::DUMMY,
+        }
+    }
+
+    fn body(name: &str, for_module: &str) -> ModuleBody {
+        ModuleBody {
+            name: Ident::synthetic(name),
+            for_module: Ident::synthetic(for_module),
+            consts: vec![],
+            types: vec![],
+            vars: vec![],
+            states: vec![],
+            statesets: vec![],
+            routines: vec![],
+            initialize: None,
+            transitions: vec![],
+            span: Span::DUMMY,
+        }
+    }
+
+    fn spec(modules: Vec<ModuleHeader>, bodies: Vec<ModuleBody>) -> Specification {
+        Specification {
+            name: Ident::synthetic("s"),
+            body: SpecificationBody {
+                consts: vec![],
+                types: vec![],
+                channels: vec![],
+                modules,
+                bodies,
+            },
+            span: Span::DUMMY,
+        }
+    }
+
+    #[test]
+    fn single_module_found_when_paired() {
+        let s = spec(vec![header("m")], vec![body("mb", "m")]);
+        assert!(s.single_module().is_some());
+    }
+
+    #[test]
+    fn single_module_rejects_mismatched_for() {
+        let s = spec(vec![header("m")], vec![body("mb", "other")]);
+        assert!(s.single_module().is_none());
+    }
+
+    #[test]
+    fn single_module_rejects_multiple() {
+        let s = spec(
+            vec![header("m1"), header("m2")],
+            vec![body("b1", "m1"), body("b2", "m2")],
+        );
+        assert!(s.single_module().is_none());
+    }
+}

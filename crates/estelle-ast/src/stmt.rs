@@ -1,0 +1,133 @@
+//! Statements.
+//!
+//! The Pascal statement sublanguage plus Estelle's `output` statement and
+//! the standard dynamic-memory procedures `new`/`dispose` (which Estelle
+//! keeps from Pascal and Tango must snapshot during backtracking).
+
+use crate::expr::Expr;
+use crate::ident::Ident;
+use crate::span::Span;
+
+/// A statement with its source location.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub span: Span,
+}
+
+impl Stmt {
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+
+    /// An empty statement (Pascal allows them wherever a statement may go).
+    pub fn empty(span: Span) -> Self {
+        Stmt::new(StmtKind::Empty, span)
+    }
+}
+
+/// The syntactic forms of a statement.
+#[derive(Clone, Debug)]
+pub enum StmtKind {
+    /// The empty statement.
+    Empty,
+    /// `target := value`.
+    Assign { target: Expr, value: Expr },
+    /// `if cond then then_branch [else else_branch]`.
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `while cond do body`.
+    While { cond: Expr, body: Box<Stmt> },
+    /// `repeat body until cond`.
+    Repeat { body: Vec<Stmt>, cond: Expr },
+    /// `for var := from to/downto to_ do body`.
+    For {
+        var: Ident,
+        from: Expr,
+        dir: ForDirection,
+        to: Expr,
+        body: Box<Stmt>,
+    },
+    /// `case scrutinee of arms [else else_arm] end`.
+    Case {
+        scrutinee: Expr,
+        arms: Vec<CaseArm>,
+        else_arm: Option<Vec<Stmt>>,
+    },
+    /// `begin ... end`.
+    Compound(Vec<Stmt>),
+    /// Estelle `output ip.interaction(args)` — emit an interaction through
+    /// an interaction point.
+    Output {
+        ip: Ident,
+        interaction: Ident,
+        args: Vec<Expr>,
+    },
+    /// Procedure call `p(args)` (including parameterless `p`).
+    ProcCall { name: Ident, args: Vec<Expr> },
+    /// `new(p)` — allocate dynamic memory for pointer `p`.
+    New(Expr),
+    /// `dispose(p)` — free the memory `p` points to.
+    Dispose(Expr),
+}
+
+/// Direction of a `for` loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForDirection {
+    /// `for i := a to b`.
+    Up,
+    /// `for i := a downto b`.
+    Down,
+}
+
+/// One arm of a `case` statement: `label1, label2: stmt`.
+#[derive(Clone, Debug)]
+pub struct CaseArm {
+    /// Constant labels selecting this arm.
+    pub labels: Vec<Expr>,
+    pub body: Stmt,
+    pub span: Span,
+}
+
+impl StmtKind {
+    /// True for statements whose execution can branch on data — the control
+    /// statements §5.3 of the paper restricts for partial-trace analysis.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            StmtKind::If { .. }
+                | StmtKind::While { .. }
+                | StmtKind::Repeat { .. }
+                | StmtKind::For { .. }
+                | StmtKind::Case { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ExprKind;
+
+    fn expr(kind: ExprKind) -> Expr {
+        Expr::new(kind, Span::DUMMY)
+    }
+
+    #[test]
+    fn control_statement_classification() {
+        let cond = expr(ExprKind::BoolLit(true));
+        let body = Box::new(Stmt::empty(Span::DUMMY));
+        assert!(StmtKind::While { cond, body }.is_control());
+        assert!(!StmtKind::Empty.is_control());
+        assert!(!StmtKind::Compound(vec![]).is_control());
+        assert!(!StmtKind::Output {
+            ip: Ident::synthetic("a"),
+            interaction: Ident::synthetic("x"),
+            args: vec![],
+        }
+        .is_control());
+    }
+}

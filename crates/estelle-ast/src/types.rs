@@ -1,0 +1,105 @@
+//! Type expressions.
+//!
+//! The Pascal type sublanguage that Estelle inherits, restricted to the
+//! subset the Tango paper exercises: the predefined ordinals (`integer`,
+//! `boolean`), enumerations, subranges, arrays, records, sets of ordinals,
+//! and pointers (Estelle's dynamic memory). Named types refer back to a
+//! `type` declaration and are resolved during semantic analysis.
+
+use crate::expr::Expr;
+use crate::ident::Ident;
+use crate::span::Span;
+
+/// A type expression together with its source location.
+#[derive(Clone, Debug)]
+pub struct TypeExpr {
+    pub kind: TypeExprKind,
+    pub span: Span,
+}
+
+impl TypeExpr {
+    pub fn new(kind: TypeExprKind, span: Span) -> Self {
+        TypeExpr { kind, span }
+    }
+}
+
+/// The syntactic forms a type may take.
+#[derive(Clone, Debug)]
+pub enum TypeExprKind {
+    /// A reference to a named type: predefined (`integer`, `boolean`) or a
+    /// user `type` declaration.
+    Named(Ident),
+    /// An enumeration: `(idle, busy, closed)`.
+    Enum(Vec<Ident>),
+    /// A subrange `lo .. hi`; bounds are constant expressions.
+    Subrange(Box<Expr>, Box<Expr>),
+    /// `array [index] of element`. Multi-dimensional arrays are parsed as
+    /// nested single-dimension arrays.
+    Array {
+        index: Box<TypeExpr>,
+        element: Box<TypeExpr>,
+    },
+    /// `record f1: T1; f2: T2 end`.
+    Record(Vec<FieldDecl>),
+    /// `set of base` where `base` must be a small ordinal type.
+    SetOf(Box<TypeExpr>),
+    /// `^T` — a pointer into Estelle dynamic memory.
+    Pointer(Box<TypeExpr>),
+}
+
+/// One field (or field group) of a record: `a, b : integer`.
+#[derive(Clone, Debug)]
+pub struct FieldDecl {
+    pub names: Vec<Ident>,
+    pub ty: TypeExpr,
+    pub span: Span,
+}
+
+impl TypeExprKind {
+    /// Short human-readable label used in diagnostics.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            TypeExprKind::Named(_) => "named type",
+            TypeExprKind::Enum(_) => "enumeration",
+            TypeExprKind::Subrange(..) => "subrange",
+            TypeExprKind::Array { .. } => "array",
+            TypeExprKind::Record(_) => "record",
+            TypeExprKind::SetOf(_) => "set",
+            TypeExprKind::Pointer(_) => "pointer",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Expr, ExprKind};
+
+    fn int_lit(v: i64) -> Expr {
+        Expr::new(ExprKind::IntLit(v), Span::DUMMY)
+    }
+
+    #[test]
+    fn describe_labels() {
+        let sub = TypeExprKind::Subrange(Box::new(int_lit(0)), Box::new(int_lit(7)));
+        assert_eq!(sub.describe(), "subrange");
+        assert_eq!(
+            TypeExprKind::Named(Ident::synthetic("integer")).describe(),
+            "named type"
+        );
+    }
+
+    #[test]
+    fn nested_array_types_compose() {
+        let inner = TypeExpr::new(TypeExprKind::Named(Ident::synthetic("boolean")), Span::DUMMY);
+        let idx = TypeExpr::new(
+            TypeExprKind::Subrange(Box::new(int_lit(1)), Box::new(int_lit(4))),
+            Span::DUMMY,
+        );
+        let arr = TypeExprKind::Array {
+            index: Box::new(idx),
+            element: Box::new(inner),
+        };
+        assert_eq!(arr.describe(), "array");
+    }
+}

@@ -1,0 +1,265 @@
+//! A read-only visitor over the syntax tree.
+//!
+//! Implement [`Visitor`] and override the hooks you care about; the default
+//! implementations recurse via the `walk_*` free functions. Used by the
+//! semantic analyzer (delay/primitive rejection, control-statement census
+//! for §5.3 partial-trace checks) and by the normal-form transformation.
+
+use crate::decl::{ModuleBody, RoutineDecl, Transition};
+use crate::expr::{Expr, ExprKind, SetElem};
+use crate::spec::Specification;
+use crate::stmt::{Stmt, StmtKind};
+
+/// Read-only tree visitor. Every hook defaults to plain recursion.
+pub trait Visitor {
+    fn visit_specification(&mut self, spec: &Specification) {
+        walk_specification(self, spec);
+    }
+
+    fn visit_module_body(&mut self, body: &ModuleBody) {
+        walk_module_body(self, body);
+    }
+
+    fn visit_routine(&mut self, routine: &RoutineDecl) {
+        walk_routine(self, routine);
+    }
+
+    fn visit_transition(&mut self, trans: &Transition) {
+        walk_transition(self, trans);
+    }
+
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        walk_stmt(self, stmt);
+    }
+
+    fn visit_expr(&mut self, expr: &Expr) {
+        walk_expr(self, expr);
+    }
+}
+
+pub fn walk_specification<V: Visitor + ?Sized>(v: &mut V, spec: &Specification) {
+    for c in &spec.body.consts {
+        v.visit_expr(&c.value);
+    }
+    for body in &spec.body.bodies {
+        v.visit_module_body(body);
+    }
+}
+
+pub fn walk_module_body<V: Visitor + ?Sized>(v: &mut V, body: &ModuleBody) {
+    for c in &body.consts {
+        v.visit_expr(&c.value);
+    }
+    for r in &body.routines {
+        v.visit_routine(r);
+    }
+    if let Some(init) = &body.initialize {
+        for s in &init.block {
+            v.visit_stmt(s);
+        }
+    }
+    for t in &body.transitions {
+        v.visit_transition(t);
+    }
+}
+
+pub fn walk_routine<V: Visitor + ?Sized>(v: &mut V, routine: &RoutineDecl) {
+    for c in &routine.consts {
+        v.visit_expr(&c.value);
+    }
+    if let Some(body) = &routine.body {
+        for s in body {
+            v.visit_stmt(s);
+        }
+    }
+}
+
+pub fn walk_transition<V: Visitor + ?Sized>(v: &mut V, trans: &Transition) {
+    if let Some(p) = &trans.provided {
+        v.visit_expr(p);
+    }
+    if let Some(p) = &trans.priority {
+        v.visit_expr(p);
+    }
+    if let Some(d) = &trans.delay {
+        v.visit_expr(&d.min);
+        if let Some(max) = &d.max {
+            v.visit_expr(max);
+        }
+    }
+    for s in &trans.block {
+        v.visit_stmt(s);
+    }
+}
+
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
+    match &stmt.kind {
+        StmtKind::Empty => {}
+        StmtKind::Assign { target, value } => {
+            v.visit_expr(target);
+            v.visit_expr(value);
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            v.visit_expr(cond);
+            v.visit_stmt(then_branch);
+            if let Some(e) = else_branch {
+                v.visit_stmt(e);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            v.visit_expr(cond);
+            v.visit_stmt(body);
+        }
+        StmtKind::Repeat { body, cond } => {
+            for s in body {
+                v.visit_stmt(s);
+            }
+            v.visit_expr(cond);
+        }
+        StmtKind::For { from, to, body, .. } => {
+            v.visit_expr(from);
+            v.visit_expr(to);
+            v.visit_stmt(body);
+        }
+        StmtKind::Case {
+            scrutinee,
+            arms,
+            else_arm,
+        } => {
+            v.visit_expr(scrutinee);
+            for arm in arms {
+                for l in &arm.labels {
+                    v.visit_expr(l);
+                }
+                v.visit_stmt(&arm.body);
+            }
+            if let Some(stmts) = else_arm {
+                for s in stmts {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        StmtKind::Compound(stmts) => {
+            for s in stmts {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::Output { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        StmtKind::ProcCall { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        StmtKind::New(e) | StmtKind::Dispose(e) => v.visit_expr(e),
+    }
+}
+
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
+    match &expr.kind {
+        ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::NilLit | ExprKind::Name(_) => {}
+        ExprKind::Field(base, _) => v.visit_expr(base),
+        ExprKind::Index(base, idx) => {
+            v.visit_expr(base);
+            v.visit_expr(idx);
+        }
+        ExprKind::Deref(base) => v.visit_expr(base),
+        ExprKind::Unary(_, e) => v.visit_expr(e),
+        ExprKind::Binary(_, l, r) => {
+            v.visit_expr(l);
+            v.visit_expr(r);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::SetCtor(elems) => {
+            for e in elems {
+                match e {
+                    SetElem::Single(e) => v.visit_expr(e),
+                    SetElem::Range(a, b) => {
+                        v.visit_expr(a);
+                        v.visit_expr(b);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::ident::Ident;
+    use crate::span::Span;
+
+    /// Counts visited expression nodes.
+    struct Counter {
+        exprs: usize,
+        stmts: usize,
+    }
+
+    impl Visitor for Counter {
+        fn visit_expr(&mut self, expr: &Expr) {
+            self.exprs += 1;
+            walk_expr(self, expr);
+        }
+        fn visit_stmt(&mut self, stmt: &Stmt) {
+            self.stmts += 1;
+            walk_stmt(self, stmt);
+        }
+    }
+
+    fn e(kind: ExprKind) -> Expr {
+        Expr::new(kind, Span::DUMMY)
+    }
+
+    #[test]
+    fn visits_every_expression_node() {
+        // (a + 1) * b  — five expression nodes.
+        let tree = e(ExprKind::Binary(
+            BinOp::Mul,
+            Box::new(e(ExprKind::Binary(
+                BinOp::Add,
+                Box::new(Expr::name(Ident::synthetic("a"))),
+                Box::new(e(ExprKind::IntLit(1))),
+            ))),
+            Box::new(Expr::name(Ident::synthetic("b"))),
+        ));
+        let mut c = Counter { exprs: 0, stmts: 0 };
+        c.visit_expr(&tree);
+        assert_eq!(c.exprs, 5);
+    }
+
+    #[test]
+    fn visits_statements_recursively() {
+        let body = Stmt::new(
+            StmtKind::Compound(vec![
+                Stmt::empty(Span::DUMMY),
+                Stmt::new(
+                    StmtKind::If {
+                        cond: e(ExprKind::BoolLit(true)),
+                        then_branch: Box::new(Stmt::empty(Span::DUMMY)),
+                        else_branch: Some(Box::new(Stmt::empty(Span::DUMMY))),
+                    },
+                    Span::DUMMY,
+                ),
+            ]),
+            Span::DUMMY,
+        );
+        let mut c = Counter { exprs: 0, stmts: 0 };
+        c.visit_stmt(&body);
+        // compound + empty + if + then + else
+        assert_eq!(c.stmts, 5);
+        assert_eq!(c.exprs, 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Frontend diagnostics.
+//!
+//! One error type covers the lexer, the parser and semantic analysis, so
+//! callers (the CLI, the trace analyzer generator) deal with a single
+//! `Result`. Each error carries a span; [`FrontendError::render`] formats it
+//! against the source text with a line/column and a caret line.
+
+use estelle_ast::Span;
+use std::fmt;
+
+/// Result alias used across the frontend.
+pub type FrontendResult<T> = Result<T, FrontendError>;
+
+/// A diagnostic from any frontend phase.
+#[derive(Debug, Clone)]
+pub struct FrontendError {
+    pub phase: Phase,
+    pub message: String,
+    pub span: Span,
+}
+
+/// Which phase produced the diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Sema,
+}
+
+impl FrontendError {
+    pub fn lex(message: String, span: Span) -> Self {
+        FrontendError {
+            phase: Phase::Lex,
+            message,
+            span,
+        }
+    }
+
+    pub fn parse(message: String, span: Span) -> Self {
+        FrontendError {
+            phase: Phase::Parse,
+            message,
+            span,
+        }
+    }
+
+    pub fn sema(message: String, span: Span) -> Self {
+        FrontendError {
+            phase: Phase::Sema,
+            message,
+            span,
+        }
+    }
+
+    /// Render the diagnostic against its source text:
+    ///
+    /// ```text
+    /// error (parse) at 3:12: expected `;`, found keyword `end`
+    ///    |   from s1 to s2 when A.x
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        let line_text = source.lines().nth(line - 1).unwrap_or("");
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "sema",
+        };
+        format!(
+            "error ({}) at {}:{}: {}\n   | {}\n   | {}^",
+            phase,
+            line,
+            col,
+            self.message,
+            line_text,
+            " ".repeat(col.saturating_sub(1)),
+        )
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "sema",
+        };
+        write!(f, "{} error: {} (at {})", phase, self.message, self.span)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_offending_line() {
+        let src = "line one\nline two here\nthree";
+        let err = FrontendError::parse("boom".to_string(), Span::new(14, 17));
+        let rendered = err.render(src);
+        assert!(rendered.contains("at 2:6"));
+        assert!(rendered.contains("line two here"));
+        assert!(rendered.contains("boom"));
+    }
+
+    #[test]
+    fn display_includes_phase() {
+        let err = FrontendError::sema("bad".into(), Span::DUMMY);
+        assert!(err.to_string().contains("sema error"));
+    }
+}

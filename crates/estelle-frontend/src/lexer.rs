@@ -1,0 +1,308 @@
+//! The Estelle lexer.
+//!
+//! Handles Pascal-style comments — both `(* ... *)` and `{ ... }` — which do
+//! not nest, case-insensitive keywords, integer literals, identifiers, and
+//! the punctuation of the supported subset. Produces a complete token vector
+//! up front (specifications are small; the parser wants lookahead).
+
+use crate::error::{FrontendError, FrontendResult};
+use crate::token::{Keyword, Token, TokenKind};
+use estelle_ast::Span;
+
+/// Tokenize an entire source text.
+pub fn tokenize(source: &str) -> FrontendResult<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> FrontendResult<Vec<Token>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(&b) = self.src.get(self.pos) else {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+            match b {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                b'0'..=b'9' => self.number(start)?,
+                b';' => self.single(TokenKind::Semi),
+                b',' => self.single(TokenKind::Comma),
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'[' => self.single(TokenKind::LBracket),
+                b']' => self.single(TokenKind::RBracket),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b'^' => self.single(TokenKind::Caret),
+                b'=' => self.single(TokenKind::Eq),
+                b':' => {
+                    if self.peek_at(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.push(TokenKind::Assign, start);
+                    } else {
+                        self.single(TokenKind::Colon);
+                    }
+                }
+                b'.' => {
+                    if self.peek_at(1) == Some(b'.') {
+                        self.pos += 2;
+                        self.push(TokenKind::DotDot, start);
+                    } else {
+                        self.single(TokenKind::Dot);
+                    }
+                }
+                b'<' => match self.peek_at(1) {
+                    Some(b'=') => {
+                        self.pos += 2;
+                        self.push(TokenKind::Le, start);
+                    }
+                    Some(b'>') => {
+                        self.pos += 2;
+                        self.push(TokenKind::Ne, start);
+                    }
+                    _ => self.single(TokenKind::Lt),
+                },
+                b'>' => {
+                    if self.peek_at(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.push(TokenKind::Ge, start);
+                    } else {
+                        self.single(TokenKind::Gt);
+                    }
+                }
+                other => {
+                    return Err(FrontendError::lex(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(start as u32, (start + 1) as u32),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn single(&mut self, kind: TokenKind) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(kind, start);
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start as u32, self.pos as u32),
+        });
+    }
+
+    /// Skip whitespace and both comment forms.
+    fn skip_trivia(&mut self) -> FrontendResult<()> {
+        loop {
+            match self.src.get(self.pos) {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.pos += 1,
+                Some(b'{') => {
+                    let start = self.pos;
+                    self.pos += 1;
+                    loop {
+                        match self.src.get(self.pos) {
+                            Some(b'}') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                return Err(FrontendError::lex(
+                                    "unterminated `{ ... }` comment".to_string(),
+                                    Span::new(start as u32, self.pos as u32),
+                                ));
+                            }
+                        }
+                    }
+                }
+                Some(b'(') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match self.src.get(self.pos) {
+                            Some(b'*') if self.peek_at(1) == Some(b')') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                return Err(FrontendError::lex(
+                                    "unterminated `(* ... *)` comment".to_string(),
+                                    Span::new(start as u32, self.pos as u32),
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        while matches!(
+            self.src.get(self.pos),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("identifier bytes are ASCII")
+            .to_string();
+        let kind = match Keyword::from_str(&text.to_ascii_lowercase()) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text),
+        };
+        self.push(kind, start);
+    }
+
+    fn number(&mut self, start: usize) -> FrontendResult<()> {
+        while matches!(self.src.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits are ASCII");
+        let value: i64 = text.parse().map_err(|_| {
+            FrontendError::lex(
+                format!("integer literal `{}` out of range", text),
+                Span::new(start as u32, self.pos as u32),
+            )
+        })?;
+        self.push(TokenKind::Int(value), start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        let ks = kinds("module Lapd systemprocess;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Module),
+                TokenKind::Ident("Lapd".to_string()),
+                TokenKind::Keyword(Keyword::SystemProcess),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("BEGIN End"),
+            vec![
+                TokenKind::Keyword(Keyword::Begin),
+                TokenKind::Keyword(Keyword::End),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds(":= <> <= >= .."),
+            vec![
+                TokenKind::Assign,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::DotDot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_vs_dotdot() {
+        assert_eq!(
+            kinds("a.b 0..7"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::Int(0),
+                TokenKind::DotDot,
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn both_comment_forms_skipped() {
+        assert_eq!(
+            kinds("a (* one *) b { two } c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(tokenize("begin (* no end").is_err());
+        assert!(tokenize("begin { no end").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = tokenize("a ? b").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let toks = tokenize("state s1;").unwrap();
+        assert_eq!(toks[1].span.slice("state s1;"), "s1");
+    }
+
+    #[test]
+    fn huge_integer_rejected() {
+        assert!(tokenize("99999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t  "), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,37 @@
+//! The Estelle frontend: lexer, parser and semantic analysis.
+//!
+//! This crate plays the role NIST's *Pet* (Portable Estelle Translator)
+//! plays in the Tango tool chain from the SIGCOMM '95 paper: it turns
+//! Estelle source text into a checked static model. The `estelle-runtime`
+//! crate (the *Dingo* analog) then compiles that model into an executable
+//! EFSM which the `tango` crate drives for trace analysis.
+//!
+//! ```
+//! use estelle_frontend::analyze;
+//!
+//! let src = r#"
+//!     specification tiny;
+//!     channel C(user, server); by user: ping; by server: pong; end;
+//!     module M process; ip P : C(server); end;
+//!     body MB for M;
+//!         state Idle;
+//!         initialize to Idle begin end;
+//!         trans
+//!         from Idle to Idle when P.ping begin output P.pong; end;
+//!     end;
+//!     end.
+//! "#;
+//! let module = analyze(src).expect("valid specification");
+//! assert_eq!(module.ips.len(), 1);
+//! assert_eq!(module.transitions.len(), 1);
+//! ```
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod token;
+
+pub use error::{FrontendError, FrontendResult, Phase};
+pub use parser::{parse_expression, parse_specification};
+pub use sema::{analyze, analyze_spec, AnalyzedModule, SemaOptions};

@@ -1,0 +1,460 @@
+//! Module bodies: declarations, routines, `initialize`, and transitions.
+
+use super::Parser;
+use crate::error::FrontendResult;
+use crate::token::{Keyword, TokenKind};
+use estelle_ast::*;
+
+impl Parser {
+    /// `body B for M; <parts> end;`
+    pub(crate) fn module_body(&mut self) -> FrontendResult<ModuleBody> {
+        let start = self.span();
+        self.expect_kw(Keyword::Body)?;
+        let name = self.expect_ident()?;
+        self.expect_kw(Keyword::For)?;
+        let for_module = self.expect_ident()?;
+        self.expect(&TokenKind::Semi)?;
+
+        let mut body = ModuleBody {
+            name,
+            for_module,
+            consts: vec![],
+            types: vec![],
+            vars: vec![],
+            states: vec![],
+            statesets: vec![],
+            routines: vec![],
+            initialize: None,
+            transitions: vec![],
+            span: Span::DUMMY,
+        };
+
+        loop {
+            if self.at_kw(Keyword::End) {
+                break;
+            } else if self.at_kw(Keyword::Const) {
+                body.consts.extend(self.const_part()?);
+            } else if self.at_kw(Keyword::Type) {
+                body.types.extend(self.type_part()?);
+            } else if self.at_kw(Keyword::Var) {
+                body.vars.extend(self.var_part()?);
+            } else if self.at_kw(Keyword::State) {
+                let sstart = self.span();
+                self.bump();
+                let names = self.ident_list()?;
+                self.expect(&TokenKind::Semi)?;
+                let span = sstart.to(self.prev_span());
+                body.states.push(StateDecl { names, span });
+            } else if self.at_kw(Keyword::StateSet) {
+                let sstart = self.span();
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Eq)?;
+                self.expect(&TokenKind::LBracket)?;
+                let members = self.ident_list()?;
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semi)?;
+                let span = sstart.to(self.prev_span());
+                body.statesets.push(StateSetDecl {
+                    name,
+                    members,
+                    span,
+                });
+            } else if self.at_kw(Keyword::Procedure) || self.at_kw(Keyword::Function) {
+                body.routines.push(self.routine()?);
+            } else if self.at_kw(Keyword::Initialize) {
+                let istart = self.span();
+                self.bump();
+                self.expect_kw(Keyword::To)?;
+                let to = self.expect_ident()?;
+                let block = self.block()?;
+                self.eat(&TokenKind::Semi);
+                let span = istart.to(self.prev_span());
+                if body.initialize.is_some() {
+                    return Err(crate::error::FrontendError::parse(
+                        "duplicate `initialize` transition".to_string(),
+                        span,
+                    ));
+                }
+                body.initialize = Some(InitTrans { to, block, span });
+            } else if self.at_kw(Keyword::Trans) {
+                self.bump();
+                // Transitions until the body's `end` or the next part.
+                while self.at_kw(Keyword::From) {
+                    body.transitions.push(self.transition()?);
+                }
+            } else {
+                return Err(self.unexpected(
+                    "`const`, `type`, `var`, `state`, `stateset`, `procedure`, \
+                     `function`, `initialize`, `trans` or `end`",
+                ));
+            }
+        }
+        self.expect_kw(Keyword::End)?;
+        self.expect(&TokenKind::Semi)?;
+        body.span = start.to(self.prev_span());
+        Ok(body)
+    }
+
+    /// `var a, b : T; c : U;`
+    pub(crate) fn var_part(&mut self) -> FrontendResult<Vec<VarDecl>> {
+        self.expect_kw(Keyword::Var)?;
+        let mut out = Vec::new();
+        loop {
+            let start = self.span();
+            let names = self.ident_list()?;
+            self.expect(&TokenKind::Colon)?;
+            let ty = self.type_expr()?;
+            self.expect(&TokenKind::Semi)?;
+            let span = start.to(self.prev_span());
+            out.push(VarDecl { names, ty, span });
+            // Another `ident ... :` group continues the var part.
+            if !matches!(self.peek(), TokenKind::Ident(_)) {
+                break;
+            }
+            if !matches!(self.peek_at(1), TokenKind::Colon | TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Procedure or function declaration, possibly `primitive`.
+    fn routine(&mut self) -> FrontendResult<RoutineDecl> {
+        let start = self.span();
+        let is_function = self.at_kw(Keyword::Function);
+        self.bump();
+        let name = self.expect_ident()?;
+
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            loop {
+                let pstart = self.span();
+                let by_ref = self.eat_kw(Keyword::Var);
+                let names = self.ident_list()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                let span = pstart.to(self.prev_span());
+                params.push(RoutineParam {
+                    names,
+                    ty,
+                    by_ref,
+                    span,
+                });
+                if !self.eat(&TokenKind::Semi) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let result = if is_function {
+            self.expect(&TokenKind::Colon)?;
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi)?;
+
+        if self.eat_kw(Keyword::Primitive) {
+            self.expect(&TokenKind::Semi)?;
+            let span = start.to(self.prev_span());
+            return Ok(RoutineDecl {
+                name,
+                params,
+                result,
+                consts: vec![],
+                types: vec![],
+                vars: vec![],
+                body: None,
+                span,
+            });
+        }
+
+        let mut consts = Vec::new();
+        let mut types = Vec::new();
+        let mut vars = Vec::new();
+        loop {
+            if self.at_kw(Keyword::Const) {
+                consts.extend(self.const_part()?);
+            } else if self.at_kw(Keyword::Type) {
+                types.extend(self.type_part()?);
+            } else if self.at_kw(Keyword::Var) {
+                vars.extend(self.var_part()?);
+            } else {
+                break;
+            }
+        }
+        let body = self.block()?;
+        self.eat(&TokenKind::Semi);
+        let span = start.to(self.prev_span());
+        Ok(RoutineDecl {
+            name,
+            params,
+            result,
+            consts,
+            types,
+            vars,
+            body: Some(body),
+            span,
+        })
+    }
+
+    /// One transition declaration:
+    /// `from S1, S2 to S3 when A.x provided e priority 1 any i : 0..3 do
+    ///  name T1 : begin ... end;`
+    fn transition(&mut self) -> FrontendResult<Transition> {
+        let start = self.span();
+        self.expect_kw(Keyword::From)?;
+        let from = self.ident_list()?;
+        self.expect_kw(Keyword::To)?;
+        let to = if self.eat_kw(Keyword::Same) {
+            ToClause::Same
+        } else {
+            ToClause::State(self.expect_ident()?)
+        };
+
+        let mut when = None;
+        let mut provided = None;
+        let mut priority = None;
+        let mut delay = None;
+        let mut any = Vec::new();
+        let mut name = None;
+
+        loop {
+            if self.at_kw(Keyword::When) {
+                let wstart = self.span();
+                self.bump();
+                let ip = self.expect_ident()?;
+                self.expect(&TokenKind::Dot)?;
+                let interaction = self.expect_ident()?;
+                let span = wstart.to(self.prev_span());
+                if when.replace(WhenClause {
+                    ip,
+                    interaction,
+                    span,
+                })
+                .is_some()
+                {
+                    return Err(crate::error::FrontendError::parse(
+                        "duplicate `when` clause".to_string(),
+                        span,
+                    ));
+                }
+            } else if self.eat_kw(Keyword::Provided) {
+                provided = Some(self.expression()?);
+            } else if self.eat_kw(Keyword::Priority) {
+                priority = Some(self.expression()?);
+            } else if self.at_kw(Keyword::Delay) {
+                let dstart = self.span();
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let min = self.expression()?;
+                let max = if self.eat(&TokenKind::Comma) {
+                    Some(self.expression()?)
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::RParen)?;
+                let span = dstart.to(self.prev_span());
+                delay = Some(DelayClause { min, max, span });
+            } else if self.eat_kw(Keyword::Any) {
+                let astart = self.span();
+                let var = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                self.expect_kw(Keyword::Do)?;
+                let span = astart.to(self.prev_span());
+                any.push(AnyClause { var, ty, span });
+            } else if self.eat_kw(Keyword::Name) {
+                name = Some(self.expect_ident()?);
+                self.expect(&TokenKind::Colon)?;
+            } else {
+                break;
+            }
+        }
+
+        let block = self.block()?;
+        self.eat(&TokenKind::Semi);
+        let span = start.to(self.prev_span());
+        Ok(Transition {
+            from,
+            to,
+            when,
+            provided,
+            priority,
+            delay,
+            any,
+            name,
+            block,
+            span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_specification;
+    use estelle_ast::{Specification, ToClause};
+
+    fn parse(src: &str) -> Specification {
+        parse_specification(src).expect("parses")
+    }
+
+    const ACK: &str = r#"
+        specification ackspec;
+        channel ChA(m, env); by env: x; by m: ack; end;
+        channel ChB(m, env); by env: y; end;
+        module M process;
+            ip A : ChA(m);
+            ip B : ChB(m);
+        end;
+        body MB for M;
+            state S1, S2;
+            initialize to S1 begin end;
+            trans
+            from S1 to S1 when A.x name T1: begin end;
+            from S1 to S2 when A.x name T2: begin end;
+            from S2 to S1 when B.y name T3: begin output A.ack; end;
+        end;
+        end.
+    "#;
+
+    #[test]
+    fn paper_figure_1_ack_spec_parses() {
+        let spec = parse(ACK);
+        let (_, body) = spec.single_module().expect("single module");
+        assert_eq!(body.transitions.len(), 3);
+        assert!(body.transitions[0].name.as_ref().unwrap().is("t1"));
+        assert!(body.transitions[2].when.as_ref().unwrap().ip.is("b"));
+        assert_eq!(body.transitions[2].block.len(), 1);
+    }
+
+    #[test]
+    fn transition_with_all_clauses() {
+        let src = r#"
+            specification s;
+            channel C(a, b); by a: x; end;
+            module M process; ip P : C(b); end;
+            body MB for M;
+                var n : integer;
+                state S1, S2;
+                initialize to S1 begin n := 0 end;
+                trans
+                from S1, S2 to same
+                    when P.x
+                    provided n < 10
+                    priority 2
+                    any k : 0..3 do
+                    name T9 :
+                begin n := n + k end;
+            end;
+            end.
+        "#;
+        let spec = parse(src);
+        let t = &spec.body.bodies[0].transitions[0];
+        assert_eq!(t.from.len(), 2);
+        assert!(matches!(t.to, ToClause::Same));
+        assert!(t.when.is_some());
+        assert!(t.provided.is_some());
+        assert!(t.priority.is_some());
+        assert_eq!(t.any.len(), 1);
+        assert!(t.name.as_ref().unwrap().is("t9"));
+    }
+
+    #[test]
+    fn delay_clause_parses_for_later_rejection() {
+        let src = r#"
+            specification s;
+            module M process; end;
+            body MB for M;
+                state S1;
+                initialize to S1 begin end;
+                trans
+                from S1 to S1 delay(5, 10) begin end;
+            end;
+            end.
+        "#;
+        let spec = parse(src);
+        assert!(spec.body.bodies[0].transitions[0].delay.is_some());
+    }
+
+    #[test]
+    fn primitive_routine_parses_for_later_rejection() {
+        let src = r#"
+            specification s;
+            module M process; end;
+            body MB for M;
+                function crc(x : integer) : integer; primitive;
+                state S1;
+                initialize to S1 begin end;
+            end;
+            end.
+        "#;
+        let spec = parse(src);
+        assert!(spec.body.bodies[0].routines[0].body.is_none());
+    }
+
+    #[test]
+    fn routine_with_locals() {
+        let src = r#"
+            specification s;
+            module M process; end;
+            body MB for M;
+                var total : integer;
+                procedure bump(var t : integer; amount : integer);
+                    const step = 1;
+                    var scratch : integer;
+                begin
+                    scratch := amount * step;
+                    t := t + scratch
+                end;
+                state S1;
+                initialize to S1 begin total := 0 end;
+            end;
+            end.
+        "#;
+        let spec = parse(src);
+        let r = &spec.body.bodies[0].routines[0];
+        assert_eq!(r.params.len(), 2);
+        assert!(r.params[0].by_ref);
+        assert!(!r.params[1].by_ref);
+        assert_eq!(r.consts.len(), 1);
+        assert_eq!(r.vars.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_initialize_rejected() {
+        let src = r#"
+            specification s;
+            module M process; end;
+            body MB for M;
+                state S1;
+                initialize to S1 begin end;
+                initialize to S1 begin end;
+            end;
+            end.
+        "#;
+        assert!(parse_specification(src).is_err());
+    }
+
+    #[test]
+    fn stateset_and_var_groups() {
+        let src = r#"
+            specification s;
+            module M process; end;
+            body MB for M;
+                var a, b : integer;
+                    flag : boolean;
+                state S1, S2, S3;
+                stateset Busy = [S2, S3];
+                initialize to S1 begin end;
+            end;
+            end.
+        "#;
+        let spec = parse(src);
+        let b = &spec.body.bodies[0];
+        assert_eq!(b.vars.len(), 2);
+        assert_eq!(b.vars[0].names.len(), 2);
+        assert_eq!(b.statesets[0].members.len(), 2);
+    }
+}

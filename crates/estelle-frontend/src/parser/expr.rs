@@ -1,0 +1,277 @@
+//! Expression grammar: Pascal's four precedence levels.
+//!
+//! ```text
+//! expression := simple [relop simple]          -- = <> < <= > >= in
+//! simple     := ['+'|'-'] term { addop term }  -- + - or
+//! term       := factor { mulop factor }        -- * div mod and
+//! factor     := 'not' factor | postfix
+//! postfix    := primary { '.' ident | '[' expr ']' | '^' | '(' args ')' }
+//! primary    := int | true | false | nil | ident | '(' expr ')' | set-ctor
+//! ```
+
+use super::Parser;
+use crate::error::FrontendResult;
+use crate::token::{Keyword, TokenKind};
+use estelle_ast::expr::SetElem;
+use estelle_ast::*;
+
+impl Parser {
+    pub(crate) fn expression(&mut self) -> FrontendResult<Expr> {
+        self.descend()?;
+        let result = self.expression_inner();
+        self.ascend();
+        result
+    }
+
+    fn expression_inner(&mut self) -> FrontendResult<Expr> {
+        let lhs = self.simple_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::Keyword(Keyword::In) => BinOp::In,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.simple_expr()?;
+        let span = lhs.span.to(rhs.span);
+        Ok(Expr::new(
+            ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            span,
+        ))
+    }
+
+    fn simple_expr(&mut self) -> FrontendResult<Expr> {
+        let start = self.span();
+        // Optional leading sign.
+        let sign = if self.eat(&TokenKind::Minus) {
+            Some(UnOp::Neg)
+        } else if self.eat(&TokenKind::Plus) {
+            Some(UnOp::Plus)
+        } else {
+            None
+        };
+        let mut lhs = self.term()?;
+        if let Some(op) = sign {
+            let span = start.to(lhs.span);
+            lhs = Expr::new(ExprKind::Unary(op, Box::new(lhs)), span);
+        }
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Keyword(Keyword::Or) => BinOp::Or,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> FrontendResult<Expr> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Keyword(Keyword::Div) => BinOp::Div,
+                TokenKind::Keyword(Keyword::Mod) => BinOp::Mod,
+                TokenKind::Keyword(Keyword::And) => BinOp::And,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> FrontendResult<Expr> {
+        if self.at_kw(Keyword::Not) {
+            let start = self.span();
+            self.bump();
+            let operand = self.factor()?;
+            let span = start.to(operand.span);
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::Not, Box::new(operand)),
+                span,
+            ));
+        }
+        self.postfix()
+    }
+
+    /// Parse a primary followed by any chain of postfix operators. Also used
+    /// by the statement parser for assignment targets and procedure calls.
+    pub(crate) fn postfix(&mut self) -> FrontendResult<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    // `e .. hi` must not be eaten as a field access; the
+                    // lexer already distinguishes Dot from DotDot.
+                    self.bump();
+                    let field = self.expect_ident()?;
+                    let span = e.span.to(field.span);
+                    e = Expr::new(ExprKind::Field(Box::new(e), field), span);
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let idx = self.expression()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    let span = e.span.to(self.prev_span());
+                    e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), span);
+                }
+                TokenKind::Caret => {
+                    self.bump();
+                    let span = e.span.to(self.prev_span());
+                    e = Expr::new(ExprKind::Deref(Box::new(e)), span);
+                }
+                TokenKind::LParen => {
+                    // Only a bare name can become a call.
+                    let ExprKind::Name(name) = e.kind.clone() else {
+                        break;
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        args.push(self.expression()?);
+                        while self.eat(&TokenKind::Comma) {
+                            args.push(self.expression()?);
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    let span = e.span.to(self.prev_span());
+                    e = Expr::new(ExprKind::Call(name, args), span);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> FrontendResult<Expr> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::IntLit(v), span))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::BoolLit(true), span))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::BoolLit(false), span))
+            }
+            TokenKind::Keyword(Keyword::Nil) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::NilLit, span))
+            }
+            TokenKind::Ident(text) => {
+                self.bump();
+                Ok(Expr::name(Ident::new(text, span)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::LBracket => {
+                // Set constructor `[a, 1..3]`.
+                self.bump();
+                let mut elems = Vec::new();
+                if !self.at(&TokenKind::RBracket) {
+                    loop {
+                        let first = self.expression()?;
+                        if self.eat(&TokenKind::DotDot) {
+                            let hi = self.expression()?;
+                            elems.push(SetElem::Range(first, hi));
+                        } else {
+                            elems.push(SetElem::Single(first));
+                        }
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+                let span = span.to(self.prev_span());
+                Ok(Expr::new(ExprKind::SetCtor(elems), span))
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_expression;
+    use estelle_ast::print::print_expr;
+    use estelle_ast::{BinOp, ExprKind};
+
+    fn parsed(src: &str) -> String {
+        print_expr(&parse_expression(src).expect("parses"))
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(parsed("1 + 2 * 3"), "(1 + (2 * 3))");
+        assert_eq!(parsed("(1 + 2) * 3"), "((1 + 2) * 3)");
+    }
+
+    #[test]
+    fn relational_is_lowest() {
+        assert_eq!(parsed("a + 1 = b * 2"), "((a + 1) = (b * 2))");
+    }
+
+    #[test]
+    fn boolean_operators_follow_pascal() {
+        // `and` binds like `*`, `or` like `+`, so parentheses are required
+        // around relations — classic Pascal.
+        assert_eq!(parsed("(a = 1) and (b = 2)"), "((a = 1) and (b = 2))");
+        assert_eq!(parsed("p or q and r"), "(p or (q and r))");
+    }
+
+    #[test]
+    fn unary_not_and_neg() {
+        assert_eq!(parsed("not ready"), "not (ready)");
+        assert_eq!(parsed("-x + 1"), "((-(x)) + 1)");
+    }
+
+    #[test]
+    fn postfix_chains() {
+        assert_eq!(parsed("buf[i].next^.v"), "buf[i].next^.v");
+        assert_eq!(parsed("f(1, x + 2)"), "f(1, (x + 2))");
+    }
+
+    #[test]
+    fn set_membership_and_ctor() {
+        let e = parse_expression("x in [1, 3..5]").unwrap();
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::In, _, _)));
+    }
+
+    #[test]
+    fn nil_literal() {
+        assert_eq!(parsed("p = nil"), "(p = nil)");
+    }
+
+    #[test]
+    fn call_requires_bare_name() {
+        // `a.b(c)` is a field access followed by `(` which ends the
+        // expression (statement context handles it); not a method call.
+        assert!(parse_expression("a.b(c)").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(parse_expression("").is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! Recursive-descent parser for the Estelle subset.
+//!
+//! Entry point: [`parse_specification`]. The grammar follows ISO 9074's
+//! shape for the constructs Tango supports, with one documented
+//! simplification: `channel` declarations are terminated with an explicit
+//! `end;` (the pretty printer emits the same form, so trees round-trip).
+//!
+//! Submodules split the grammar by area: `body` (module bodies,
+//! routines, transitions), `stmt` (the Pascal statement sublanguage),
+//! `expr` (expressions with Pascal's four precedence levels) and `ty`
+//! (type expressions).
+
+mod body;
+mod expr;
+mod stmt;
+mod ty;
+
+use crate::error::{FrontendError, FrontendResult};
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Token, TokenKind};
+use estelle_ast::*;
+
+/// Parse a complete specification from source text.
+pub fn parse_specification(source: &str) -> FrontendResult<Specification> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser::new(tokens);
+    let spec = p.specification()?;
+    p.expect_eof()?;
+    Ok(spec)
+}
+
+/// Parse a single expression (exposed for tests and the trace tooling).
+pub fn parse_expression(source: &str) -> FrontendResult<Expr> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expression()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Current recursion depth across expressions, statements and types;
+    /// bounded so hostile inputs error instead of overflowing the stack.
+    depth: usize,
+}
+
+/// Maximum combined nesting depth of expressions/statements/types. Each
+/// Estelle level costs several deep Rust frames in a recursive-descent
+/// parser; 64 stays comfortably within a 2 MiB test-thread stack while
+/// being far beyond what hand-written specifications use.
+pub(crate) const MAX_NESTING: usize = 64;
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Enter one nesting level, erroring out beyond [`MAX_NESTING`].
+    pub(crate) fn descend(&mut self) -> FrontendResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(FrontendError::parse(
+                format!("nesting deeper than {} levels", MAX_NESTING),
+                self.span(),
+            ));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn ascend(&mut self) {
+        self.depth -= 1;
+    }
+
+    // ------------------------------------------------------------------
+    // cursor primitives
+    // ------------------------------------------------------------------
+
+    pub(crate) fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    pub(crate) fn peek_at(&self, off: usize) -> &TokenKind {
+        &self.tokens[(self.pos + off).min(self.tokens.len() - 1)].kind
+    }
+
+    pub(crate) fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    pub(crate) fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    pub(crate) fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    pub(crate) fn at_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    pub(crate) fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect(&mut self, kind: &TokenKind) -> FrontendResult<Token> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&kind.describe()))
+        }
+    }
+
+    pub(crate) fn expect_kw(&mut self, kw: Keyword) -> FrontendResult<Token> {
+        if self.at_kw(kw) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("keyword `{}`", kw.as_str())))
+        }
+    }
+
+    pub(crate) fn expect_ident(&mut self) -> FrontendResult<Ident> {
+        match self.peek().clone() {
+            TokenKind::Ident(text) => {
+                let span = self.span();
+                self.bump();
+                Ok(Ident::new(text, span))
+            }
+            _ => Err(self.unexpected("an identifier")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> FrontendResult<()> {
+        if self.at(&TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of input"))
+        }
+    }
+
+    pub(crate) fn unexpected(&self, expected: &str) -> FrontendError {
+        FrontendError::parse(
+            format!("expected {}, found {}", expected, self.peek().describe()),
+            self.span(),
+        )
+    }
+
+    /// `a, b, c` — one or more identifiers separated by commas.
+    pub(crate) fn ident_list(&mut self) -> FrontendResult<Vec<Ident>> {
+        let mut out = vec![self.expect_ident()?];
+        while self.eat(&TokenKind::Comma) {
+            out.push(self.expect_ident()?);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // specification level
+    // ------------------------------------------------------------------
+
+    fn specification(&mut self) -> FrontendResult<Specification> {
+        let start = self.span();
+        self.expect_kw(Keyword::Specification)?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::Semi)?;
+
+        // Optional `default individual queue;` / `timescale ...;` headers —
+        // accepted and ignored (Tango assumes individual queues; no time).
+        loop {
+            if self.eat_kw(Keyword::Default) {
+                if !self.eat_kw(Keyword::Individual) {
+                    self.eat_kw(Keyword::Common);
+                }
+                self.eat_kw(Keyword::Queue);
+                self.expect(&TokenKind::Semi)?;
+            } else if self.eat_kw(Keyword::Timescale) {
+                self.expect_ident()?;
+                self.expect(&TokenKind::Semi)?;
+            } else {
+                break;
+            }
+        }
+
+        let mut body = SpecificationBody {
+            consts: vec![],
+            types: vec![],
+            channels: vec![],
+            modules: vec![],
+            bodies: vec![],
+        };
+
+        loop {
+            if self.at_kw(Keyword::End) {
+                break;
+            }
+            if self.at_kw(Keyword::Const) {
+                body.consts.extend(self.const_part()?);
+            } else if self.at_kw(Keyword::Type) {
+                body.types.extend(self.type_part()?);
+            } else if self.at_kw(Keyword::Channel) {
+                body.channels.push(self.channel_decl()?);
+            } else if self.at_kw(Keyword::Module) {
+                body.modules.push(self.module_header()?);
+            } else if self.at_kw(Keyword::Body) {
+                body.bodies.push(self.module_body()?);
+            } else {
+                return Err(self.unexpected(
+                    "`const`, `type`, `channel`, `module`, `body` or `end`",
+                ));
+            }
+        }
+        self.expect_kw(Keyword::End)?;
+        self.expect(&TokenKind::Dot)?;
+        let span = start.to(self.prev_span());
+
+        Ok(Specification { name, body, span })
+    }
+
+    /// `const a = 1; b = 2;` — runs until a token that cannot start another
+    /// constant definition.
+    pub(crate) fn const_part(&mut self) -> FrontendResult<Vec<ConstDecl>> {
+        self.expect_kw(Keyword::Const)?;
+        let mut out = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let value = self.expression()?;
+            self.expect(&TokenKind::Semi)?;
+            let span = name.span.to(self.prev_span());
+            out.push(ConstDecl { name, value, span });
+            if !matches!(self.peek(), TokenKind::Ident(_)) {
+                break;
+            }
+            // `ident =` continues the const part; anything else ends it.
+            if !matches!(self.peek_at(1), TokenKind::Eq) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `type t = ...; u = ...;`
+    pub(crate) fn type_part(&mut self) -> FrontendResult<Vec<TypeDecl>> {
+        self.expect_kw(Keyword::Type)?;
+        let mut out = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let ty = self.type_expr()?;
+            self.expect(&TokenKind::Semi)?;
+            let span = name.span.to(self.prev_span());
+            out.push(TypeDecl { name, ty, span });
+            if !matches!(self.peek(), TokenKind::Ident(_))
+                || !matches!(self.peek_at(1), TokenKind::Eq)
+            {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `channel Ch(r1, r2); by r1: i1; i2(n: integer); by r2: i3; end;`
+    fn channel_decl(&mut self) -> FrontendResult<ChannelDecl> {
+        let start = self.span();
+        self.expect_kw(Keyword::Channel)?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let roles = self.ident_list()?;
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::Semi)?;
+
+        let mut directions = Vec::new();
+        while self.at_kw(Keyword::By) {
+            let dstart = self.span();
+            self.bump();
+            let roles = self.ident_list()?;
+            self.expect(&TokenKind::Colon)?;
+            let mut interactions = Vec::new();
+            // Interactions until the next `by` or `end`.
+            while matches!(self.peek(), TokenKind::Ident(_)) {
+                let iname = self.expect_ident()?;
+                let mut params = Vec::new();
+                if self.eat(&TokenKind::LParen) {
+                    loop {
+                        let pnames = self.ident_list()?;
+                        self.expect(&TokenKind::Colon)?;
+                        let ty = self.type_expr()?;
+                        for pn in pnames {
+                            let span = pn.span;
+                            params.push(ParamDecl {
+                                name: pn,
+                                ty: ty.clone(),
+                                span,
+                            });
+                        }
+                        if !self.eat(&TokenKind::Semi) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                self.expect(&TokenKind::Semi)?;
+                let span = iname.span.to(self.prev_span());
+                interactions.push(InteractionDecl {
+                    name: iname,
+                    params,
+                    span,
+                });
+            }
+            let span = dstart.to(self.prev_span());
+            directions.push(ChannelDirection {
+                roles,
+                interactions,
+                span,
+            });
+        }
+        self.expect_kw(Keyword::End)?;
+        self.expect(&TokenKind::Semi)?;
+        let span = start.to(self.prev_span());
+        Ok(ChannelDecl {
+            name,
+            roles,
+            directions,
+            span,
+        })
+    }
+
+    /// `module M systemprocess; ip A : Ch(role) individual queue; end;`
+    fn module_header(&mut self) -> FrontendResult<ModuleHeader> {
+        let start = self.span();
+        self.expect_kw(Keyword::Module)?;
+        let name = self.expect_ident()?;
+        let class = if self.eat_kw(Keyword::SystemProcess) {
+            ModuleClass::SystemProcess
+        } else if self.eat_kw(Keyword::Process) {
+            ModuleClass::Process
+        } else if self.eat_kw(Keyword::SystemActivity) {
+            ModuleClass::SystemActivity
+        } else if self.eat_kw(Keyword::Activity) {
+            ModuleClass::Activity
+        } else {
+            ModuleClass::Process
+        };
+        self.expect(&TokenKind::Semi)?;
+
+        let mut ips = Vec::new();
+        while self.at_kw(Keyword::Ip) {
+            let istart = self.span();
+            self.bump();
+            // `ip A, B : Ch(role);` declares several points at once.
+            let names = self.ident_list()?;
+            self.expect(&TokenKind::Colon)?;
+            let channel = self.expect_ident()?;
+            self.expect(&TokenKind::LParen)?;
+            let role = self.expect_ident()?;
+            self.expect(&TokenKind::RParen)?;
+            let queue_kind = if self.eat_kw(Keyword::Individual) {
+                self.expect_kw(Keyword::Queue)?;
+                QueueKind::Individual
+            } else if self.eat_kw(Keyword::Common) {
+                self.expect_kw(Keyword::Queue)?;
+                QueueKind::Common
+            } else {
+                QueueKind::Individual
+            };
+            self.expect(&TokenKind::Semi)?;
+            let span = istart.to(self.prev_span());
+            for n in names {
+                ips.push(IpDecl {
+                    name: n,
+                    channel: channel.clone(),
+                    role: role.clone(),
+                    queue_kind,
+                    span,
+                });
+            }
+        }
+        self.expect_kw(Keyword::End)?;
+        self.expect(&TokenKind::Semi)?;
+        let span = start.to(self.prev_span());
+        Ok(ModuleHeader {
+            name,
+            class,
+            ips,
+            span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_specification() {
+        let src = "specification s; end.";
+        let spec = parse_specification(src).expect("parses");
+        assert!(spec.name.is("s"));
+        assert!(spec.body.modules.is_empty());
+    }
+
+    #[test]
+    fn specification_header_options_ignored() {
+        let src = "specification s; default individual queue; timescale seconds; end.";
+        assert!(parse_specification(src).is_ok());
+    }
+
+    #[test]
+    fn channel_with_params() {
+        let src = "specification s;\
+                   channel Ch(user, provider);\
+                     by user: req; data(n : integer; f : boolean);\
+                     by provider: conf;\
+                   end;\
+                   end.";
+        let spec = parse_specification(src).unwrap();
+        let ch = &spec.body.channels[0];
+        assert!(ch.name.is("ch"));
+        assert_eq!(ch.roles.len(), 2);
+        assert_eq!(ch.directions.len(), 2);
+        assert_eq!(ch.directions[0].interactions.len(), 2);
+        assert_eq!(ch.directions[0].interactions[1].params.len(), 2);
+    }
+
+    #[test]
+    fn module_header_with_ips() {
+        let src = "specification s;\
+                   channel Ch(a, b); by a: x; end;\
+                   module M systemprocess;\
+                     ip U : Ch(a) individual queue;\
+                     ip L1, L2 : Ch(b);\
+                   end;\
+                   end.";
+        let spec = parse_specification(src).unwrap();
+        let m = &spec.body.modules[0];
+        assert_eq!(m.class, ModuleClass::SystemProcess);
+        assert_eq!(m.ips.len(), 3);
+        assert!(m.ips[2].name.is("l2"));
+        assert!(m.ips[2].role.is("b"));
+    }
+
+    #[test]
+    fn const_and_type_parts() {
+        let src = "specification s;\
+                   const max = 7; min = 0;\
+                   type seq = 0..7; flag = boolean;\
+                   end.";
+        let spec = parse_specification(src).unwrap();
+        assert_eq!(spec.body.consts.len(), 2);
+        assert_eq!(spec.body.types.len(), 2);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_specification("specification s; end. extra").is_err());
+    }
+
+    #[test]
+    fn missing_dot_rejected() {
+        assert!(parse_specification("specification s; end").is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! Statement grammar: the Pascal subset plus Estelle's `output`.
+
+use super::Parser;
+use crate::error::FrontendResult;
+use crate::token::{Keyword, TokenKind};
+use estelle_ast::*;
+
+impl Parser {
+    /// `begin stmt; stmt; ... end` — the workhorse block parser.
+    pub(crate) fn block(&mut self) -> FrontendResult<Vec<Stmt>> {
+        self.expect_kw(Keyword::Begin)?;
+        let stmts = self.stmt_seq(&[Keyword::End])?;
+        self.expect_kw(Keyword::End)?;
+        Ok(stmts)
+    }
+
+    /// A `;`-separated statement sequence ending at any of `terminators`
+    /// (which are not consumed).
+    fn stmt_seq(&mut self, terminators: &[Keyword]) -> FrontendResult<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        loop {
+            // Tolerate stray semicolons (empty statements).
+            while self.eat(&TokenKind::Semi) {}
+            if terminators.iter().any(|&k| self.at_kw(k)) {
+                break;
+            }
+            stmts.push(self.statement()?);
+            if !self.eat(&TokenKind::Semi) {
+                // Without a separator the sequence must be over.
+                if !terminators.iter().any(|&k| self.at_kw(k)) {
+                    return Err(self.unexpected("`;` or the end of the block"));
+                }
+                break;
+            }
+        }
+        Ok(stmts)
+    }
+
+    pub(crate) fn statement(&mut self) -> FrontendResult<Stmt> {
+        self.descend()?;
+        let result = self.statement_inner();
+        self.ascend();
+        result
+    }
+
+    fn statement_inner(&mut self) -> FrontendResult<Stmt> {
+        let start = self.span();
+        if self.at_kw(Keyword::Begin) {
+            let stmts = self.block()?;
+            let span = start.to(self.prev_span());
+            return Ok(Stmt::new(StmtKind::Compound(stmts), span));
+        }
+        if self.eat_kw(Keyword::If) {
+            let cond = self.expression()?;
+            self.expect_kw(Keyword::Then)?;
+            let then_branch = Box::new(self.statement()?);
+            // Leniency over ISO Pascal: tolerate `;` before `else`, which
+            // our own pretty printer (and plenty of real-world Estelle)
+            // produces.
+            if self.at(&TokenKind::Semi)
+                && matches!(self.peek_at(1), TokenKind::Keyword(Keyword::Else))
+            {
+                self.bump();
+            }
+            let else_branch = if self.eat_kw(Keyword::Else) {
+                Some(Box::new(self.statement()?))
+            } else {
+                None
+            };
+            let span = start.to(self.prev_span());
+            return Ok(Stmt::new(
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                },
+                span,
+            ));
+        }
+        if self.eat_kw(Keyword::While) {
+            let cond = self.expression()?;
+            self.expect_kw(Keyword::Do)?;
+            let body = Box::new(self.statement()?);
+            let span = start.to(self.prev_span());
+            return Ok(Stmt::new(StmtKind::While { cond, body }, span));
+        }
+        if self.eat_kw(Keyword::Repeat) {
+            let body = self.stmt_seq(&[Keyword::Until])?;
+            self.expect_kw(Keyword::Until)?;
+            let cond = self.expression()?;
+            let span = start.to(self.prev_span());
+            return Ok(Stmt::new(StmtKind::Repeat { body, cond }, span));
+        }
+        if self.eat_kw(Keyword::For) {
+            let var = self.expect_ident()?;
+            self.expect(&TokenKind::Assign)?;
+            let from = self.expression()?;
+            let dir = if self.eat_kw(Keyword::To) {
+                ForDirection::Up
+            } else if self.eat_kw(Keyword::DownTo) {
+                ForDirection::Down
+            } else {
+                return Err(self.unexpected("`to` or `downto`"));
+            };
+            let to = self.expression()?;
+            self.expect_kw(Keyword::Do)?;
+            let body = Box::new(self.statement()?);
+            let span = start.to(self.prev_span());
+            return Ok(Stmt::new(
+                StmtKind::For {
+                    var,
+                    from,
+                    dir,
+                    to,
+                    body,
+                },
+                span,
+            ));
+        }
+        if self.eat_kw(Keyword::Case) {
+            return self.case_stmt(start);
+        }
+        if self.eat_kw(Keyword::Output) {
+            let ip = self.expect_ident()?;
+            self.expect(&TokenKind::Dot)?;
+            let interaction = self.expect_ident()?;
+            let mut args = Vec::new();
+            if self.eat(&TokenKind::LParen) {
+                if !self.at(&TokenKind::RParen) {
+                    args.push(self.expression()?);
+                    while self.eat(&TokenKind::Comma) {
+                        args.push(self.expression()?);
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+            let span = start.to(self.prev_span());
+            return Ok(Stmt::new(
+                StmtKind::Output {
+                    ip,
+                    interaction,
+                    args,
+                },
+                span,
+            ));
+        }
+        if self.eat_kw(Keyword::New) {
+            self.expect(&TokenKind::LParen)?;
+            let target = self.postfix()?;
+            self.expect(&TokenKind::RParen)?;
+            let span = start.to(self.prev_span());
+            return Ok(Stmt::new(StmtKind::New(target), span));
+        }
+        if self.eat_kw(Keyword::Dispose) {
+            self.expect(&TokenKind::LParen)?;
+            let target = self.postfix()?;
+            self.expect(&TokenKind::RParen)?;
+            let span = start.to(self.prev_span());
+            return Ok(Stmt::new(StmtKind::Dispose(target), span));
+        }
+
+        // Assignment or procedure call: both start with a designator.
+        let designator = self.postfix()?;
+        if self.eat(&TokenKind::Assign) {
+            let value = self.expression()?;
+            let span = start.to(self.prev_span());
+            return Ok(Stmt::new(
+                StmtKind::Assign {
+                    target: designator,
+                    value,
+                },
+                span,
+            ));
+        }
+        let span = designator.span;
+        match designator.kind {
+            ExprKind::Name(name) => Ok(Stmt::new(StmtKind::ProcCall { name, args: vec![] }, span)),
+            ExprKind::Call(name, args) => {
+                Ok(Stmt::new(StmtKind::ProcCall { name, args }, span))
+            }
+            _ => Err(self.unexpected("`:=` after assignment target")),
+        }
+    }
+
+    /// `case e of l1, l2 : stmt; ... else stmts end`
+    fn case_stmt(&mut self, start: Span) -> FrontendResult<Stmt> {
+        let scrutinee = self.expression()?;
+        self.expect_kw(Keyword::Of)?;
+        let mut arms = Vec::new();
+        let mut else_arm = None;
+        loop {
+            while self.eat(&TokenKind::Semi) {}
+            if self.at_kw(Keyword::End) {
+                break;
+            }
+            if self.eat_kw(Keyword::Else) {
+                else_arm = Some(self.stmt_seq(&[Keyword::End])?);
+                break;
+            }
+            let astart = self.span();
+            let mut labels = vec![self.expression()?];
+            while self.eat(&TokenKind::Comma) {
+                labels.push(self.expression()?);
+            }
+            self.expect(&TokenKind::Colon)?;
+            let body = self.statement()?;
+            let span = astart.to(self.prev_span());
+            arms.push(CaseArm { labels, body, span });
+            if !self.eat(&TokenKind::Semi) {
+                // After the last arm the `end` (or `else`) must follow.
+                if !self.at_kw(Keyword::End) && !self.at_kw(Keyword::Else) {
+                    return Err(self.unexpected("`;`, `else` or `end` after case arm"));
+                }
+            }
+        }
+        self.expect_kw(Keyword::End)?;
+        let span = start.to(self.prev_span());
+        Ok(Stmt::new(
+            StmtKind::Case {
+                scrutinee,
+                arms,
+                else_arm,
+            },
+            span,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lexer::tokenize;
+    use crate::parser::Parser;
+    use estelle_ast::{StmtKind, Stmt};
+
+    fn parse_stmt(src: &str) -> Stmt {
+        let tokens = tokenize(src).expect("lexes");
+        let mut p = Parser::new(tokens);
+        p.statement().expect("parses")
+    }
+
+    #[test]
+    fn assignment() {
+        let s = parse_stmt("buf[i] := x + 1");
+        assert!(matches!(s.kind, StmtKind::Assign { .. }));
+    }
+
+    #[test]
+    fn if_then_else_binds_innermost() {
+        let s = parse_stmt("if a then if b then x := 1 else x := 2");
+        // The else belongs to the inner if (dangling-else rule).
+        match s.kind {
+            StmtKind::If {
+                else_branch: outer_else,
+                then_branch,
+                ..
+            } => {
+                assert!(outer_else.is_none());
+                assert!(matches!(
+                    then_branch.kind,
+                    StmtKind::If {
+                        else_branch: Some(_),
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected if, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn while_and_repeat() {
+        assert!(matches!(
+            parse_stmt("while n > 0 do n := n - 1").kind,
+            StmtKind::While { .. }
+        ));
+        assert!(matches!(
+            parse_stmt("repeat n := n - 1; m := m + 1 until n = 0").kind,
+            StmtKind::Repeat { ref body, .. } if body.len() == 2
+        ));
+    }
+
+    #[test]
+    fn for_up_and_down() {
+        assert!(matches!(
+            parse_stmt("for i := 1 to 10 do s := s + i").kind,
+            StmtKind::For { .. }
+        ));
+        assert!(matches!(
+            parse_stmt("for i := 10 downto 1 do s := s + i").kind,
+            StmtKind::For { .. }
+        ));
+    }
+
+    #[test]
+    fn case_with_else() {
+        let s = parse_stmt("case k of 1, 2 : x := 1; 3 : x := 2 else x := 0 end");
+        match s.kind {
+            StmtKind::Case { arms, else_arm, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].labels.len(), 2);
+                assert!(else_arm.is_some());
+            }
+            other => panic!("expected case, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn output_with_and_without_args() {
+        assert!(matches!(
+            parse_stmt("output U.data(7, true)").kind,
+            StmtKind::Output { ref args, .. } if args.len() == 2
+        ));
+        assert!(matches!(
+            parse_stmt("output L.ack").kind,
+            StmtKind::Output { ref args, .. } if args.is_empty()
+        ));
+    }
+
+    #[test]
+    fn new_and_dispose() {
+        assert!(matches!(parse_stmt("new(head)").kind, StmtKind::New(_)));
+        assert!(matches!(
+            parse_stmt("dispose(p^.next)").kind,
+            StmtKind::Dispose(_)
+        ));
+    }
+
+    #[test]
+    fn procedure_call_forms() {
+        assert!(matches!(
+            parse_stmt("reset").kind,
+            StmtKind::ProcCall { ref args, .. } if args.is_empty()
+        ));
+        assert!(matches!(
+            parse_stmt("push(q, 3)").kind,
+            StmtKind::ProcCall { ref args, .. } if args.len() == 2
+        ));
+    }
+
+    #[test]
+    fn nested_compound() {
+        let s = parse_stmt("begin a := 1; begin b := 2 end; c := 3 end");
+        match s.kind {
+            StmtKind::Compound(stmts) => assert_eq!(stmts.len(), 3),
+            other => panic!("expected compound, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn field_target_without_assign_is_error() {
+        let tokens = tokenize("a.b").unwrap();
+        let mut p = Parser::new(tokens);
+        assert!(p.statement().is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Type-expression grammar.
+
+use super::Parser;
+use crate::error::FrontendResult;
+use crate::token::{Keyword, TokenKind};
+use estelle_ast::*;
+
+impl Parser {
+    /// `type_expr := '^' type | 'array' '[' type ']' 'of' type
+    ///             | 'record' fields 'end' | 'set' 'of' type
+    ///             | '(' ident_list ')' | expr ['..' expr]`
+    ///
+    /// A leading expression that is not followed by `..` must be a bare
+    /// name (a named-type reference); anything else is a parse error.
+    pub(crate) fn type_expr(&mut self) -> FrontendResult<TypeExpr> {
+        self.descend()?;
+        let result = self.type_expr_inner();
+        self.ascend();
+        result
+    }
+
+    fn type_expr_inner(&mut self) -> FrontendResult<TypeExpr> {
+        let start = self.span();
+        if self.eat(&TokenKind::Caret) {
+            let target = self.type_expr()?;
+            let span = start.to(target.span);
+            return Ok(TypeExpr::new(
+                TypeExprKind::Pointer(Box::new(target)),
+                span,
+            ));
+        }
+        if self.eat_kw(Keyword::Array) {
+            self.expect(&TokenKind::LBracket)?;
+            let index = self.type_expr()?;
+            self.expect(&TokenKind::RBracket)?;
+            self.expect_kw(Keyword::Of)?;
+            let element = self.type_expr()?;
+            let span = start.to(element.span);
+            return Ok(TypeExpr::new(
+                TypeExprKind::Array {
+                    index: Box::new(index),
+                    element: Box::new(element),
+                },
+                span,
+            ));
+        }
+        if self.eat_kw(Keyword::Record) {
+            let mut fields = Vec::new();
+            while !self.at_kw(Keyword::End) {
+                let fstart = self.span();
+                let names = self.ident_list()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                let span = fstart.to(self.prev_span());
+                fields.push(FieldDecl { names, ty, span });
+                if !self.eat(&TokenKind::Semi) {
+                    break;
+                }
+            }
+            self.expect_kw(Keyword::End)?;
+            let span = start.to(self.prev_span());
+            return Ok(TypeExpr::new(TypeExprKind::Record(fields), span));
+        }
+        if self.eat_kw(Keyword::Set) {
+            self.expect_kw(Keyword::Of)?;
+            let base = self.type_expr()?;
+            let span = start.to(base.span);
+            return Ok(TypeExpr::new(TypeExprKind::SetOf(Box::new(base)), span));
+        }
+        if self.at(&TokenKind::LParen) {
+            // Enumeration: `(idle, busy, closed)`.
+            self.bump();
+            let names = self.ident_list()?;
+            self.expect(&TokenKind::RParen)?;
+            let span = start.to(self.prev_span());
+            return Ok(TypeExpr::new(TypeExprKind::Enum(names), span));
+        }
+
+        // Subrange or named type.
+        let lo = self.expression()?;
+        if self.eat(&TokenKind::DotDot) {
+            let hi = self.expression()?;
+            let span = start.to(hi.span);
+            return Ok(TypeExpr::new(
+                TypeExprKind::Subrange(Box::new(lo), Box::new(hi)),
+                span,
+            ));
+        }
+        match lo.kind {
+            ExprKind::Name(id) => {
+                let span = id.span;
+                Ok(TypeExpr::new(TypeExprKind::Named(id), span))
+            }
+            _ => Err(self.unexpected("a type")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_specification;
+    use estelle_ast::TypeExprKind;
+
+    fn parse_type_of(src_type: &str) -> TypeExprKind {
+        let src = format!("specification s; type t = {};  end.", src_type);
+        let spec = parse_specification(&src).expect("parses");
+        spec.body.types[0].ty.kind.clone()
+    }
+
+    #[test]
+    fn named() {
+        assert!(matches!(parse_type_of("integer"), TypeExprKind::Named(n) if n.is("integer")));
+    }
+
+    #[test]
+    fn subrange_with_const_exprs() {
+        assert!(matches!(
+            parse_type_of("0..7"),
+            TypeExprKind::Subrange(..)
+        ));
+        assert!(matches!(
+            parse_type_of("-(3)..(max - 1)"),
+            TypeExprKind::Subrange(..)
+        ));
+    }
+
+    #[test]
+    fn enumeration() {
+        match parse_type_of("(closed, opening, open)") {
+            TypeExprKind::Enum(names) => assert_eq!(names.len(), 3),
+            other => panic!("expected enum, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn array_of_record() {
+        match parse_type_of("array [0..3] of record a : integer; b : boolean end") {
+            TypeExprKind::Array { element, .. } => {
+                assert!(matches!(element.kind, TypeExprKind::Record(ref f) if f.len() == 2));
+            }
+            other => panic!("expected array, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn pointer_and_set() {
+        assert!(matches!(parse_type_of("^cell"), TypeExprKind::Pointer(_)));
+        assert!(matches!(parse_type_of("set of 0..7"), TypeExprKind::SetOf(_)));
+    }
+}

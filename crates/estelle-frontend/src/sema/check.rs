@@ -1,0 +1,765 @@
+//! Expression and statement checking plus constant folding.
+
+use crate::error::{FrontendError, FrontendResult};
+use crate::sema::model::ConstValue;
+use crate::sema::types::{Type, TypeId, TY_BOOLEAN, TY_INTEGER};
+use crate::sema::Analyzer;
+use estelle_ast::expr::SetElem;
+use estelle_ast::*;
+use std::collections::HashMap;
+
+/// Lexical scope layered over the module tables: routine parameters and
+/// locals, `when` parameters, `any` variables, and routine-local constants.
+#[derive(Default)]
+pub(crate) struct Scope {
+    vars: HashMap<String, TypeId>,
+    consts: HashMap<String, ConstValue>,
+}
+
+impl Scope {
+    pub(crate) fn empty() -> Self {
+        Scope::default()
+    }
+
+    pub(crate) fn insert(&mut self, name: String, ty: TypeId) {
+        self.vars.insert(name, ty);
+    }
+
+    pub(crate) fn insert_const(&mut self, name: String, v: ConstValue) {
+        self.consts.insert(name, v);
+    }
+
+    fn lookup(&self, key: &str) -> Option<TypeId> {
+        self.vars.get(key).copied()
+    }
+
+    fn lookup_const(&self, key: &str) -> Option<ConstValue> {
+        self.consts.get(key).copied()
+    }
+}
+
+/// Result of type inference; `Nil` and `EmptySet` are polymorphic literals.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum Ty {
+    Of(TypeId),
+    Nil,
+    EmptySet,
+}
+
+impl Analyzer {
+    /// Fold a constant expression; used for subrange bounds, `priority`,
+    /// const declarations and case labels.
+    pub(crate) fn fold_const(&self, scope: &Scope, e: &Expr) -> FrontendResult<ConstValue> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(ConstValue::Int(*v)),
+            ExprKind::BoolLit(b) => Ok(ConstValue::Bool(*b)),
+            ExprKind::Name(n) => {
+                if let Some(v) = scope.lookup_const(n.key()) {
+                    return Ok(v);
+                }
+                if let Some(v) = self.consts.get(n.key()) {
+                    return Ok(*v);
+                }
+                if let Some(&(ty, ord)) = self.enum_literals.get(n.key()) {
+                    return Ok(ConstValue::Enum(ty, ord));
+                }
+                Err(FrontendError::sema(
+                    format!("`{}` is not a constant", n),
+                    n.span,
+                ))
+            }
+            ExprKind::Unary(op, operand) => {
+                let v = self.fold_const(scope, operand)?;
+                match (op, v) {
+                    (UnOp::Neg, ConstValue::Int(i)) => Ok(ConstValue::Int(-i)),
+                    (UnOp::Plus, ConstValue::Int(i)) => Ok(ConstValue::Int(i)),
+                    (UnOp::Not, ConstValue::Bool(b)) => Ok(ConstValue::Bool(!b)),
+                    _ => Err(FrontendError::sema(
+                        "invalid operand in constant expression".to_string(),
+                        e.span,
+                    )),
+                }
+            }
+            ExprKind::Binary(op, l, r) => {
+                let lv = self.fold_const(scope, l)?;
+                let rv = self.fold_const(scope, r)?;
+                let int = |v: &ConstValue| match v {
+                    ConstValue::Int(i) => Some(*i),
+                    _ => None,
+                };
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        let (Some(a), Some(b)) = (int(&lv), int(&rv)) else {
+                            return Err(FrontendError::sema(
+                                "arithmetic on non-integer constants".to_string(),
+                                e.span,
+                            ));
+                        };
+                        let v = match op {
+                            BinOp::Add => a.checked_add(b),
+                            BinOp::Sub => a.checked_sub(b),
+                            BinOp::Mul => a.checked_mul(b),
+                            BinOp::Div if b != 0 => Some(a.div_euclid(b)),
+                            BinOp::Mod if b != 0 => Some(a.rem_euclid(b)),
+                            _ => None,
+                        };
+                        v.map(ConstValue::Int).ok_or_else(|| {
+                            FrontendError::sema(
+                                "constant arithmetic overflow or division by zero".to_string(),
+                                e.span,
+                            )
+                        })
+                    }
+                    BinOp::Eq => Ok(ConstValue::Bool(lv.ordinal() == rv.ordinal())),
+                    BinOp::Ne => Ok(ConstValue::Bool(lv.ordinal() != rv.ordinal())),
+                    BinOp::Lt => Ok(ConstValue::Bool(lv.ordinal() < rv.ordinal())),
+                    BinOp::Le => Ok(ConstValue::Bool(lv.ordinal() <= rv.ordinal())),
+                    BinOp::Gt => Ok(ConstValue::Bool(lv.ordinal() > rv.ordinal())),
+                    BinOp::Ge => Ok(ConstValue::Bool(lv.ordinal() >= rv.ordinal())),
+                    BinOp::And | BinOp::Or => match (lv, rv) {
+                        (ConstValue::Bool(a), ConstValue::Bool(b)) => Ok(ConstValue::Bool(
+                            if *op == BinOp::And { a && b } else { a || b },
+                        )),
+                        _ => Err(FrontendError::sema(
+                            "boolean operator on non-boolean constants".to_string(),
+                            e.span,
+                        )),
+                    },
+                    BinOp::In => Err(FrontendError::sema(
+                        "`in` is not allowed in constant expressions".to_string(),
+                        e.span,
+                    )),
+                }
+            }
+            _ => Err(FrontendError::sema(
+                "expression is not a compile-time constant".to_string(),
+                e.span,
+            )),
+        }
+    }
+
+    /// Infer the type of an expression, reporting unresolved names and
+    /// structural misuse.
+    pub(crate) fn infer_expr(&self, scope: &Scope, e: &Expr) -> FrontendResult<Ty> {
+        match &e.kind {
+            ExprKind::IntLit(_) => Ok(Ty::Of(TY_INTEGER)),
+            ExprKind::BoolLit(_) => Ok(Ty::Of(TY_BOOLEAN)),
+            ExprKind::NilLit => Ok(Ty::Nil),
+            ExprKind::Name(n) => self.infer_name(scope, n),
+            ExprKind::Field(base, field) => {
+                let base_ty = self.expect_typed(scope, base)?;
+                match self.types.get(self.types.base_of(base_ty)) {
+                    Type::Record { fields } => fields
+                        .iter()
+                        .find(|(name, _)| name == field.key())
+                        .map(|(_, t)| Ty::Of(*t))
+                        .ok_or_else(|| {
+                            FrontendError::sema(
+                                format!("record has no field `{}`", field),
+                                field.span,
+                            )
+                        }),
+                    _ => Err(FrontendError::sema(
+                        format!(
+                            "field access on non-record ({})",
+                            self.types.describe(base_ty)
+                        ),
+                        e.span,
+                    )),
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                let base_ty = self.expect_typed(scope, base)?;
+                match *self.types.get(self.types.base_of(base_ty)) {
+                    Type::Array { index, elem, .. } => {
+                        let idx_ty = self.expect_typed(scope, idx)?;
+                        if !self.types.compatible(idx_ty, index) {
+                            return Err(FrontendError::sema(
+                                format!(
+                                    "index type {} does not match array index type {}",
+                                    self.types.describe(idx_ty),
+                                    self.types.describe(index)
+                                ),
+                                idx.span,
+                            ));
+                        }
+                        Ok(Ty::Of(elem))
+                    }
+                    _ => Err(FrontendError::sema(
+                        format!("indexing non-array ({})", self.types.describe(base_ty)),
+                        e.span,
+                    )),
+                }
+            }
+            ExprKind::Deref(base) => {
+                let base_ty = self.expect_typed(scope, base)?;
+                match *self.types.get(self.types.base_of(base_ty)) {
+                    Type::Pointer { target } => Ok(Ty::Of(target)),
+                    _ => Err(FrontendError::sema(
+                        format!(
+                            "dereference of non-pointer ({})",
+                            self.types.describe(base_ty)
+                        ),
+                        e.span,
+                    )),
+                }
+            }
+            ExprKind::Unary(op, operand) => {
+                let t = self.expect_typed(scope, operand)?;
+                match op {
+                    UnOp::Neg | UnOp::Plus => {
+                        self.require_int(t, operand.span)?;
+                        Ok(Ty::Of(TY_INTEGER))
+                    }
+                    UnOp::Not => {
+                        self.require_bool(t, operand.span)?;
+                        Ok(Ty::Of(TY_BOOLEAN))
+                    }
+                }
+            }
+            ExprKind::Binary(op, l, r) => self.infer_binary_rules(scope, e.span, *op, l, r),
+            ExprKind::Call(name, args) => {
+                let Some(&rid) = self.routine_index.get(name.key()) else {
+                    return Err(FrontendError::sema(
+                        format!("unknown function `{}`", name),
+                        name.span,
+                    ));
+                };
+                let routine = &self.routines[rid.0 as usize];
+                let Some(result) = routine.result else {
+                    return Err(FrontendError::sema(
+                        format!("`{}` is a procedure, not a function", name),
+                        name.span,
+                    ));
+                };
+                self.check_args(scope, &routine.params.clone(), args, name.span)?;
+                Ok(Ty::Of(result))
+            }
+            ExprKind::SetCtor(elems) => {
+                if elems.is_empty() {
+                    return Ok(Ty::EmptySet);
+                }
+                let mut base: Option<TypeId> = None;
+                for el in elems {
+                    let (a, b) = match el {
+                        SetElem::Single(x) => (x, None),
+                        SetElem::Range(a, b) => (a, Some(b)),
+                    };
+                    for x in std::iter::once(a).chain(b) {
+                        let t = self.expect_typed(scope, x)?;
+                        if !self.types.is_ordinal(t) {
+                            return Err(FrontendError::sema(
+                                "set elements must be ordinal".to_string(),
+                                x.span,
+                            ));
+                        }
+                        let t = self.types.base_of(t);
+                        match base {
+                            None => base = Some(t),
+                            Some(b0) if self.types.compatible(b0, t) => {}
+                            Some(_) => {
+                                return Err(FrontendError::sema(
+                                    "mixed element types in set constructor".to_string(),
+                                    x.span,
+                                ))
+                            }
+                        }
+                    }
+                }
+                // The constructed set's precise `SetOf` type is determined
+                // by the assignment/comparison context at runtime; for
+                // checking purposes the base type is what matters.
+                Ok(Ty::EmptySet)
+            }
+        }
+    }
+
+    fn infer_name(&self, scope: &Scope, n: &Ident) -> FrontendResult<Ty> {
+        if let Some(t) = scope.lookup(n.key()) {
+            return Ok(Ty::Of(t));
+        }
+        if let Some(v) = scope.lookup_const(n.key()) {
+            return Ok(self.const_ty(v));
+        }
+        if let Some(&id) = self.var_index.get(n.key()) {
+            return Ok(Ty::Of(self.vars[id.0 as usize].ty));
+        }
+        if let Some(v) = self.consts.get(n.key()) {
+            return Ok(self.const_ty(*v));
+        }
+        if let Some(&(ty, _)) = self.enum_literals.get(n.key()) {
+            return Ok(Ty::Of(ty));
+        }
+        // Parameterless function call.
+        if let Some(&rid) = self.routine_index.get(n.key()) {
+            let routine = &self.routines[rid.0 as usize];
+            if let Some(result) = routine.result {
+                if routine.params.is_empty() {
+                    return Ok(Ty::Of(result));
+                }
+            }
+        }
+        Err(FrontendError::sema(
+            format!("unknown name `{}`", n),
+            n.span,
+        ))
+    }
+
+    fn const_ty(&self, v: ConstValue) -> Ty {
+        match v {
+            ConstValue::Int(_) => Ty::Of(TY_INTEGER),
+            ConstValue::Bool(_) => Ty::Of(TY_BOOLEAN),
+            ConstValue::Enum(t, _) => Ty::Of(t),
+        }
+    }
+
+}
+
+// The binary-operator rules live in their own impl block to keep the main
+// inference function readable.
+impl Analyzer {
+    pub(crate) fn infer_binary_rules(
+        &self,
+        scope: &Scope,
+        span: Span,
+        op: BinOp,
+        l: &Expr,
+        r: &Expr,
+    ) -> FrontendResult<Ty> {
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                let lt = self.expect_typed(scope, l)?;
+                let rt = self.expect_typed(scope, r)?;
+                self.require_int(lt, l.span)?;
+                self.require_int(rt, r.span)?;
+                Ok(Ty::Of(TY_INTEGER))
+            }
+            BinOp::And | BinOp::Or => {
+                let lt = self.expect_typed(scope, l)?;
+                let rt = self.expect_typed(scope, r)?;
+                self.require_bool(lt, l.span)?;
+                self.require_bool(rt, r.span)?;
+                Ok(Ty::Of(TY_BOOLEAN))
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let lt = self.infer_expr(scope, l)?;
+                let rt = self.infer_expr(scope, r)?;
+                match (lt, rt) {
+                    (Ty::Nil, _) | (_, Ty::Nil) => {
+                        // nil compares (only) with pointers, and only for
+                        // equality.
+                        if !matches!(op, BinOp::Eq | BinOp::Ne) {
+                            return Err(FrontendError::sema(
+                                "nil supports only `=` and `<>`".to_string(),
+                                span,
+                            ));
+                        }
+                        for (t, x) in [(lt, l), (rt, r)] {
+                            if let Ty::Of(id) = t {
+                                if !matches!(
+                                    self.types.get(self.types.base_of(id)),
+                                    Type::Pointer { .. }
+                                ) {
+                                    return Err(FrontendError::sema(
+                                        "nil compared with a non-pointer".to_string(),
+                                        x.span,
+                                    ));
+                                }
+                            }
+                        }
+                        Ok(Ty::Of(TY_BOOLEAN))
+                    }
+                    (Ty::EmptySet, _) | (_, Ty::EmptySet) => Ok(Ty::Of(TY_BOOLEAN)),
+                    (Ty::Of(a), Ty::Of(b)) => {
+                        if !self.types.compatible(a, b) {
+                            return Err(FrontendError::sema(
+                                format!(
+                                    "cannot compare {} with {}",
+                                    self.types.describe(a),
+                                    self.types.describe(b)
+                                ),
+                                span,
+                            ));
+                        }
+                        Ok(Ty::Of(TY_BOOLEAN))
+                    }
+                }
+            }
+            BinOp::In => {
+                let lt = self.expect_typed(scope, l)?;
+                if !self.types.is_ordinal(lt) {
+                    return Err(FrontendError::sema(
+                        "left operand of `in` must be ordinal".to_string(),
+                        l.span,
+                    ));
+                }
+                let rt = self.infer_expr(scope, r)?;
+                match rt {
+                    Ty::EmptySet => Ok(Ty::Of(TY_BOOLEAN)),
+                    Ty::Of(id)
+                        if matches!(
+                            self.types.get(self.types.base_of(id)),
+                            Type::SetOf { .. }
+                        ) =>
+                    {
+                        Ok(Ty::Of(TY_BOOLEAN))
+                    }
+                    _ => Err(FrontendError::sema(
+                        "right operand of `in` must be a set".to_string(),
+                        r.span,
+                    )),
+                }
+            }
+        }
+    }
+
+    pub(crate) fn expect_typed(&self, scope: &Scope, e: &Expr) -> FrontendResult<TypeId> {
+        match self.infer_expr(scope, e)? {
+            Ty::Of(t) => Ok(t),
+            Ty::Nil => Err(FrontendError::sema(
+                "nil is only allowed in pointer assignments and comparisons".to_string(),
+                e.span,
+            )),
+            Ty::EmptySet => Err(FrontendError::sema(
+                "a set constructor is not allowed here".to_string(),
+                e.span,
+            )),
+        }
+    }
+
+    fn require_int(&self, t: TypeId, span: Span) -> FrontendResult<()> {
+        if self.types.compatible(t, TY_INTEGER) {
+            Ok(())
+        } else {
+            Err(FrontendError::sema(
+                format!("expected integer, found {}", self.types.describe(t)),
+                span,
+            ))
+        }
+    }
+
+    fn require_bool(&self, t: TypeId, span: Span) -> FrontendResult<()> {
+        if self.types.base_of(t) == TY_BOOLEAN {
+            Ok(())
+        } else {
+            Err(FrontendError::sema(
+                format!("expected boolean, found {}", self.types.describe(t)),
+                span,
+            ))
+        }
+    }
+
+    pub(crate) fn check_bool_expr(&self, scope: &Scope, e: &Expr) -> FrontendResult<()> {
+        let t = self.expect_typed(scope, e)?;
+        self.require_bool(t, e.span)
+    }
+
+    fn check_args(
+        &self,
+        scope: &Scope,
+        params: &[crate::sema::model::ParamSig],
+        args: &[Expr],
+        span: Span,
+    ) -> FrontendResult<()> {
+        if params.len() != args.len() {
+            return Err(FrontendError::sema(
+                format!("expected {} argument(s), found {}", params.len(), args.len()),
+                span,
+            ));
+        }
+        for (p, a) in params.iter().zip(args) {
+            let t = self.infer_expr(scope, a)?;
+            match t {
+                Ty::Nil => {
+                    if !matches!(
+                        self.types.get(self.types.base_of(p.ty)),
+                        Type::Pointer { .. }
+                    ) {
+                        return Err(FrontendError::sema(
+                            "nil passed for a non-pointer parameter".to_string(),
+                            a.span,
+                        ));
+                    }
+                }
+                Ty::EmptySet => {
+                    if !matches!(
+                        self.types.get(self.types.base_of(p.ty)),
+                        Type::SetOf { .. }
+                    ) {
+                        return Err(FrontendError::sema(
+                            "set constructor passed for a non-set parameter".to_string(),
+                            a.span,
+                        ));
+                    }
+                }
+                Ty::Of(at) => {
+                    if !self.set_aware_compatible(p.ty, at) {
+                        return Err(FrontendError::sema(
+                            format!(
+                                "argument type {} does not match parameter type {}",
+                                self.types.describe(at),
+                                self.types.describe(p.ty)
+                            ),
+                            a.span,
+                        ));
+                    }
+                }
+            }
+            if p.by_ref && !is_lvalue(a) {
+                return Err(FrontendError::sema(
+                    "a `var` parameter requires a variable argument".to_string(),
+                    a.span,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Compatibility that also accepts structurally equal sets/arrays/
+    /// records (they intern to the same id) — i.e. plain `compatible`.
+    fn set_aware_compatible(&self, expected: TypeId, actual: TypeId) -> bool {
+        self.types.compatible(expected, actual)
+    }
+
+    // ------------------------------------------------------------------
+    // statements
+    // ------------------------------------------------------------------
+
+    pub(crate) fn check_stmt(&self, scope: &Scope, s: &Stmt) -> FrontendResult<()> {
+        match &s.kind {
+            StmtKind::Empty => Ok(()),
+            StmtKind::Assign { target, value } => {
+                if !is_lvalue(target) {
+                    return Err(FrontendError::sema(
+                        "assignment target is not a variable".to_string(),
+                        target.span,
+                    ));
+                }
+                let tt = self.expect_typed(scope, target)?;
+                match self.infer_expr(scope, value)? {
+                    Ty::Nil => {
+                        if !matches!(
+                            self.types.get(self.types.base_of(tt)),
+                            Type::Pointer { .. }
+                        ) {
+                            return Err(FrontendError::sema(
+                                "nil assigned to a non-pointer".to_string(),
+                                value.span,
+                            ));
+                        }
+                        Ok(())
+                    }
+                    Ty::EmptySet => {
+                        if !matches!(
+                            self.types.get(self.types.base_of(tt)),
+                            Type::SetOf { .. }
+                        ) {
+                            return Err(FrontendError::sema(
+                                "set constructor assigned to a non-set".to_string(),
+                                value.span,
+                            ));
+                        }
+                        Ok(())
+                    }
+                    Ty::Of(vt) => {
+                        if !self.types.compatible(tt, vt) {
+                            return Err(FrontendError::sema(
+                                format!(
+                                    "cannot assign {} to {}",
+                                    self.types.describe(vt),
+                                    self.types.describe(tt)
+                                ),
+                                s.span,
+                            ));
+                        }
+                        Ok(())
+                    }
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.check_bool_expr(scope, cond)?;
+                self.check_stmt(scope, then_branch)?;
+                if let Some(e) = else_branch {
+                    self.check_stmt(scope, e)?;
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                self.check_bool_expr(scope, cond)?;
+                self.check_stmt(scope, body)
+            }
+            StmtKind::Repeat { body, cond } => {
+                for st in body {
+                    self.check_stmt(scope, st)?;
+                }
+                self.check_bool_expr(scope, cond)
+            }
+            StmtKind::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                let vt = match self.infer_name(scope, var)? {
+                    Ty::Of(t) => t,
+                    _ => unreachable!("names never infer to Nil/EmptySet"),
+                };
+                if !self.types.is_ordinal(vt) {
+                    return Err(FrontendError::sema(
+                        "for-loop variable must be ordinal".to_string(),
+                        var.span,
+                    ));
+                }
+                let ft = self.expect_typed(scope, from)?;
+                let tt = self.expect_typed(scope, to)?;
+                if !self.types.compatible(vt, ft) || !self.types.compatible(vt, tt) {
+                    return Err(FrontendError::sema(
+                        "for-loop bounds do not match the loop variable's type".to_string(),
+                        s.span,
+                    ));
+                }
+                self.check_stmt(scope, body)
+            }
+            StmtKind::Case {
+                scrutinee,
+                arms,
+                else_arm,
+            } => {
+                let st = self.expect_typed(scope, scrutinee)?;
+                if !self.types.is_ordinal(st) {
+                    return Err(FrontendError::sema(
+                        "case scrutinee must be ordinal".to_string(),
+                        scrutinee.span,
+                    ));
+                }
+                for arm in arms {
+                    for l in &arm.labels {
+                        let v = self.fold_const(scope, l)?;
+                        let label_ok = match v {
+                            ConstValue::Int(_) => {
+                                self.types.compatible(st, TY_INTEGER)
+                            }
+                            ConstValue::Bool(_) => self.types.base_of(st) == TY_BOOLEAN,
+                            ConstValue::Enum(t, _) => self.types.compatible(st, t),
+                        };
+                        if !label_ok {
+                            return Err(FrontendError::sema(
+                                "case label type does not match the scrutinee".to_string(),
+                                l.span,
+                            ));
+                        }
+                    }
+                    self.check_stmt(scope, &arm.body)?;
+                }
+                if let Some(stmts) = else_arm {
+                    for st in stmts {
+                        self.check_stmt(scope, st)?;
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Compound(stmts) => {
+                for st in stmts {
+                    self.check_stmt(scope, st)?;
+                }
+                Ok(())
+            }
+            StmtKind::Output {
+                ip,
+                interaction,
+                args,
+            } => {
+                let Some(&ip_id) = self.ip_index.get(ip.key()) else {
+                    return Err(FrontendError::sema(
+                        format!("unknown interaction point `{}`", ip),
+                        ip.span,
+                    ));
+                };
+                let info = &self.ips[ip_id.0 as usize];
+                let Some(idx) = info.output_index(interaction.key()) else {
+                    return Err(FrontendError::sema(
+                        format!("interaction `{}` cannot be sent at `{}`", interaction, ip),
+                        interaction.span,
+                    ));
+                };
+                let sig = &info.outputs[idx];
+                if sig.params.len() != args.len() {
+                    return Err(FrontendError::sema(
+                        format!(
+                            "`{}` takes {} parameter(s), found {}",
+                            interaction,
+                            sig.params.len(),
+                            args.len()
+                        ),
+                        s.span,
+                    ));
+                }
+                for ((_, pt), a) in sig.params.clone().iter().zip(args) {
+                    let at = self.expect_typed(scope, a)?;
+                    if !self.types.compatible(*pt, at) {
+                        return Err(FrontendError::sema(
+                            format!(
+                                "output parameter type {} does not match {}",
+                                self.types.describe(at),
+                                self.types.describe(*pt)
+                            ),
+                            a.span,
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::ProcCall { name, args } => {
+                let Some(&rid) = self.routine_index.get(name.key()) else {
+                    return Err(FrontendError::sema(
+                        format!("unknown procedure `{}`", name),
+                        name.span,
+                    ));
+                };
+                let routine = &self.routines[rid.0 as usize];
+                if routine.result.is_some() {
+                    return Err(FrontendError::sema(
+                        format!("`{}` is a function; its result must be used", name),
+                        name.span,
+                    ));
+                }
+                self.check_args(scope, &routine.params.clone(), args, s.span)
+            }
+            StmtKind::New(target) | StmtKind::Dispose(target) => {
+                if !is_lvalue(target) {
+                    return Err(FrontendError::sema(
+                        "new/dispose needs a pointer variable".to_string(),
+                        target.span,
+                    ));
+                }
+                let t = self.expect_typed(scope, target)?;
+                if !matches!(self.types.get(self.types.base_of(t)), Type::Pointer { .. }) {
+                    return Err(FrontendError::sema(
+                        format!(
+                            "new/dispose on non-pointer ({})",
+                            self.types.describe(t)
+                        ),
+                        target.span,
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// True for expressions that denote a storage location.
+pub(crate) fn is_lvalue(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Name(_) => true,
+        ExprKind::Field(base, _) | ExprKind::Index(base, _) | ExprKind::Deref(base) => {
+            is_lvalue(base)
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,187 @@
+//! Lints: non-fatal findings recorded as warnings on the analyzed module.
+//!
+//! The paper (§2.1) requires the trace-analysis module to be free of
+//! *non-progress cycles* — sequences of transitions which consume no input,
+//! produce no output and return to the same FSM state — because they yield
+//! search trees of infinite depth under DFS. We detect them conservatively
+//! (any cycle of spontaneous, output-free transitions, ignoring `provided`
+//! guards) and warn rather than reject, since a guard may in fact break the
+//! cycle at runtime.
+
+use crate::sema::Analyzer;
+use estelle_ast::{Stmt, StmtKind};
+
+impl Analyzer {
+    pub(crate) fn lint(&mut self) {
+        self.lint_non_progress_cycles();
+        self.lint_unreachable_states();
+    }
+
+    fn lint_non_progress_cycles(&mut self) {
+        let n = self.states.len();
+        // Adjacency over spontaneous, output-free transitions.
+        let mut adj = vec![Vec::new(); n];
+        for t in &self.transitions {
+            if t.when.is_some() || block_outputs(&t.block) {
+                continue;
+            }
+            for &from in &t.from {
+                match t.to {
+                    Some(to) => adj[from.0 as usize].push(to.0 as usize),
+                    None => adj[from.0 as usize].push(from.0 as usize),
+                }
+            }
+        }
+        // Cycle detection by coloring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; n];
+        fn dfs(v: usize, adj: &[Vec<usize>], color: &mut [Color]) -> bool {
+            color[v] = Color::Gray;
+            for &w in &adj[v] {
+                match color[w] {
+                    Color::Gray => return true,
+                    Color::White => {
+                        if dfs(w, adj, color) {
+                            return true;
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+            color[v] = Color::Black;
+            false
+        }
+        for v in 0..n {
+            if color[v] == Color::White && dfs(v, &adj, &mut color) {
+                self.warnings.push(format!(
+                    "possible non-progress cycle through state `{}`: spontaneous \
+                     transitions without outputs can foil depth-first search",
+                    self.states[v]
+                ));
+                return;
+            }
+        }
+    }
+
+    fn lint_unreachable_states(&mut self) {
+        let n = self.states.len();
+        let Some(init) = self.initialize.as_ref().map(|i| i.to) else {
+            return;
+        };
+        let mut adj = vec![Vec::new(); n];
+        for t in &self.transitions {
+            for &from in &t.from {
+                if let Some(to) = t.to {
+                    adj[from.0 as usize].push(to.0 as usize);
+                }
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![init.0 as usize];
+        while let Some(v) = stack.pop() {
+            if std::mem::replace(&mut seen[v], true) {
+                continue;
+            }
+            stack.extend(adj[v].iter().copied());
+        }
+        for (i, s) in seen.iter().enumerate() {
+            if !s {
+                self.warnings.push(format!(
+                    "state `{}` is unreachable from the initial state",
+                    self.states[i]
+                ));
+            }
+        }
+    }
+
+}
+
+/// True if the statement tree contains an `output`.
+fn block_outputs(block: &[Stmt]) -> bool {
+    fn go(s: &Stmt) -> bool {
+        match &s.kind {
+            StmtKind::Output { .. } => true,
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => go(then_branch) || else_branch.as_deref().is_some_and(go),
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => go(body),
+            StmtKind::Repeat { body, .. } => body.iter().any(go),
+            StmtKind::Case { arms, else_arm, .. } => {
+                arms.iter().any(|a| go(&a.body))
+                    || else_arm.as_ref().is_some_and(|b| b.iter().any(go))
+            }
+            StmtKind::Compound(stmts) => stmts.iter().any(go),
+            _ => false,
+        }
+    }
+    block.iter().any(go)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sema::analyze;
+
+    #[test]
+    fn non_progress_cycle_warned() {
+        let src = r#"
+            specification s;
+            module M process; end;
+            body MB for M;
+                state S1, S2;
+                initialize to S1 begin end;
+                trans
+                from S1 to S2 begin end;
+                from S2 to S1 begin end;
+            end;
+            end.
+        "#;
+        let m = analyze(src).unwrap();
+        assert!(m
+            .warnings
+            .iter()
+            .any(|w| w.contains("non-progress cycle")));
+    }
+
+    #[test]
+    fn output_breaks_the_cycle() {
+        let src = r#"
+            specification s;
+            channel C(a, b); by b: tick; end;
+            module M process; ip P : C(b); end;
+            body MB for M;
+                state S1, S2;
+                initialize to S1 begin end;
+                trans
+                from S1 to S2 begin output P.tick end;
+                from S2 to S1 begin output P.tick end;
+            end;
+            end.
+        "#;
+        let m = analyze(src).unwrap();
+        assert!(!m.warnings.iter().any(|w| w.contains("non-progress")));
+    }
+
+    #[test]
+    fn unreachable_state_warned() {
+        let src = r#"
+            specification s;
+            module M process; end;
+            body MB for M;
+                state S1, S2, Island;
+                initialize to S1 begin end;
+                trans
+                from S1 to S2 begin end;
+            end;
+            end.
+        "#;
+        let m = analyze(src).unwrap();
+        assert!(m.warnings.iter().any(|w| w.contains("Island")));
+    }
+}

@@ -1,0 +1,276 @@
+//! The semantic type model.
+//!
+//! Syntactic [`estelle_ast::TypeExpr`]s are lowered into a [`TypeTable`] of
+//! structural [`Type`]s indexed by [`TypeId`]. The table owns every type in
+//! the module; the runtime uses it to build default values, check ordinal
+//! ranges for `any`-clause expansion and array indexing, and size sets.
+
+use std::fmt;
+
+/// Index into a [`TypeTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TypeId(pub u32);
+
+/// The predefined `integer` type.
+pub const TY_INTEGER: TypeId = TypeId(0);
+/// The predefined `boolean` type.
+pub const TY_BOOLEAN: TypeId = TypeId(1);
+
+/// A resolved (structural) type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Type {
+    /// Placeholder for a forward-referenced type name (Pascal allows
+    /// `^cell` before `cell` is declared). Semantic analysis guarantees no
+    /// `Unresolved` survives in a successfully analyzed module.
+    Unresolved,
+    /// Mathematical integers (represented as `i64` at runtime).
+    Integer,
+    Boolean,
+    /// An enumeration with its literal names in declaration order.
+    Enum { literals: Vec<String> },
+    /// A subrange `lo..hi` of an ordinal base type.
+    Subrange { base: TypeId, lo: i64, hi: i64 },
+    /// `array [index] of elem`; the index type must be a finite ordinal,
+    /// its bounds are cached here.
+    Array {
+        index: TypeId,
+        lo: i64,
+        hi: i64,
+        elem: TypeId,
+    },
+    Record { fields: Vec<(String, TypeId)> },
+    /// `set of base`; the base must be a finite ordinal.
+    SetOf { base: TypeId, lo: i64, hi: i64 },
+    Pointer { target: TypeId },
+}
+
+/// All types of one analyzed module.
+#[derive(Clone, Debug, Default)]
+pub struct TypeTable {
+    types: Vec<Type>,
+}
+
+impl TypeTable {
+    /// A fresh table pre-seeded with `integer` and `boolean`.
+    pub fn new() -> Self {
+        let mut t = TypeTable { types: Vec::new() };
+        let int = t.intern(Type::Integer);
+        let boolean = t.intern(Type::Boolean);
+        debug_assert_eq!(int, TY_INTEGER);
+        debug_assert_eq!(boolean, TY_BOOLEAN);
+        t
+    }
+
+    /// Add a type, returning its id. Structurally identical non-enum types
+    /// are shared; enums are always distinct (Pascal's nominal enums).
+    pub fn intern(&mut self, ty: Type) -> TypeId {
+        if !matches!(ty, Type::Enum { .. }) {
+            if let Some(pos) = self.types.iter().position(|t| *t == ty) {
+                return TypeId(pos as u32);
+            }
+        }
+        self.types.push(ty);
+        TypeId((self.types.len() - 1) as u32)
+    }
+
+    /// Reserve a slot for a forward-referenced type; must be completed with
+    /// [`TypeTable::define`].
+    pub fn reserve(&mut self) -> TypeId {
+        self.types.push(Type::Unresolved);
+        TypeId((self.types.len() - 1) as u32)
+    }
+
+    /// Fill in a slot created by [`TypeTable::reserve`].
+    pub fn define(&mut self, id: TypeId, ty: Type) {
+        debug_assert!(matches!(self.types[id.0 as usize], Type::Unresolved));
+        self.types[id.0 as usize] = ty;
+    }
+
+    /// True if any reserved slot was never defined.
+    pub fn has_unresolved(&self) -> bool {
+        self.types.iter().any(|t| matches!(t, Type::Unresolved))
+    }
+
+    pub fn get(&self, id: TypeId) -> &Type {
+        &self.types[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Chase subranges down to the underlying base type id.
+    pub fn base_of(&self, id: TypeId) -> TypeId {
+        match self.get(id) {
+            Type::Subrange { base, .. } => self.base_of(*base),
+            _ => id,
+        }
+    }
+
+    /// The inclusive ordinal value range of a type, if it is a *finite*
+    /// ordinal: boolean, enum or subrange. `integer` returns `None`.
+    pub fn ordinal_range(&self, id: TypeId) -> Option<(i64, i64)> {
+        match self.get(id) {
+            Type::Boolean => Some((0, 1)),
+            Type::Enum { literals } => Some((0, literals.len() as i64 - 1)),
+            Type::Subrange { lo, hi, .. } => Some((*lo, *hi)),
+            _ => None,
+        }
+    }
+
+    /// True if the type is ordinal (integer, boolean, enum or a subrange).
+    pub fn is_ordinal(&self, id: TypeId) -> bool {
+        matches!(
+            self.get(id),
+            Type::Integer | Type::Boolean | Type::Enum { .. } | Type::Subrange { .. }
+        )
+    }
+
+    /// Assignment compatibility: same base type after chasing subranges.
+    /// Integers and integer subranges are mutually compatible (range checks
+    /// happen at runtime, as in Pascal).
+    pub fn compatible(&self, a: TypeId, b: TypeId) -> bool {
+        let a = self.base_of(a);
+        let b = self.base_of(b);
+        if a == b {
+            return true;
+        }
+        matches!(
+            (self.get(a), self.get(b)),
+            (Type::Integer, Type::Integer)
+        )
+    }
+
+    /// Human-readable rendering for diagnostics. Recursive types (records
+    /// reachable through their own pointers) are elided after a few
+    /// levels.
+    pub fn describe(&self, id: TypeId) -> String {
+        self.describe_depth(id, 0)
+    }
+
+    fn describe_depth(&self, id: TypeId, depth: usize) -> String {
+        if depth > 4 {
+            return "…".to_string();
+        }
+        match self.get(id) {
+            Type::Unresolved => "<unresolved>".to_string(),
+            Type::Integer => "integer".to_string(),
+            Type::Boolean => "boolean".to_string(),
+            Type::Enum { literals } => format!("({})", literals.join(", ")),
+            Type::Subrange { lo, hi, .. } => format!("{}..{}", lo, hi),
+            Type::Array { lo, hi, elem, .. } => {
+                format!(
+                    "array [{}..{}] of {}",
+                    lo,
+                    hi,
+                    self.describe_depth(*elem, depth + 1)
+                )
+            }
+            Type::Record { fields } => format!(
+                "record {} end",
+                fields
+                    .iter()
+                    .map(|(n, t)| format!("{} : {}", n, self.describe_depth(*t, depth + 1)))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ),
+            Type::SetOf { base, .. } => {
+                format!("set of {}", self.describe_depth(*base, depth + 1))
+            }
+            Type::Pointer { target } => {
+                format!("^{}", self.describe_depth(*target, depth + 1))
+            }
+        }
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ty#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_ids_are_stable() {
+        let t = TypeTable::new();
+        assert_eq!(t.get(TY_INTEGER), &Type::Integer);
+        assert_eq!(t.get(TY_BOOLEAN), &Type::Boolean);
+    }
+
+    #[test]
+    fn interning_shares_structural_types() {
+        let mut t = TypeTable::new();
+        let a = t.intern(Type::Subrange {
+            base: TY_INTEGER,
+            lo: 0,
+            hi: 7,
+        });
+        let b = t.intern(Type::Subrange {
+            base: TY_INTEGER,
+            lo: 0,
+            hi: 7,
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn enums_are_nominal() {
+        let mut t = TypeTable::new();
+        let a = t.intern(Type::Enum {
+            literals: vec!["x".into()],
+        });
+        let b = t.intern(Type::Enum {
+            literals: vec!["x".into()],
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ordinal_ranges() {
+        let mut t = TypeTable::new();
+        assert_eq!(t.ordinal_range(TY_BOOLEAN), Some((0, 1)));
+        assert_eq!(t.ordinal_range(TY_INTEGER), None);
+        let e = t.intern(Type::Enum {
+            literals: vec!["a".into(), "b".into(), "c".into()],
+        });
+        assert_eq!(t.ordinal_range(e), Some((0, 2)));
+        let s = t.intern(Type::Subrange {
+            base: TY_INTEGER,
+            lo: 2,
+            hi: 5,
+        });
+        assert_eq!(t.ordinal_range(s), Some((2, 5)));
+    }
+
+    #[test]
+    fn subrange_compatibility_with_base() {
+        let mut t = TypeTable::new();
+        let s = t.intern(Type::Subrange {
+            base: TY_INTEGER,
+            lo: 0,
+            hi: 7,
+        });
+        assert!(t.compatible(s, TY_INTEGER));
+        assert!(t.compatible(TY_INTEGER, s));
+        assert!(!t.compatible(s, TY_BOOLEAN));
+    }
+
+    #[test]
+    fn enum_subrange_compatible_with_its_enum() {
+        let mut t = TypeTable::new();
+        let e = t.intern(Type::Enum {
+            literals: vec!["a".into(), "b".into(), "c".into()],
+        });
+        let s = t.intern(Type::Subrange { base: e, lo: 0, hi: 1 });
+        assert!(t.compatible(s, e));
+        assert!(!t.compatible(s, TY_INTEGER));
+    }
+}

@@ -1,0 +1,326 @@
+//! Tokens produced by the lexer.
+
+use estelle_ast::Span;
+use std::fmt;
+
+/// A lexical token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Token kinds. Keywords are distinguished from identifiers by the lexer
+/// (Estelle keywords, like Pascal's, are reserved and case-insensitive).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier (lower-cased text is in the parallel `text` slot).
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(i64),
+    /// Reserved word.
+    Keyword(Keyword),
+
+    // punctuation
+    Semi,      // ;
+    Colon,     // :
+    Comma,     // ,
+    Dot,       // .
+    DotDot,    // ..
+    LParen,    // (
+    RParen,    // )
+    LBracket,  // [
+    RBracket,  // ]
+    Assign,    // :=
+    Eq,        // =
+    Ne,        // <>
+    Lt,        // <
+    Le,        // <=
+    Gt,        // >
+    Ge,        // >=
+    Plus,      // +
+    Minus,     // -
+    Star,      // *
+    Caret,     // ^
+
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words of the supported Estelle subset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Keyword {
+    Specification,
+    Channel,
+    By,
+    Module,
+    Process,
+    SystemProcess,
+    Activity,
+    SystemActivity,
+    Ip,
+    Individual,
+    Common,
+    Queue,
+    Body,
+    For,
+    End,
+    Const,
+    Type,
+    Var,
+    State,
+    StateSet,
+    Initialize,
+    Trans,
+    From,
+    To,
+    Same,
+    When,
+    Provided,
+    Priority,
+    Delay,
+    Any,
+    Do,
+    Name,
+    Begin,
+    If,
+    Then,
+    Else,
+    While,
+    Repeat,
+    Until,
+    DownTo,
+    Case,
+    Of,
+    Output,
+    Procedure,
+    Function,
+    Primitive,
+    Record,
+    Array,
+    Set,
+    New,
+    Dispose,
+    Not,
+    And,
+    Or,
+    Div,
+    Mod,
+    In,
+    Nil,
+    True,
+    False,
+    Default,
+    Timescale,
+    Exist,
+    Forone,
+    All,
+}
+
+impl Keyword {
+    /// Look up a keyword from a (lower-cased) identifier.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not parsing
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "specification" => Keyword::Specification,
+            "channel" => Keyword::Channel,
+            "by" => Keyword::By,
+            "module" => Keyword::Module,
+            "process" => Keyword::Process,
+            "systemprocess" => Keyword::SystemProcess,
+            "activity" => Keyword::Activity,
+            "systemactivity" => Keyword::SystemActivity,
+            "ip" => Keyword::Ip,
+            "individual" => Keyword::Individual,
+            "common" => Keyword::Common,
+            "queue" => Keyword::Queue,
+            "body" => Keyword::Body,
+            "for" => Keyword::For,
+            "end" => Keyword::End,
+            "const" => Keyword::Const,
+            "type" => Keyword::Type,
+            "var" => Keyword::Var,
+            "state" => Keyword::State,
+            "stateset" => Keyword::StateSet,
+            "initialize" => Keyword::Initialize,
+            "trans" => Keyword::Trans,
+            "from" => Keyword::From,
+            "to" => Keyword::To,
+            "same" => Keyword::Same,
+            "when" => Keyword::When,
+            "provided" => Keyword::Provided,
+            "priority" => Keyword::Priority,
+            "delay" => Keyword::Delay,
+            "any" => Keyword::Any,
+            "do" => Keyword::Do,
+            "name" => Keyword::Name,
+            "begin" => Keyword::Begin,
+            "if" => Keyword::If,
+            "then" => Keyword::Then,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "repeat" => Keyword::Repeat,
+            "until" => Keyword::Until,
+            "downto" => Keyword::DownTo,
+            "case" => Keyword::Case,
+            "of" => Keyword::Of,
+            "output" => Keyword::Output,
+            "procedure" => Keyword::Procedure,
+            "function" => Keyword::Function,
+            "primitive" => Keyword::Primitive,
+            "record" => Keyword::Record,
+            "array" => Keyword::Array,
+            "set" => Keyword::Set,
+            "new" => Keyword::New,
+            "dispose" => Keyword::Dispose,
+            "not" => Keyword::Not,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "div" => Keyword::Div,
+            "mod" => Keyword::Mod,
+            "in" => Keyword::In,
+            "nil" => Keyword::Nil,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "default" => Keyword::Default,
+            "timescale" => Keyword::Timescale,
+            "exist" => Keyword::Exist,
+            "forone" => Keyword::Forone,
+            "all" => Keyword::All,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's surface syntax.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Specification => "specification",
+            Keyword::Channel => "channel",
+            Keyword::By => "by",
+            Keyword::Module => "module",
+            Keyword::Process => "process",
+            Keyword::SystemProcess => "systemprocess",
+            Keyword::Activity => "activity",
+            Keyword::SystemActivity => "systemactivity",
+            Keyword::Ip => "ip",
+            Keyword::Individual => "individual",
+            Keyword::Common => "common",
+            Keyword::Queue => "queue",
+            Keyword::Body => "body",
+            Keyword::For => "for",
+            Keyword::End => "end",
+            Keyword::Const => "const",
+            Keyword::Type => "type",
+            Keyword::Var => "var",
+            Keyword::State => "state",
+            Keyword::StateSet => "stateset",
+            Keyword::Initialize => "initialize",
+            Keyword::Trans => "trans",
+            Keyword::From => "from",
+            Keyword::To => "to",
+            Keyword::Same => "same",
+            Keyword::When => "when",
+            Keyword::Provided => "provided",
+            Keyword::Priority => "priority",
+            Keyword::Delay => "delay",
+            Keyword::Any => "any",
+            Keyword::Do => "do",
+            Keyword::Name => "name",
+            Keyword::Begin => "begin",
+            Keyword::If => "if",
+            Keyword::Then => "then",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::Repeat => "repeat",
+            Keyword::Until => "until",
+            Keyword::DownTo => "downto",
+            Keyword::Case => "case",
+            Keyword::Of => "of",
+            Keyword::Output => "output",
+            Keyword::Procedure => "procedure",
+            Keyword::Function => "function",
+            Keyword::Primitive => "primitive",
+            Keyword::Record => "record",
+            Keyword::Array => "array",
+            Keyword::Set => "set",
+            Keyword::New => "new",
+            Keyword::Dispose => "dispose",
+            Keyword::Not => "not",
+            Keyword::And => "and",
+            Keyword::Or => "or",
+            Keyword::Div => "div",
+            Keyword::Mod => "mod",
+            Keyword::In => "in",
+            Keyword::Nil => "nil",
+            Keyword::True => "true",
+            Keyword::False => "false",
+            Keyword::Default => "default",
+            Keyword::Timescale => "timescale",
+            Keyword::Exist => "exist",
+            Keyword::Forone => "forone",
+            Keyword::All => "all",
+        }
+    }
+}
+
+impl TokenKind {
+    /// Human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{}`", name),
+            TokenKind::Int(v) => format!("integer `{}`", v),
+            TokenKind::Keyword(k) => format!("keyword `{}`", k.as_str()),
+            TokenKind::Semi => "`;`".to_string(),
+            TokenKind::Colon => "`:`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Dot => "`.`".to_string(),
+            TokenKind::DotDot => "`..`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::LBracket => "`[`".to_string(),
+            TokenKind::RBracket => "`]`".to_string(),
+            TokenKind::Assign => "`:=`".to_string(),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::Ne => "`<>`".to_string(),
+            TokenKind::Lt => "`<`".to_string(),
+            TokenKind::Le => "`<=`".to_string(),
+            TokenKind::Gt => "`>`".to_string(),
+            TokenKind::Ge => "`>=`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::Caret => "`^`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_round_trips() {
+        for kw in [
+            Keyword::Specification,
+            Keyword::Trans,
+            Keyword::Provided,
+            Keyword::DownTo,
+            Keyword::StateSet,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn non_keywords_fall_through() {
+        assert_eq!(Keyword::from_str("buffer1"), None);
+        assert_eq!(Keyword::from_str(""), None);
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests for the parser and pretty printer.
+//!
+//! Core property: `print ∘ parse` is idempotent — parsing pretty-printed
+//! output reproduces the same tree (modulo spans), so printing again
+//! yields byte-identical text. Checked on randomly generated expressions
+//! and on every bundled specification.
+
+use estelle_ast::expr::SetElem;
+use estelle_ast::print::{print_expr, print_specification};
+use estelle_ast::{BinOp, Expr, ExprKind, Ident, Span, UnOp};
+use estelle_frontend::{parse_expression, parse_specification};
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = Ident> {
+    prop_oneof![
+        Just("alpha"),
+        Just("beta"),
+        Just("buf1"),
+        Just("Count"),
+        Just("x_y"),
+    ]
+    .prop_map(Ident::synthetic)
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..10_000).prop_map(|v| Expr::new(ExprKind::IntLit(v), Span::DUMMY)),
+        any::<bool>().prop_map(|b| Expr::new(ExprKind::BoolLit(b), Span::DUMMY)),
+        Just(Expr::new(ExprKind::NilLit, Span::DUMMY)),
+        ident_strategy().prop_map(Expr::name),
+    ];
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            // Binary operators.
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Mod),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::In),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::new(
+                    ExprKind::Binary(op, Box::new(l), Box::new(r)),
+                    Span::DUMMY
+                )),
+            // Unary operators.
+            (
+                prop_oneof![Just(UnOp::Neg), Just(UnOp::Plus), Just(UnOp::Not)],
+                inner.clone()
+            )
+                .prop_map(|(op, e)| Expr::new(
+                    ExprKind::Unary(op, Box::new(e)),
+                    Span::DUMMY
+                )),
+            // Postfix forms.
+            (inner.clone(), ident_strategy()).prop_map(|(b, f)| Expr::new(
+                ExprKind::Field(Box::new(b), f),
+                Span::DUMMY
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::new(
+                ExprKind::Index(Box::new(b), Box::new(i)),
+                Span::DUMMY
+            )),
+            inner
+                .clone()
+                .prop_map(|b| Expr::new(ExprKind::Deref(Box::new(b)), Span::DUMMY)),
+            // Calls.
+            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(name, args)| Expr::new(ExprKind::Call(name, args), Span::DUMMY)
+            ),
+            // Set constructors.
+            prop::collection::vec(
+                prop_oneof![
+                    inner.clone().prop_map(SetElem::Single),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| SetElem::Range(a, b)),
+                ],
+                0..3
+            )
+            .prop_map(|elems| Expr::new(ExprKind::SetCtor(elems), Span::DUMMY)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print(parse(print(e))) == print(e) for arbitrary expression trees.
+    #[test]
+    fn expr_print_parse_idempotent(e in expr_strategy()) {
+        let printed = print_expr(&e);
+        let reparsed = parse_expression(&printed)
+            .unwrap_or_else(|err| panic!("`{}` failed to reparse: {}", printed, err));
+        prop_assert_eq!(print_expr(&reparsed), printed);
+    }
+}
+
+/// The postfix chain `a.b[c]^` must survive a round trip with structure
+/// intact (regression guard: Dot vs DotDot, call-vs-paren ambiguities).
+#[test]
+fn postfix_chain_structure_preserved() {
+    let printed = "alpha.beta[3]^";
+    let e = parse_expression(printed).unwrap();
+    assert_eq!(print_expr(&e), printed);
+}
+
+#[test]
+fn bundled_specifications_round_trip() {
+    for (name, src) in [
+        ("tiny", TINY),
+        ("rich", RICH),
+    ] {
+        let spec1 = parse_specification(src)
+            .unwrap_or_else(|e| panic!("{}: {}", name, e.render(src)));
+        let printed1 = print_specification(&spec1);
+        let spec2 = parse_specification(&printed1)
+            .unwrap_or_else(|e| panic!("{} (printed): {}", name, e.render(&printed1)));
+        let printed2 = print_specification(&spec2);
+        assert_eq!(printed1, printed2, "{} is not print-stable", name);
+    }
+}
+
+const TINY: &str = r#"
+specification tiny;
+channel C(a, b); by a: x; end;
+module M process; ip P : C(b); end;
+body MB for M;
+    state S;
+    initialize to S begin end;
+    trans from S to S when P.x begin end;
+end;
+end.
+"#;
+
+const RICH: &str = r#"
+specification rich;
+const size = 8;
+type seq = 0..7;
+type kind = (alpha, beta, gamma);
+channel C(user, provider);
+    by user: put(k : kind; n : seq);
+    by provider: got(n : seq);
+end;
+module M systemprocess; ip P : C(provider); end;
+body MB for M;
+    type cell = record v : seq; next : ^cell end;
+    var head, tmp : ^cell;
+        total : integer;
+        flags : set of seq;
+    state Empty, Holding;
+    stateset Any_state = [Empty, Holding];
+
+    function depth(start : integer) : integer;
+        var d : integer;
+    begin
+        d := start;
+        while d < size do d := d + 1;
+        depth := d
+    end;
+
+    procedure note(n : seq);
+    begin
+        if n in [0, 2, 4, 6] then total := total + 1
+        else total := total - 1
+    end;
+
+    initialize to Empty begin
+        head := nil; tmp := nil; total := 0; flags := [];
+    end;
+
+    trans
+    from Empty to Holding when P.put provided k <> gamma name Stash:
+    begin
+        new(tmp);
+        tmp^.v := n;
+        tmp^.next := head;
+        head := tmp;
+        note(n);
+        case k of
+            alpha : flags := [n];
+            beta : flags := [0..3]
+        else
+            total := depth(total)
+        end;
+    end;
+    from Holding to Empty provided head <> nil name Pop:
+    begin
+        output P.got(head^.v);
+        tmp := head;
+        head := head^.next;
+        dispose(tmp);
+        for total := 1 downto 0 do tmp := nil;
+        repeat total := total + 1 until total > 0;
+    end;
+    from Any_state to same when P.put provided k = gamma priority 1 name Skip:
+    begin end;
+end;
+end.
+"#;
+
+/// The rich spec must also pass full semantic analysis and compile.
+#[test]
+fn rich_spec_analyzes_and_survives_normalization_roundtrip() {
+    let module = estelle_frontend::analyze(RICH).expect("analyzes");
+    assert_eq!(module.states.len(), 2);
+    assert_eq!(module.routines.len(), 2);
+    assert_eq!(module.declared_transition_count(), 3);
+}

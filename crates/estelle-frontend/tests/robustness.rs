@@ -1,0 +1,76 @@
+//! Robustness: no input may panic the frontend. Errors are fine —
+//! crashes are not. This is the fuzzing contract for a tool whose input
+//! is arbitrary user-written Estelle.
+
+use estelle_frontend::{analyze, parse_specification};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary printable garbage never panics the lexer/parser/sema.
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC{0,400}") {
+        let _ = analyze(&text);
+    }
+
+    /// Arbitrary bytes interpreted as (lossy) UTF-8 never panic either.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = analyze(&text);
+    }
+
+    /// Mutations of a valid specification — deletions, duplications,
+    /// splices — never panic; they parse, fail to parse, or fail sema.
+    #[test]
+    fn mutated_valid_specs_never_panic(
+        cut_start in 0usize..600,
+        cut_len in 0usize..120,
+        splice in "\\PC{0,30}",
+    ) {
+        const BASE: &str = r#"
+            specification mutant;
+            const max = 7;
+            type seq = 0..7;
+            channel C(env, m);
+                by env: put(n : seq);
+                by m: got(n : seq);
+            end;
+            module M process; ip P : C(m); end;
+            body MB for M;
+                var total : integer;
+                state S1, S2;
+                initialize to S1 begin total := 0 end;
+                trans
+                from S1 to S2 when P.put provided n < max name T1:
+                begin
+                    total := total + n;
+                    output P.got(n);
+                end;
+                from S2 to S1 name T2: begin output P.got(0) end;
+            end;
+            end.
+        "#;
+        let mut text = BASE.to_string();
+        let start = cut_start.min(text.len());
+        let end = (start + cut_len).min(text.len());
+        // Keep the cut on char boundaries.
+        let start = (0..=start).rev().find(|&i| text.is_char_boundary(i)).unwrap();
+        let end = (end..=text.len()).find(|&i| text.is_char_boundary(i)).unwrap();
+        text.replace_range(start..end, &splice);
+        let _ = analyze(&text);
+    }
+
+    /// Deeply nested expressions must not blow the parser stack.
+    #[test]
+    fn deep_nesting_is_rejected_or_parsed_without_crash(depth in 0usize..600) {
+        let expr = format!("{}{}{}", "(".repeat(depth), "1", ")".repeat(depth));
+        let src = format!(
+            "specification d; module M process; end; body B for M; \
+             var x : integer; state S; initialize to S begin x := {} end; end; end.",
+            expr
+        );
+        let _ = parse_specification(&src);
+    }
+}

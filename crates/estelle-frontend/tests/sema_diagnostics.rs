@@ -1,0 +1,284 @@
+//! Semantic-analysis diagnostics: every rejection path produces a precise,
+//! located message rather than a panic or a silent acceptance.
+
+use estelle_frontend::analyze;
+
+/// Wrap a body fragment in a standard single-module skeleton.
+fn body(fragment: &str) -> String {
+    format!(
+        r#"
+        specification s;
+        channel C(env, m);
+            by env: put(n : integer);
+            by m: got(n : integer);
+        end;
+        module M process; ip P : C(m); end;
+        body MB for M;
+            {}
+        end;
+        end.
+        "#,
+        fragment
+    )
+}
+
+fn expect_err(fragment: &str, needle: &str) {
+    let src = body(fragment);
+    let err = analyze(&src).expect_err(&format!("expected rejection mentioning `{}`", needle));
+    let msg = err.to_string();
+    assert!(
+        msg.contains(needle),
+        "expected `{}` in diagnostic, got: {}",
+        needle,
+        msg
+    );
+    // The rendered form points into the source.
+    let rendered = err.render(&src);
+    assert!(rendered.contains('^'));
+}
+
+const OK_PRELUDE: &str = "state S; initialize to S begin end;";
+
+#[test]
+fn unknown_type() {
+    expect_err("var x : widget; state S; initialize to S begin end;", "unknown type");
+}
+
+#[test]
+fn unknown_variable() {
+    expect_err(
+        "state S; initialize to S begin ghost := 1 end;",
+        "unknown name",
+    );
+}
+
+#[test]
+fn assignment_type_mismatch() {
+    expect_err(
+        "var b : boolean; state S; initialize to S begin b := 3 end;",
+        "cannot assign",
+    );
+}
+
+#[test]
+fn condition_must_be_boolean() {
+    expect_err(
+        "var n : integer; state S; initialize to S begin n := 1; if n then n := 2 end;",
+        "expected boolean",
+    );
+}
+
+#[test]
+fn arithmetic_needs_integers() {
+    expect_err(
+        "var n : integer; state S; initialize to S begin n := 1 + true end;",
+        "expected integer",
+    );
+}
+
+#[test]
+fn enum_comparison_across_types_rejected() {
+    expect_err(
+        "type a = (x1, x2); type b = (y1, y2);
+         var p : a; q : b; ok : boolean;
+         state S; initialize to S begin p := x1; q := y1; ok := p = q end;",
+        "cannot compare",
+    );
+}
+
+#[test]
+fn duplicate_state() {
+    expect_err("state S, S; initialize to S begin end;", "duplicate state");
+}
+
+#[test]
+fn duplicate_variable() {
+    expect_err(
+        &format!("var n, n : integer; {}", OK_PRELUDE),
+        "duplicate variable",
+    );
+}
+
+#[test]
+fn duplicate_enum_literal_across_types() {
+    expect_err(
+        &format!("type a = (dup); type b = (dup); {}", OK_PRELUDE),
+        "duplicate enum literal",
+    );
+}
+
+#[test]
+fn unknown_state_in_transition() {
+    expect_err(
+        "state S; initialize to S begin end;
+         trans from S to Nowhere begin end;",
+        "unknown state",
+    );
+}
+
+#[test]
+fn unknown_ip_in_when() {
+    expect_err(
+        "state S; initialize to S begin end;
+         trans from S to S when Q.put begin end;",
+        "unknown interaction point",
+    );
+}
+
+#[test]
+fn when_on_sending_direction_rejected() {
+    // `got` is sent by the module; it can never be received.
+    expect_err(
+        "state S; initialize to S begin end;
+         trans from S to S when P.got begin end;",
+        "cannot be received",
+    );
+}
+
+#[test]
+fn output_on_receiving_direction_rejected() {
+    expect_err(
+        "state S; initialize to S begin output P.put(1) end;",
+        "cannot be sent",
+    );
+}
+
+#[test]
+fn output_arity_checked() {
+    expect_err(
+        "state S; initialize to S begin output P.got end;",
+        "parameter",
+    );
+}
+
+#[test]
+fn provided_must_be_boolean() {
+    expect_err(
+        "state S; initialize to S begin end;
+         trans from S to S when P.put provided n begin end;",
+        "expected boolean",
+    );
+}
+
+#[test]
+fn priority_must_be_constant() {
+    expect_err(
+        "var k : integer; state S; initialize to S begin k := 1 end;
+         trans from S to S priority k begin end;",
+        "not a constant",
+    );
+}
+
+#[test]
+fn case_label_type_checked() {
+    expect_err(
+        "type color = (red, green);
+         var c : color; state S;
+         initialize to S begin c := red; case c of 3 : c := green end end;",
+        "case label",
+    );
+}
+
+#[test]
+fn for_variable_must_be_ordinal() {
+    expect_err(
+        "type cell = record v : integer end;
+         var r : cell; state S;
+         initialize to S begin for r := 1 to 3 do r.v := 1 end;",
+        "ordinal",
+    );
+}
+
+#[test]
+fn new_requires_pointer() {
+    expect_err(
+        "var n : integer; state S; initialize to S begin new(n) end;",
+        "non-pointer",
+    );
+}
+
+#[test]
+fn function_used_as_procedure_rejected() {
+    expect_err(
+        "function f : integer; begin f := 1 end;
+         state S; initialize to S begin f end;",
+        "is a function",
+    );
+}
+
+#[test]
+fn procedure_used_as_function_rejected() {
+    expect_err(
+        "var n : integer;
+         procedure p; begin n := 0 end;
+         state S; initialize to S begin n := p end;",
+        "unknown name",
+    );
+}
+
+#[test]
+fn call_arity_checked() {
+    expect_err(
+        "var n : integer;
+         function inc(v : integer) : integer; begin inc := v + 1 end;
+         state S; initialize to S begin n := inc(1, 2) end;",
+        "argument",
+    );
+}
+
+#[test]
+fn var_parameter_needs_lvalue() {
+    expect_err(
+        "var n : integer;
+         procedure bump(var v : integer); begin v := v + 1 end;
+         state S; initialize to S begin n := 0; bump(n + 1) end;",
+        "variable argument",
+    );
+}
+
+#[test]
+fn empty_subrange_rejected() {
+    expect_err(&format!("type bad = 5..2; {}", OK_PRELUDE), "empty subrange");
+}
+
+#[test]
+fn set_base_must_be_small() {
+    expect_err(
+        &format!("type huge = set of 0..100000; {}", OK_PRELUDE),
+        "too large",
+    );
+}
+
+#[test]
+fn array_index_must_be_finite() {
+    expect_err(
+        &format!("var a : array [integer] of boolean; {}", OK_PRELUDE),
+        "finite ordinal",
+    );
+}
+
+#[test]
+fn nil_only_meets_pointers() {
+    expect_err(
+        "var n : integer; state S; initialize to S begin n := nil end;",
+        "non-pointer",
+    );
+}
+
+#[test]
+fn stateset_members_must_exist() {
+    expect_err(
+        "state S; stateset Bad = [S, Ghost]; initialize to S begin end;",
+        "unknown state",
+    );
+}
+
+#[test]
+fn warnings_do_not_block_analysis() {
+    let src = body(
+        "state S, Island; initialize to S begin end;
+         trans from S to S when P.put begin end;",
+    );
+    let m = analyze(&src).expect("warnings are not errors");
+    assert!(m.warnings.iter().any(|w| w.contains("Island")));
+}

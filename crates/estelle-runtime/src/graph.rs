@@ -1,0 +1,207 @@
+//! Graphviz export of the compiled EFSM.
+//!
+//! Renders the compiled transition system as a `dot` digraph: one node
+//! per FSM state (the initial state double-circled), one edge per
+//! compiled transition, labelled with its name, input clause, guard
+//! presence and the interactions its body can emit. Useful for reviewing
+//! a specification before trusting it as a trace-analysis oracle:
+//!
+//! ```sh
+//! tango graph spec.est | dot -Tsvg > spec.svg
+//! ```
+
+use crate::compile::CompiledModule;
+use crate::ir::CStmt;
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// Render the module as Graphviz `dot` text.
+pub fn to_dot(module: &CompiledModule) -> String {
+    let m = &module.analyzed;
+    let mut out = String::new();
+    writeln!(out, "digraph {} {{", sanitize(&m.module_name)).unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    writeln!(out, "  node [shape=circle, fontname=\"monospace\"];").unwrap();
+    writeln!(out, "  edge [fontname=\"monospace\", fontsize=10];").unwrap();
+
+    for (i, name) in m.states.iter().enumerate() {
+        let shape = if i == module.init_to.0 as usize {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        writeln!(out, "  s{} [label=\"{}\", shape={}];", i, name, shape).unwrap();
+    }
+
+    for t in &module.transitions {
+        let mut label = t.name.clone();
+        if let Some((ip, interaction, _)) = t.when {
+            write!(
+                label,
+                "\\nwhen {}.{}",
+                m.ips[ip].name, m.ips[ip].inputs[interaction].name
+            )
+            .unwrap();
+        }
+        if t.provided.is_some() {
+            label.push_str("\\n[guarded]");
+        }
+        let outputs = body_outputs(module, &t.body);
+        if !outputs.is_empty() {
+            write!(
+                label,
+                "\\n/ {}",
+                outputs.into_iter().collect::<Vec<_>>().join(", ")
+            )
+            .unwrap();
+        }
+        for &from in &t.from {
+            let to = t.to.unwrap_or(from);
+            writeln!(
+                out,
+                "  s{} -> s{} [label=\"{}\"];",
+                from.0,
+                to.0,
+                label.replace('"', "\\\"")
+            )
+            .unwrap();
+        }
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+/// `ip.interaction` pairs an IR block may emit, in stable order.
+fn body_outputs(module: &CompiledModule, body: &[CStmt]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect_outputs(module, body, &mut out);
+    out
+}
+
+fn collect_outputs(module: &CompiledModule, body: &[CStmt], out: &mut BTreeSet<String>) {
+    let m = &module.analyzed;
+    for s in body {
+        match s {
+            CStmt::Output { ip, interaction, .. } => {
+                out.insert(format!(
+                    "{}.{}",
+                    m.ips[*ip].name, m.ips[*ip].outputs[*interaction].name
+                ));
+            }
+            CStmt::If(_, a, b, _) => {
+                collect_outputs(module, a, out);
+                collect_outputs(module, b, out);
+            }
+            CStmt::While(_, b, _) | CStmt::Repeat(b, _, _) => collect_outputs(module, b, out),
+            CStmt::For { body, .. } => collect_outputs(module, body, out),
+            CStmt::Case {
+                arms, else_arm, ..
+            } => {
+                for (_, b) in arms {
+                    collect_outputs(module, b, out);
+                }
+                if let Some(b) = else_arm {
+                    collect_outputs(module, b, out);
+                }
+            }
+            CStmt::Call(call) => {
+                // Routines may emit too.
+                collect_outputs(module, &module.routines[call.routine].body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    #[test]
+    fn dot_contains_states_and_labeled_edges() {
+        let m = Machine::from_source(
+            r#"
+            specification g;
+            channel C(env, m); by env: ping; by m: pong; end;
+            module M process; ip P : C(m); end;
+            body MB for M;
+                var n : integer;
+                state Idle, Busy;
+                initialize to Idle begin n := 0 end;
+                trans
+                from Idle to Busy when P.ping provided n = 0 name Go:
+                    begin output P.pong end;
+                from Busy to Idle name Back:
+                    begin n := 0; output P.pong end;
+            end;
+            end.
+            "#,
+        )
+        .unwrap();
+        let dot = to_dot(&m.module);
+        assert!(dot.starts_with("digraph M {"));
+        assert!(dot.contains("label=\"Idle\", shape=doublecircle"));
+        assert!(dot.contains("label=\"Busy\", shape=circle"));
+        assert!(dot.contains("s0 -> s1"));
+        assert!(dot.contains("when P.ping"));
+        assert!(dot.contains("[guarded]"));
+        assert!(dot.contains("/ P.pong"));
+    }
+
+    #[test]
+    fn outputs_inside_routines_are_attributed() {
+        let m = Machine::from_source(
+            r#"
+            specification g;
+            channel C(env, m); by env: ping; by m: pong; end;
+            module M process; ip P : C(m); end;
+            body MB for M;
+                procedure reply; begin output P.pong end;
+                state S;
+                initialize to S begin end;
+                trans
+                from S to S when P.ping name Hit: begin reply end;
+            end;
+            end.
+            "#,
+        )
+        .unwrap();
+        let dot = to_dot(&m.module);
+        assert!(dot.contains("/ P.pong"));
+    }
+
+    #[test]
+    fn to_same_renders_self_loop() {
+        let m = Machine::from_source(
+            r#"
+            specification g;
+            channel C(env, m); by env: tick; end;
+            module M process; ip P : C(m); end;
+            body MB for M;
+                state A, B;
+                initialize to A begin end;
+                trans
+                from A, B to same when P.tick name Loop: begin end;
+            end;
+            end.
+            "#,
+        )
+        .unwrap();
+        let dot = to_dot(&m.module);
+        assert!(dot.contains("s0 -> s0"));
+        assert!(dot.contains("s1 -> s1"));
+    }
+}

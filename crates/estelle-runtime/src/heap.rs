@@ -1,0 +1,161 @@
+//! Estelle dynamic memory.
+//!
+//! `new`/`dispose` allocate and free cells in a per-machine [`Heap`]. The
+//! heap is part of the TAM state (paper §2.3): depth-first search must be
+//! able to *save* and *restore* it around backtracking, which we implement
+//! by cloning — the same strategy whose cost §3.2.2 discusses for MDFS.
+//!
+//! References carry a generation counter so a dangling pointer (use after
+//! `dispose`) is detected deterministically instead of reading stale data.
+
+use crate::error::{RuntimeError, RtResult};
+use crate::value::Value;
+use std::fmt;
+
+/// A checked reference into a [`Heap`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HeapRef {
+    index: u32,
+    generation: u32,
+}
+
+impl fmt::Display for HeapRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}g{}", self.index, self.generation)
+    }
+}
+
+#[derive(Clone, Debug, Hash)]
+enum Cell {
+    Free { generation: u32 },
+    Used { generation: u32, value: Value },
+}
+
+/// The dynamic-memory store of one machine state. Cloning snapshots it.
+#[derive(Clone, Debug, Hash, Default)]
+pub struct Heap {
+    cells: Vec<Cell>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl Heap {
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Number of live allocations.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever allocated (capacity measure for the §3.2.2
+    /// save/restore cost discussion).
+    pub fn slots(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Allocate a cell holding `value`, as `new(p)` does.
+    pub fn alloc(&mut self, value: Value) -> HeapRef {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let generation = match &self.cells[index as usize] {
+                Cell::Free { generation } => generation + 1,
+                Cell::Used { .. } => unreachable!("free list holds only free cells"),
+            };
+            self.cells[index as usize] = Cell::Used { generation, value };
+            return HeapRef { index, generation };
+        }
+        let index = self.cells.len() as u32;
+        self.cells.push(Cell::Used {
+            generation: 0,
+            value,
+        });
+        HeapRef {
+            index,
+            generation: 0,
+        }
+    }
+
+    /// Free a cell, as `dispose(p)` does.
+    pub fn dispose(&mut self, r: HeapRef) -> RtResult<()> {
+        match self.cells.get_mut(r.index as usize) {
+            Some(Cell::Used { generation, .. }) if *generation == r.generation => {
+                self.cells[r.index as usize] = Cell::Free {
+                    generation: r.generation,
+                };
+                self.free.push(r.index);
+                self.live -= 1;
+                Ok(())
+            }
+            _ => Err(RuntimeError::dangling("dispose of a dangling pointer")),
+        }
+    }
+
+    /// Read a cell.
+    pub fn get(&self, r: HeapRef) -> RtResult<&Value> {
+        match self.cells.get(r.index as usize) {
+            Some(Cell::Used { generation, value }) if *generation == r.generation => Ok(value),
+            _ => Err(RuntimeError::dangling("dereference of a dangling pointer")),
+        }
+    }
+
+    /// Write a cell.
+    pub fn get_mut(&mut self, r: HeapRef) -> RtResult<&mut Value> {
+        match self.cells.get_mut(r.index as usize) {
+            Some(Cell::Used { generation, value }) if *generation == r.generation => Ok(value),
+            _ => Err(RuntimeError::dangling("dereference of a dangling pointer")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write() {
+        let mut h = Heap::new();
+        let r = h.alloc(Value::Int(7));
+        assert_eq!(h.get(r).unwrap(), &Value::Int(7));
+        *h.get_mut(r).unwrap() = Value::Int(8);
+        assert_eq!(h.get(r).unwrap(), &Value::Int(8));
+        assert_eq!(h.live(), 1);
+    }
+
+    #[test]
+    fn dispose_then_use_is_dangling() {
+        let mut h = Heap::new();
+        let r = h.alloc(Value::Int(1));
+        h.dispose(r).unwrap();
+        assert!(h.get(r).is_err());
+        assert!(h.get_mut(r).is_err());
+        assert!(h.dispose(r).is_err());
+        assert_eq!(h.live(), 0);
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let mut h = Heap::new();
+        let a = h.alloc(Value::Int(1));
+        h.dispose(a).unwrap();
+        let b = h.alloc(Value::Int(2));
+        // Same slot, different generation: the old ref stays dead.
+        assert!(h.get(a).is_err());
+        assert_eq!(h.get(b).unwrap(), &Value::Int(2));
+        assert_eq!(h.slots(), 1);
+    }
+
+    #[test]
+    fn clone_is_an_independent_snapshot() {
+        let mut h = Heap::new();
+        let r = h.alloc(Value::Int(1));
+        let snapshot = h.clone();
+        *h.get_mut(r).unwrap() = Value::Int(99);
+        h.dispose(r).unwrap();
+        // The snapshot still sees the original value.
+        assert_eq!(snapshot.get(r).unwrap(), &Value::Int(1));
+        assert_eq!(snapshot.live(), 1);
+        assert_eq!(h.live(), 0);
+    }
+}

@@ -1,0 +1,494 @@
+//! The executable machine: the four operations trace analysis needs.
+//!
+//! The paper (§2.2) lists them: **Generate** the fireable transitions from
+//! the current state, **Update** (fire) a transition, **Save** the state
+//! and **Restore** it. Save/restore are `MachineState::clone` and plain
+//! assignment — the state is a value (§2.3: FSM state, module variables,
+//! dynamic memory); queue cursors live with the trace analyzer that owns
+//! the trace.
+
+use crate::compile::{compile, CompiledModule};
+use crate::env::{InputSource, NullEnv, OutputSink, QueueHead};
+use crate::error::{RtResult, RuntimeError, RuntimeErrorKind};
+use crate::interp::{expr_has_calls, Interp, Store, UndefinedPolicy};
+use crate::value::{default_value, Value};
+use estelle_frontend::sema::model::StateId;
+use estelle_frontend::sema::types::{Type, TypeId};
+use estelle_frontend::{analyze, FrontendError};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from building a machine out of Estelle source.
+#[derive(Debug)]
+pub enum BuildError {
+    Frontend(FrontendError),
+    Compile(RuntimeError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Frontend(e) => write!(f, "{}", e),
+            BuildError::Compile(e) => write!(f, "{}", e),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The saved/restored TAM state (§2.3): control state, module variables
+/// and dynamic memory. Cloning is the paper's *Save* operation.
+#[derive(Clone, Debug)]
+pub struct MachineState {
+    pub control: StateId,
+    pub globals: Vec<Value>,
+    pub heap: crate::heap::Heap,
+}
+
+impl MachineState {
+    /// A rough size measure used by the search statistics (the paper's
+    /// §3.2 memory discussion).
+    pub fn size_estimate(&self) -> usize {
+        self.globals.len() + self.heap.slots()
+    }
+}
+
+/// One fireable transition found by *Generate*.
+#[derive(Clone, Debug)]
+pub struct Fireable {
+    /// Index into [`CompiledModule::transitions`].
+    pub trans: usize,
+    /// Parameter values of the consumed input interaction (empty for
+    /// spontaneous transitions).
+    pub params: Vec<Value>,
+    /// True when the input was fabricated for an unobserved IP (partial
+    /// traces, §5.2): firing must not consume from the real queue.
+    pub fabricated: bool,
+}
+
+/// The result of *Generate*.
+#[derive(Clone, Debug, Default)]
+pub struct Generated {
+    pub fireable: Vec<Fireable>,
+    /// True if some `when` transition was blocked only by a dynamic input
+    /// queue that may still grow — the paper's "incomplete transition
+    /// list", making this node a PG-node (§3.1.1).
+    pub incomplete: bool,
+}
+
+/// Outcome of *Update* (fire).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FireOutcome {
+    /// The transition executed and all outputs were accepted.
+    Completed,
+    /// An output could not be matched against the trace: the branch fails
+    /// and the caller should restore the pre-fire state.
+    OutputRejected,
+}
+
+/// An executable single-module Estelle specification. The compiled module
+/// is shared (`Arc`), so policy-adjusted views are cheap to create.
+pub struct Machine {
+    pub module: Arc<CompiledModule>,
+    pub policy: UndefinedPolicy,
+}
+
+impl Machine {
+    pub fn new(module: CompiledModule) -> Self {
+        Machine {
+            module: Arc::new(module),
+            policy: UndefinedPolicy::Error,
+        }
+    }
+
+    /// A second handle onto the same compiled module with a different
+    /// undefined-value policy (full-trace vs. partial-trace analysis).
+    pub fn policy_view(&self, policy: UndefinedPolicy) -> Machine {
+        Machine {
+            module: Arc::clone(&self.module),
+            policy,
+        }
+    }
+
+    /// Parse, analyze and compile Estelle source into a machine.
+    pub fn from_source(source: &str) -> Result<Self, BuildError> {
+        let analyzed = analyze(source).map_err(BuildError::Frontend)?;
+        let module = compile(analyzed).map_err(BuildError::Compile)?;
+        Ok(Machine::new(module))
+    }
+
+    /// Use the partial-trace undefined policy (§5).
+    pub fn with_policy(mut self, policy: UndefinedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn interp(&self) -> Interp<'_> {
+        Interp::new(&self.module, self.policy)
+    }
+
+    /// Run the `initialize` transition and return the initial state.
+    /// Outputs in the initialize block go to `sink`.
+    pub fn initial_state_with(&self, sink: &mut dyn OutputSink) -> RtResult<MachineState> {
+        let mut globals: Vec<Value> = self
+            .module
+            .globals
+            .iter()
+            .map(|t| default_value(&self.module.analyzed.types, *t))
+            .collect();
+        let mut heap = crate::heap::Heap::new();
+        let mut frame = Vec::new();
+        {
+            let mut store = Store {
+                globals: &mut globals,
+                heap: &mut heap,
+            };
+            self.interp()
+                .exec_block(&self.module.init_block, &mut store, &mut frame, sink, 0)?;
+        }
+        Ok(MachineState {
+            control: self.module.init_to,
+            globals,
+            heap,
+        })
+    }
+
+    /// [`Machine::initial_state_with`] discarding initialize outputs.
+    pub fn initial_state(&self) -> RtResult<MachineState> {
+        let mut sink = NullEnv::default();
+        self.initial_state_with(&mut sink)
+    }
+
+    /// An initial state whose control state is overridden — used by the
+    /// initial-state search option (§2.4.1): variables and dynamic memory
+    /// stay "as set by the initialize transition block".
+    pub fn initial_state_at(&self, control: StateId) -> RtResult<MachineState> {
+        let mut st = self.initial_state()?;
+        st.control = control;
+        Ok(st)
+    }
+
+    /// *Generate*: list the fireable transitions from `st` given the
+    /// inputs currently offered by `input`. Applies Estelle priority
+    /// filtering (among enabled transitions only the best priority class
+    /// fires).
+    pub fn generate(
+        &self,
+        st: &mut MachineState,
+        input: &dyn InputSource,
+    ) -> RtResult<Generated> {
+        let mut out = Generated::default();
+        let interp = self.interp();
+
+        for (i, t) in self.module.transitions.iter().enumerate() {
+            if !t.from.contains(&st.control) {
+                continue;
+            }
+            // Resolve the input clause first.
+            let (params, fabricated) = match t.when {
+                None => (Vec::new(), false),
+                Some((ip, interaction, nparams)) => match input.head(ip) {
+                    QueueHead::Message {
+                        interaction: head_interaction,
+                        params,
+                    } if head_interaction == interaction => (params, false),
+                    QueueHead::Message { .. } | QueueHead::Empty => continue,
+                    QueueHead::EmptyMayGrow => {
+                        out.incomplete = true;
+                        continue;
+                    }
+                    QueueHead::Unobserved => (vec![Value::Undefined; nparams], true),
+                },
+            };
+
+            // Evaluate the guard with the transition frame (any bindings +
+            // input parameters).
+            if let Some(guard) = &t.provided {
+                let mut frame = self.transition_frame(t, &params);
+                let enabled = if expr_has_calls(guard) {
+                    // Guards containing function calls may have side
+                    // effects; evaluate against a scratch copy.
+                    let mut globals = st.globals.clone();
+                    let mut heap = st.heap.clone();
+                    let mut store = Store {
+                        globals: &mut globals,
+                        heap: &mut heap,
+                    };
+                    let mut sink = NullEnv::default();
+                    interp.eval_guard(guard, &mut store, &mut frame, &mut sink)?
+                } else {
+                    let mut store = Store {
+                        globals: &mut st.globals,
+                        heap: &mut st.heap,
+                    };
+                    let mut sink = NullEnv::default();
+                    interp.eval_guard(guard, &mut store, &mut frame, &mut sink)?
+                };
+                if !enabled {
+                    continue;
+                }
+            }
+
+            out.fireable.push(Fireable {
+                trans: i,
+                params,
+                fabricated,
+            });
+        }
+
+        // Priority filtering: keep only the smallest priority value.
+        if let Some(best) = out
+            .fireable
+            .iter()
+            .map(|f| self.module.transitions[f.trans].priority)
+            .min()
+        {
+            out.fireable
+                .retain(|f| self.module.transitions[f.trans].priority == best);
+        }
+        // Stable order with fabricated inputs last: depth-first searches
+        // try transitions explained by *observed* events before inventing
+        // interactions on unobserved IPs, which keeps partial-trace
+        // analysis (§5) from diving into unbounded fabrication chains.
+        out.fireable.sort_by_key(|f| f.fabricated);
+        Ok(out)
+    }
+
+    /// *Update*: fire `f`, consuming its input, executing the block and
+    /// emitting outputs to the environment's sink half. On
+    /// [`FireOutcome::OutputRejected`] the state is left partially updated;
+    /// the caller restores a saved state.
+    pub fn fire(
+        &self,
+        st: &mut MachineState,
+        f: &Fireable,
+        env: &mut dyn crate::env::MachineEnv,
+    ) -> RtResult<FireOutcome> {
+        let t = &self.module.transitions[f.trans];
+        if let Some((ip, _, _)) = t.when {
+            if !f.fabricated {
+                env.consume(ip);
+            }
+        }
+        let mut frame = self.transition_frame(t, &f.params);
+        let result = {
+            let mut store = Store {
+                globals: &mut st.globals,
+                heap: &mut st.heap,
+            };
+            self.interp()
+                .exec_block(&t.body, &mut store, &mut frame, env, 0)
+        };
+        match result {
+            Ok(()) => {
+                if let Some(to) = t.to {
+                    st.control = to;
+                }
+                Ok(FireOutcome::Completed)
+            }
+            Err(e) if e.kind == RuntimeErrorKind::OutputRejected => {
+                Ok(FireOutcome::OutputRejected)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Build a transition's frame: `any` bindings, then input parameters,
+    /// padded with defaults.
+    fn transition_frame(
+        &self,
+        t: &crate::ir::CompiledTransition,
+        params: &[Value],
+    ) -> Vec<Value> {
+        let mut frame: Vec<Value> = Vec::with_capacity(t.frame_size);
+        for (i, &ord) in t.any_bindings.iter().enumerate() {
+            frame.push(ordinal_to_value(
+                &self.module.analyzed.types,
+                t.any_types[i],
+                ord,
+            ));
+        }
+        frame.extend(params.iter().cloned());
+        while frame.len() < t.frame_size {
+            let ty = t.slot_types[frame.len()];
+            frame.push(default_value(&self.module.analyzed.types, ty));
+        }
+        frame
+    }
+
+    /// Names of the compiled transitions, for display and statistics.
+    pub fn transition_name(&self, index: usize) -> &str {
+        &self.module.transitions[index].name
+    }
+}
+
+/// Reify an ordinal as a value of the given scalar type.
+pub fn ordinal_to_value(
+    types: &estelle_frontend::sema::types::TypeTable,
+    ty: TypeId,
+    ord: i64,
+) -> Value {
+    match types.get(types.base_of(ty)) {
+        Type::Boolean => Value::Bool(ord != 0),
+        Type::Enum { .. } => Value::Enum(types.base_of(ty), ord),
+        _ => Value::Int(ord),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PINGPONG: &str = r#"
+        specification pingpong;
+        channel C(peer, me);
+            by peer: ping(n : integer);
+            by me: pong(n : integer);
+        end;
+        module M process; ip P : C(me); end;
+        body MB for M;
+            var total : integer;
+            state Idle;
+            initialize to Idle begin total := 0 end;
+            trans
+            from Idle to Idle when P.ping provided n >= 0 name Tping:
+            begin
+                total := total + n;
+                output P.pong(total);
+            end;
+        end;
+        end.
+    "#;
+
+    /// A scripted single-IP environment for tests: FIFO input, recorded
+    /// outputs, optional rejection of all outputs.
+    struct Script {
+        msgs: Vec<(usize, Vec<Value>)>,
+        pos: usize,
+        outputs: Vec<(usize, usize, Vec<Value>)>,
+        reject_outputs: bool,
+    }
+
+    impl Script {
+        fn new(msgs: Vec<(usize, Vec<Value>)>) -> Self {
+            Script {
+                msgs,
+                pos: 0,
+                outputs: Vec::new(),
+                reject_outputs: false,
+            }
+        }
+    }
+
+    impl InputSource for Script {
+        fn head(&self, ip: usize) -> QueueHead {
+            assert_eq!(ip, 0);
+            match self.msgs.get(self.pos) {
+                Some((interaction, params)) => QueueHead::Message {
+                    interaction: *interaction,
+                    params: params.clone(),
+                },
+                None => QueueHead::Empty,
+            }
+        }
+        fn consume(&mut self, _ip: usize) {
+            self.pos += 1;
+        }
+    }
+
+    impl OutputSink for Script {
+        fn emit(&mut self, ip: usize, interaction: usize, params: Vec<Value>) -> bool {
+            if self.reject_outputs {
+                return false;
+            }
+            self.outputs.push((ip, interaction, params));
+            true
+        }
+    }
+
+    #[test]
+    fn generate_fire_cycle() {
+        let m = Machine::from_source(PINGPONG).expect("builds");
+        let mut st = m.initial_state().expect("initializes");
+        assert_eq!(st.globals[0], Value::Int(0));
+
+        let mut env = Script::new(vec![(0, vec![Value::Int(3)]), (0, vec![Value::Int(4)])]);
+
+        let g = m.generate(&mut st, &env).unwrap();
+        assert_eq!(g.fireable.len(), 1);
+        assert!(!g.incomplete);
+
+        let out = m.fire(&mut st, &g.fireable[0], &mut env).unwrap();
+        assert_eq!(out, FireOutcome::Completed);
+        assert_eq!(st.globals[0], Value::Int(3));
+        assert_eq!(env.outputs, vec![(0, 0, vec![Value::Int(3)])]);
+
+        let g = m.generate(&mut st, &env).unwrap();
+        m.fire(&mut st, &g.fireable[0], &mut env).unwrap();
+        assert_eq!(st.globals[0], Value::Int(7));
+    }
+
+    #[test]
+    fn guard_blocks_firing() {
+        let m = Machine::from_source(PINGPONG).unwrap();
+        let mut st = m.initial_state().unwrap();
+        let env = Script::new(vec![(0, vec![Value::Int(-1)])]);
+        let g = m.generate(&mut st, &env).unwrap();
+        assert!(g.fireable.is_empty());
+    }
+
+    #[test]
+    fn save_restore_is_clone() {
+        let m = Machine::from_source(PINGPONG).unwrap();
+        let mut st = m.initial_state().unwrap();
+        let saved = st.clone();
+        let mut env = Script::new(vec![(0, vec![Value::Int(5)])]);
+        let g = m.generate(&mut st, &env).unwrap();
+        m.fire(&mut st, &g.fireable[0], &mut env).unwrap();
+        assert_eq!(st.globals[0], Value::Int(5));
+        st = saved;
+        assert_eq!(st.globals[0], Value::Int(0));
+    }
+
+    #[test]
+    fn rejected_output_reports_outcome() {
+        let m = Machine::from_source(PINGPONG).unwrap();
+        let mut st = m.initial_state().unwrap();
+        let mut env = Script::new(vec![(0, vec![Value::Int(1)])]);
+        env.reject_outputs = true;
+        let g = m.generate(&mut st, &env).unwrap();
+        let out = m.fire(&mut st, &g.fireable[0], &mut env).unwrap();
+        assert_eq!(out, FireOutcome::OutputRejected);
+    }
+
+    #[test]
+    fn initial_state_at_overrides_control_only() {
+        let m = Machine::from_source(PINGPONG).unwrap();
+        let st = m.initial_state_at(StateId(0)).unwrap();
+        assert_eq!(st.control, StateId(0));
+        assert_eq!(st.globals[0], Value::Int(0));
+    }
+
+    #[test]
+    fn priority_filters_fireable_set() {
+        let src = r#"
+            specification prio;
+            module M process; end;
+            body MB for M;
+                var n : integer;
+                state S;
+                initialize to S begin n := 0 end;
+                trans
+                from S to S priority 5 name Low: begin n := 1 end;
+                from S to S priority 1 name High: begin n := 2 end;
+            end;
+            end.
+        "#;
+        let m = Machine::from_source(src).unwrap();
+        let mut st = m.initial_state().unwrap();
+        let input = NullEnv::default();
+        let g = m.generate(&mut st, &input).unwrap();
+        assert_eq!(g.fireable.len(), 1);
+        assert_eq!(m.transition_name(g.fireable[0].trans), "High");
+    }
+}

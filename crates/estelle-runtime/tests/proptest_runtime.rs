@@ -1,0 +1,216 @@
+//! Property tests for the runtime substrate: the heap against a
+//! reference model, set semantics, and interpreter arithmetic against
+//! direct evaluation.
+
+use estelle_runtime::value::SmallSet;
+use estelle_runtime::{Heap, Machine, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------
+// Heap vs. a reference model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Alloc(i64),
+    /// Dispose the n-th live allocation (modulo the live count).
+    Dispose(usize),
+    /// Overwrite the n-th live allocation.
+    Write(usize, i64),
+    /// Snapshot now; verify the snapshot at the end.
+    Snapshot,
+}
+
+fn heap_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<i64>()).prop_map(HeapOp::Alloc),
+            (0usize..8).prop_map(HeapOp::Dispose),
+            (0usize..8, any::<i64>()).prop_map(|(i, v)| HeapOp::Write(i, v)),
+            Just(HeapOp::Snapshot),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The heap agrees with a simple Vec-based model under arbitrary
+    /// alloc/dispose/write interleavings, and snapshots are immutable.
+    #[test]
+    fn heap_matches_reference_model(ops in heap_ops()) {
+        let mut heap = Heap::new();
+        let mut live: Vec<(estelle_runtime::HeapRef, i64)> = Vec::new();
+        let mut snapshot: Option<(Heap, Vec<(estelle_runtime::HeapRef, i64)>)> = None;
+
+        for op in ops {
+            match op {
+                HeapOp::Alloc(v) => {
+                    let r = heap.alloc(Value::Int(v));
+                    live.push((r, v));
+                }
+                HeapOp::Dispose(i) => {
+                    if !live.is_empty() {
+                        let (r, _) = live.remove(i % live.len());
+                        heap.dispose(r).expect("live ref disposes");
+                        // Double dispose must fail.
+                        prop_assert!(heap.dispose(r).is_err());
+                    }
+                }
+                HeapOp::Write(i, v) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let (r, _) = live[idx];
+                        *heap.get_mut(r).expect("live ref reads") = Value::Int(v);
+                        live[idx].1 = v;
+                    }
+                }
+                HeapOp::Snapshot => {
+                    snapshot = Some((heap.clone(), live.clone()));
+                }
+            }
+            // Model agreement after every step.
+            prop_assert_eq!(heap.live(), live.len());
+            for (r, v) in &live {
+                prop_assert_eq!(heap.get(*r).unwrap(), &Value::Int(*v));
+            }
+        }
+
+        // The snapshot still shows the world as it was.
+        if let Some((snap, snap_live)) = snapshot {
+            prop_assert_eq!(snap.live(), snap_live.len());
+            for (r, v) in &snap_live {
+                prop_assert_eq!(snap.get(*r).unwrap(), &Value::Int(*v));
+            }
+        }
+    }
+
+    /// SmallSet behaves like BTreeSet for insert/contains/len.
+    #[test]
+    fn small_set_matches_btreeset(values in prop::collection::vec(-50i64..50, 0..40)) {
+        let mut small = SmallSet::empty();
+        let mut reference = BTreeSet::new();
+        for v in &values {
+            small.insert(*v);
+            reference.insert(*v);
+            prop_assert_eq!(small.len(), reference.len());
+        }
+        for v in -50i64..50 {
+            prop_assert_eq!(small.contains(v), reference.contains(&v));
+        }
+        let collected: Vec<i64> = small.iter().collect();
+        let expected: Vec<i64> = reference.into_iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// The interpreter's integer arithmetic matches Rust's, including
+    /// Pascal `div`/`mod` truncation semantics, evaluated through a real
+    /// compiled specification.
+    #[test]
+    fn interpreter_arithmetic_matches_host(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        prop_assume!(b != 0);
+        let src = format!(
+            r#"
+            specification arith;
+            channel C(env, m); by env: go; by m: done(q : integer; r : integer; s : integer); end;
+            module M process; ip P : C(m); end;
+            body MB for M;
+                var q, r, s : integer;
+                state S;
+                initialize to S begin
+                    q := ({a}) div ({b});
+                    r := ({a}) mod ({b});
+                    s := (({a}) + ({b})) * 2 - ({b});
+                end;
+                trans
+                from S to S when P.go begin output P.done(q, r, s) end;
+            end;
+            end.
+            "#,
+        );
+        let machine = Machine::from_source(&src).expect("builds");
+        let st = machine.initial_state().expect("initializes");
+        prop_assert_eq!(&st.globals[0], &Value::Int(a.wrapping_div(b)));
+        prop_assert_eq!(&st.globals[1], &Value::Int(a.wrapping_rem(b)));
+        prop_assert_eq!(&st.globals[2], &Value::Int((a + b) * 2 - b));
+    }
+
+    /// `matches` is reflexive and symmetric for arbitrary scalar values,
+    /// and undefined absorbs everything.
+    #[test]
+    fn value_matching_properties(x in -100i64..100, y in -100i64..100) {
+        let a = Value::Int(x);
+        let b = Value::Int(y);
+        prop_assert!(a.matches(&a));
+        prop_assert_eq!(a.matches(&b), b.matches(&a));
+        prop_assert_eq!(a.matches(&b), x == y);
+        prop_assert!(Value::Undefined.matches(&a));
+        prop_assert!(a.matches(&Value::Undefined));
+    }
+}
+
+/// Machine state snapshots are genuinely independent: mutating the live
+/// state never leaks into a clone taken earlier (the Save operation).
+#[test]
+fn machine_state_snapshot_independence() {
+    let src = r#"
+        specification snap;
+        channel C(env, m); by env: bump; end;
+        module M process; ip P : C(m); end;
+        body MB for M;
+            type cell = record v : integer; next : ^cell end;
+            var n : integer; head : ^cell;
+            state S;
+            initialize to S begin n := 0; head := nil end;
+            trans
+            from S to S when P.bump begin
+                n := n + 1;
+                new(head);
+                head^.v := n;
+            end;
+        end;
+        end.
+    "#;
+    let machine = Machine::from_source(src).unwrap();
+    let mut st = machine.initial_state().unwrap();
+
+    struct OneShot(usize);
+    impl estelle_runtime::InputSource for OneShot {
+        fn head(&self, _ip: usize) -> estelle_runtime::QueueHead {
+            if self.0 > 0 {
+                estelle_runtime::QueueHead::Message {
+                    interaction: 0,
+                    params: vec![],
+                }
+            } else {
+                estelle_runtime::QueueHead::Empty
+            }
+        }
+        fn consume(&mut self, _ip: usize) {
+            self.0 -= 1;
+        }
+    }
+    impl estelle_runtime::OutputSink for OneShot {
+        fn emit(&mut self, _: usize, _: usize, _: Vec<Value>) -> bool {
+            true
+        }
+    }
+
+    let mut env = OneShot(3);
+    let snapshots: Vec<_> = (0..3)
+        .map(|_| {
+            let snap = st.clone();
+            let g = machine.generate(&mut st, &env).unwrap();
+            machine.fire(&mut st, &g.fireable[0], &mut env).unwrap();
+            snap
+        })
+        .collect();
+
+    assert_eq!(st.globals[0], Value::Int(3));
+    for (i, snap) in snapshots.iter().enumerate() {
+        assert_eq!(snap.globals[0], Value::Int(i as i64));
+        assert_eq!(snap.heap.live(), i);
+    }
+}

@@ -1,0 +1,141 @@
+//! The paper's Figure 2 specifications, `ip3` and `ip3'`.
+//!
+//! Three interaction points A, B, C. Transitions t1/t2 relay `data`
+//! between B and C, t3 answers `x` at A with `p`. The full `ip3` also has
+//! t4 (a `finished` at B moves to s2) and t5 (an `x` at A in s2 emits
+//! `o`). The primed variant `ip3'` omits t4/t5, so the output `o` can
+//! *never* be generated — yet on-line MDFS keeps verifying B/C data
+//! forever and can only say "likely invalid", the paper's §3.1.2
+//! inconclusiveness example.
+
+use tango::{Tango, TraceAnalyzer};
+
+fn source(with_t4_t5: bool) -> String {
+    let tail = if with_t4_t5 {
+        r#"
+    from s1 to s2 when B.finished name t4:
+        begin end;
+    from s2 to s1 when A.x name t5:
+        begin output A.o; end;
+"#
+    } else {
+        ""
+    };
+    format!(
+        r#"
+specification ip3;
+
+channel ChA(env, m);
+    by env: x;
+    by m: p; o;
+end;
+
+channel ChB(env, m);
+    by env: data; finished;
+    by m: data;
+end;
+
+channel ChC(env, m);
+    by env: data;
+    by m: data;
+end;
+
+module M process;
+    ip A : ChA(m);
+    ip B : ChB(m);
+    ip C : ChC(m);
+end;
+
+body MB for M;
+    state s1, s2;
+
+    initialize to s1 begin end;
+
+    trans
+    from s1 to s1 when B.data name t1:
+        begin output C.data; end;
+    from s1 to s1 when C.data name t2:
+        begin output B.data; end;
+    from s1 to s1 when A.x name t3:
+        begin output A.p; end;
+{tail}
+end;
+end.
+"#,
+        tail = tail
+    )
+}
+
+/// Full `ip3` (transitions t1–t5).
+pub fn source_full() -> String {
+    source(true)
+}
+
+/// `ip3'` — only t1, t2, t3; `o` is unreachable.
+pub fn source_prime() -> String {
+    source(false)
+}
+
+/// Analyzer for the full `ip3`.
+pub fn analyzer_full() -> TraceAnalyzer {
+    Tango::generate(&source_full()).expect("ip3 is valid")
+}
+
+/// Analyzer for `ip3'`.
+pub fn analyzer_prime() -> TraceAnalyzer {
+    Tango::generate(&source_prime()).expect("ip3' is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango::{AnalysisOptions, OrderOptions, Verdict};
+
+    #[test]
+    fn both_variants_build() {
+        assert_eq!(analyzer_full().machine.module.transition_count(), 5);
+        assert_eq!(analyzer_prime().machine.module.transition_count(), 3);
+    }
+
+    #[test]
+    fn o_needs_finished_in_full_spec() {
+        let a = analyzer_full();
+        let valid = "in A.x\nout A.p\nin B.finished\nin A.x\nout A.o\n";
+        let r = a.analyze_text(valid, &AnalysisOptions::default()).unwrap();
+        assert_eq!(r.verdict, Verdict::Valid);
+    }
+
+    #[test]
+    fn o_without_finished_is_invalid_statically() {
+        // In static mode even the full spec rejects `o` when `finished`
+        // never arrived.
+        let a = analyzer_full();
+        let r = a
+            .analyze_text(
+                "in A.x\nout A.o\n",
+                &AnalysisOptions::with_order(OrderOptions::none()),
+            )
+            .unwrap();
+        assert_eq!(r.verdict, Verdict::Invalid);
+    }
+
+    #[test]
+    fn prime_never_generates_o() {
+        let a = analyzer_prime();
+        let r = a
+            .analyze_text(
+                "in A.x\nout A.p\nout A.o\n",
+                &AnalysisOptions::with_order(OrderOptions::none()),
+            )
+            .unwrap();
+        assert_eq!(r.verdict, Verdict::Invalid);
+    }
+
+    #[test]
+    fn data_relay_round_trips() {
+        let a = analyzer_prime();
+        let trace = "in B.data\nout C.data\nin C.data\nout B.data\n";
+        let r = a.analyze_text(trace, &AnalysisOptions::default()).unwrap();
+        assert_eq!(r.verdict, Verdict::Valid);
+    }
+}

@@ -1,0 +1,21 @@
+//! Protocol specifications and workload generators for the Tango
+//! reproduction.
+//!
+//! * [`abp`] — an Alternating Bit Protocol sender (retransmission
+//!   nondeterminism beyond the paper's case studies);
+//! * [`ack`] — the paper's Figure 1 toy spec (MDFS motivation);
+//! * [`ip3`] — the paper's Figure 2 specs `ip3` and `ip3'` (MDFS
+//!   termination/inconclusiveness);
+//! * [`tp0`] — the ISO Class 0 Transport Protocol of §4.2, with
+//!   dynamic-memory buffers and the t13–t17 data-state transitions;
+//! * [`lapd`] — a Q.921-inspired LAPD specification for the §4.1
+//!   experiments, including piggybacked-acknowledgement nondeterminism;
+//! * [`synthetic`] — a generator of specifications with any number of
+//!   transition declarations, for the §4 throughput-vs-size claim.
+
+pub mod abp;
+pub mod ack;
+pub mod ip3;
+pub mod lapd;
+pub mod synthetic;
+pub mod tp0;

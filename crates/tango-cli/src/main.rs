@@ -1,0 +1,262 @@
+//! `tango` — command-line trace analyzer generator for Estelle
+//! specifications.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! tango check <spec.est>
+//!     Parse and analyze a specification; print its model summary.
+//!
+//! tango analyze <spec.est> <trace.txt> [--order nr|io|ip|full]
+//!     [--disable-ip NAME]... [--unobserved-ip NAME]...
+//!     [--initial-state-search] [--state-hashing]
+//!     Analyze a static trace file; exit code 0 = valid, 1 = invalid,
+//!     2 = inconclusive.
+//!
+//! tango online <spec.est> <trace.txt> [--order ...]
+//!     Follow a growing trace file (dynamic mode, MDFS) until its `eof`
+//!     marker; interim verdicts are printed as they change.
+//!
+//! tango normalize <spec.est>
+//!     Print the §5.3 normal form of the specification.
+//!
+//! tango generate <spec.est> <script.txt> [--seed N]
+//!     Implementation-generation mode (§4.1): execute the specification
+//!     against the scripted inputs (`in IP.interaction(args)` lines) and
+//!     print the resulting valid trace.
+//!
+//! tango graph <spec.est>
+//!     Emit a Graphviz `dot` rendering of the compiled EFSM.
+//! ```
+
+use estelle_frontend::parse_specification;
+use estelle_runtime::normal_form::normalize_specification;
+use std::process::ExitCode;
+use tango::{AnalysisOptions, FollowFileSource, OrderOptions, Tango, Verdict};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {}", msg);
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "check" => check(args.get(1).map(String::as_str).ok_or_else(usage)?),
+        "analyze" => analyze(&args[1..], false),
+        "online" => analyze(&args[1..], true),
+        "normalize" => normalize(args.get(1).map(String::as_str).ok_or_else(usage)?),
+        "graph" => graph(args.get(1).map(String::as_str).ok_or_else(usage)?),
+        "generate" => generate(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand `{}`\n{}", other, usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: tango <check|analyze|online|normalize|graph|generate> <spec.est> \
+     [trace.txt|script.txt] [--order nr|io|ip|full] [--disable-ip NAME] \
+     [--unobserved-ip NAME] [--initial-state-search] [--state-hashing] \
+     [--seed N]"
+        .to_string()
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {}", path, e))
+}
+
+fn check(spec_path: &str) -> Result<ExitCode, String> {
+    let source = read(spec_path)?;
+    let analyzer = match Tango::generate(&source) {
+        Ok(a) => a,
+        Err(tango::TangoError::Build(estelle_runtime::BuildError::Frontend(e))) => {
+            eprintln!("{}", e.render(&source));
+            return Ok(ExitCode::from(1));
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let m = analyzer.module();
+    println!("specification {} / module {}", m.spec_name, m.module_name);
+    println!("  states: {}", m.states.join(", "));
+    for ip in &m.ips {
+        println!(
+            "  ip {}: {} receivable, {} sendable interaction(s)",
+            ip.name,
+            ip.inputs.len(),
+            ip.outputs.len()
+        );
+    }
+    println!(
+        "  {} transition declaration(s), {} compiled transition(s)",
+        m.declared_transition_count(),
+        analyzer.machine.module.transition_count()
+    );
+    for w in &m.warnings {
+        println!("  warning: {}", w);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Implementation-generation mode (§4.1): run the spec against scripted
+/// inputs and print the trace it produces.
+fn generate(args: &[String]) -> Result<ExitCode, String> {
+    let mut seed: Option<u64> = None;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = Some(v.parse().map_err(|_| format!("bad seed `{}`", v))?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{}`", flag));
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [spec_path, script_path] = positional.as_slice() else {
+        return Err(usage());
+    };
+    let source = read(spec_path)?;
+    let analyzer = Tango::generate(&source).map_err(|e| e.to_string())?;
+
+    // The script reuses the trace format; only `in` lines are accepted.
+    let script_text = read(script_path)?;
+    let script_trace = tango::parse_trace(&script_text, Some(analyzer.module()))
+        .map_err(|e| e.to_string())?;
+    let mut script = Vec::new();
+    for e in &script_trace.events {
+        if e.dir != tango::Dir::In {
+            return Err(format!(
+                "script may only contain `in` lines; found `out {}.{}`",
+                e.ip, e.interaction
+            ));
+        }
+        script.push(tango::ScriptedInput {
+            ip: e.ip.clone(),
+            interaction: e.interaction.clone(),
+            params: e.params.clone(),
+        });
+    }
+
+    let choice = match seed {
+        Some(s) => tango::ChoicePolicy::Random(s),
+        None => tango::ChoicePolicy::First,
+    };
+    let trace = analyzer
+        .generate_trace(&script, choice, 10_000_000)
+        .map_err(|e| e.to_string())?;
+    print!(
+        "{}",
+        tango::render_trace(&trace, Some(analyzer.module()), true)
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Emit a Graphviz rendering of the compiled EFSM.
+fn graph(spec_path: &str) -> Result<ExitCode, String> {
+    let source = read(spec_path)?;
+    let analyzer = Tango::generate(&source).map_err(|e| e.to_string())?;
+    print!("{}", estelle_runtime::graph::to_dot(&analyzer.machine.module));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn normalize(spec_path: &str) -> Result<ExitCode, String> {
+    let source = read(spec_path)?;
+    let spec = parse_specification(&source).map_err(|e| e.render(&source))?;
+    let normalized = normalize_specification(&spec).map_err(|e| e.to_string())?;
+    print!("{}", estelle_ast::print::print_specification(&normalized));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_options(args: &[String]) -> Result<(AnalysisOptions, Vec<String>), String> {
+    let mut options = AnalysisOptions::default();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--order" => {
+                let v = it.next().ok_or("--order needs a value")?;
+                options.order = match v.to_ascii_lowercase().as_str() {
+                    "nr" | "none" => OrderOptions::none(),
+                    "io" => OrderOptions::io(),
+                    "ip" => OrderOptions::ip(),
+                    "full" => OrderOptions::full(),
+                    other => return Err(format!("unknown order mode `{}`", other)),
+                };
+            }
+            "--disable-ip" => {
+                let v = it.next().ok_or("--disable-ip needs a name")?;
+                options.disabled_ips.insert(v.to_ascii_lowercase());
+            }
+            "--unobserved-ip" => {
+                let v = it.next().ok_or("--unobserved-ip needs a name")?;
+                options.unobserved_ips.insert(v.to_ascii_lowercase());
+                options.policy = estelle_runtime::UndefinedPolicy::Propagate;
+            }
+            "--initial-state-search" => options.initial_state_search = true,
+            "--state-hashing" => options.state_hashing = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{}`", flag));
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    Ok((options, positional))
+}
+
+fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
+    let (options, positional) = parse_options(args)?;
+    let [spec_path, trace_path] = positional.as_slice() else {
+        return Err(usage());
+    };
+    let source = read(spec_path)?;
+    let analyzer = match Tango::generate(&source) {
+        Ok(a) => a,
+        Err(tango::TangoError::Build(estelle_runtime::BuildError::Frontend(e))) => {
+            eprintln!("{}", e.render(&source));
+            return Ok(ExitCode::from(3));
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+
+    let report = if online {
+        let mut src = FollowFileSource::new(trace_path, Some(analyzer.module().clone()));
+        analyzer
+            .analyze_online(&mut src, &options, &mut |v| {
+                println!("interim: {}", v);
+                true
+            })
+            .map_err(|e| e.to_string())?
+    } else {
+        let text = read(trace_path)?;
+        analyzer
+            .analyze_text(&text, &options)
+            .map_err(|e| e.to_string())?
+    };
+
+    println!("{}", report);
+    if let Some(w) = &report.witness {
+        println!("witness: {}", w.join(" -> "));
+    }
+    for e in report.spec_errors.iter().take(3) {
+        println!("note: branch abandoned with {}", e);
+    }
+    Ok(match report.verdict {
+        Verdict::Valid => ExitCode::SUCCESS,
+        Verdict::Invalid => ExitCode::from(1),
+        _ => ExitCode::from(2),
+    })
+}

@@ -1,0 +1,163 @@
+//! The generated trace analyzer — Tango's end product.
+//!
+//! [`Tango::generate`] plays the role of running the Tango tool on an
+//! Estelle specification: it produces a [`TraceAnalyzer`], the analog of
+//! the compiled TAM executable. The analyzer then checks traces in static
+//! mode ([`TraceAnalyzer::analyze`]) or on-line dynamic mode
+//! ([`TraceAnalyzer::analyze_online`]), supports the runtime options of
+//! §2.4, and doubles as an implementation generator (§4.1's methodology).
+
+use crate::error::TangoError;
+use crate::genimpl::{run_implementation, ChoicePolicy, ScriptedInput};
+use crate::options::AnalysisOptions;
+use crate::search::dfs::run_dfs;
+use crate::search::mdfs::run_mdfs;
+use crate::stats::SearchStats;
+use crate::trace::format::parse_trace;
+use crate::trace::source::TraceSource;
+use crate::trace::{ResolvedTrace, Trace};
+use crate::env::TraceEnv;
+use crate::verdict::{AnalysisReport, Verdict};
+use estelle_frontend::sema::model::{AnalyzedModule, StateId};
+use estelle_runtime::Machine;
+
+/// The trace-analysis tool generator.
+pub struct Tango;
+
+impl Tango {
+    /// Generate a trace analyzer from Estelle source — the whole pipeline
+    /// the paper builds from Pet + Dingo + the Tango additions.
+    pub fn generate(source: &str) -> Result<TraceAnalyzer, TangoError> {
+        Ok(TraceAnalyzer::from_machine(Machine::from_source(source)?))
+    }
+}
+
+/// A generated trace analysis module (TAM).
+pub struct TraceAnalyzer {
+    pub machine: Machine,
+}
+
+impl std::fmt::Debug for TraceAnalyzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceAnalyzer")
+            .field("module", &self.module().module_name)
+            .field("transitions", &self.machine.module.transition_count())
+            .finish()
+    }
+}
+
+impl TraceAnalyzer {
+    pub fn from_machine(machine: Machine) -> Self {
+        TraceAnalyzer { machine }
+    }
+
+    /// The analyzed specification model (IP names, states, types …).
+    pub fn module(&self) -> &AnalyzedModule {
+        &self.machine.module.analyzed
+    }
+
+    /// Parse a trace file and analyze it (static mode).
+    pub fn analyze_text(
+        &self,
+        trace_text: &str,
+        options: &AnalysisOptions,
+    ) -> Result<AnalysisReport, TangoError> {
+        let trace = parse_trace(trace_text, Some(self.module()))?;
+        self.analyze(&trace, options)
+    }
+
+    /// Analyze a complete trace (static mode).
+    pub fn analyze(
+        &self,
+        trace: &Trace,
+        options: &AnalysisOptions,
+    ) -> Result<AnalysisReport, TangoError> {
+        let resolved = ResolvedTrace::resolve(trace, self.module())?;
+        self.analyze_resolved(resolved, options)
+    }
+
+    /// Analyze an already resolved trace (static mode), applying the
+    /// §2.4.1 initial-state search when enabled.
+    pub fn analyze_resolved(
+        &self,
+        trace: ResolvedTrace,
+        options: &AnalysisOptions,
+    ) -> Result<AnalysisReport, TangoError> {
+        let machine = self
+            .machine
+            .policy_view(options.policy);
+        let mut stats = SearchStats::default();
+
+        let mut env = TraceEnv::new(self.module(), trace.clone(), options, false)?;
+        let start = machine.initial_state()?;
+        let outcome = run_dfs(&machine, &mut env, start, options, &mut stats)?;
+
+        let mut report = AnalysisReport::new(outcome.verdict, stats);
+        report.witness = outcome.witness;
+        report.spec_errors = outcome.spec_errors;
+        if report.verdict == Verdict::Invalid {
+            report.best_effort = Some(crate::verdict::BestEffort {
+                events_explained: outcome.best.0,
+                events_total: outcome.total_events,
+                path: outcome.best.1,
+            });
+        }
+
+        // §2.4.1: on failure, "backtrack to the point right after the
+        // initialize transition was taken, choose another initial FSM
+        // state, and begin the analysis again".
+        if report.verdict == Verdict::Invalid && options.initial_state_search {
+            let default_init = self.machine.module.init_to;
+            for sid in 0..self.module().states.len() {
+                let sid = StateId(sid as u32);
+                if sid == default_init {
+                    continue;
+                }
+                let mut env = TraceEnv::new(self.module(), trace.clone(), options, false)?;
+                let start = machine.initial_state_at(sid)?;
+                let mut stats = SearchStats::default();
+                let outcome = run_dfs(&machine, &mut env, start, options, &mut stats)?;
+                report.stats.absorb(&stats);
+                report.spec_errors.extend(outcome.spec_errors);
+                if outcome.verdict == Verdict::Valid {
+                    report.verdict = Verdict::Valid;
+                    report.witness = outcome.witness;
+                    report.initial_state_used =
+                        Some(self.module().state_name(sid).to_string());
+                    break;
+                }
+                if let Verdict::Inconclusive(r) = outcome.verdict {
+                    report.verdict = Verdict::Inconclusive(r);
+                    break;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// On-line analysis of a dynamic trace (§3): multi-threaded DFS with
+    /// PG-nodes and dynamic node reordering. Runs until the source reaches
+    /// end-of-file (then returns a conclusive verdict) or until the trace
+    /// is conclusively invalid. `on_status` observes interim verdicts each
+    /// time the known search tree is exhausted; returning `false` stops
+    /// the analysis and reports the interim verdict.
+    pub fn analyze_online(
+        &self,
+        source: &mut dyn TraceSource,
+        options: &AnalysisOptions,
+        on_status: &mut dyn FnMut(&Verdict) -> bool,
+    ) -> Result<AnalysisReport, TangoError> {
+        run_mdfs(&self.machine, self.module(), source, options, on_status)
+    }
+
+    /// Implementation-generation mode (§4.1 methodology): execute the
+    /// specification against scripted inputs, logging a valid trace.
+    pub fn generate_trace(
+        &self,
+        script: &[ScriptedInput],
+        choice: ChoicePolicy,
+        max_steps: u64,
+    ) -> Result<Trace, TangoError> {
+        run_implementation(&self.machine, script, choice, max_steps)
+    }
+}

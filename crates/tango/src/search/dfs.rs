@@ -1,0 +1,298 @@
+//! Depth-first search trace analysis (static mode, §2.2).
+//!
+//! The classic backtracking loop over the machine's four operations:
+//! generate, update, save, restore. Counter semantics follow the paper's
+//! tables: one *generate* (GE) per node expansion, one *transition
+//! executed* (TE) per fire attempt, a *save* (SA) only when a node has
+//! more than one fireable transition (nothing to come back for otherwise),
+//! and a *restore* (RE) per actual backtrack.
+//!
+//! Extension beyond the paper (flagged off by default): a visited-state
+//! hash table pruning re-exploration of identical (machine state, cursor)
+//! pairs — the approach §4.2 suggests as future work for taming the
+//! exponential analysis of invalid TP0 traces.
+
+use crate::env::TraceEnv;
+use crate::error::TangoError;
+use crate::options::AnalysisOptions;
+use crate::stats::SearchStats;
+use crate::verdict::{InconclusiveReason, Verdict};
+use estelle_runtime::{
+    FireOutcome, Fireable, Machine, MachineState, RuntimeError, RuntimeErrorKind,
+};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Result of the raw search (before initial-state-search wrapping).
+#[derive(Debug)]
+pub struct DfsOutcome {
+    pub verdict: Verdict,
+    pub witness: Option<Vec<String>>,
+    pub spec_errors: Vec<RuntimeError>,
+    /// The most-explaining attempt: (events consumed+verified, its path).
+    pub best: (usize, Vec<String>),
+    /// Checkable events in the trace (outstanding at search start).
+    pub total_events: usize,
+}
+
+/// Cap on recorded per-branch specification errors.
+const MAX_RECORDED_ERRORS: usize = 16;
+
+struct Frame {
+    state: MachineState,
+    cursors: crate::env::Cursors,
+    fireable: Vec<Fireable>,
+    next: usize,
+    path_len: usize,
+    /// Consecutive barren steps on the path up to this node.
+    barren: usize,
+}
+
+/// Run a depth-first search from `start` against the trace in `env`.
+pub fn run_dfs(
+    machine: &Machine,
+    env: &mut TraceEnv,
+    start: MachineState,
+    options: &AnalysisOptions,
+    stats: &mut SearchStats,
+) -> Result<DfsOutcome, TangoError> {
+    let t0 = Instant::now();
+    let result = search(machine, env, start, options, stats);
+    stats.cpu_time += t0.elapsed();
+    result
+}
+
+fn search(
+    machine: &Machine,
+    env: &mut TraceEnv,
+    start: MachineState,
+    options: &AnalysisOptions,
+    stats: &mut SearchStats,
+) -> Result<DfsOutcome, TangoError> {
+    let mut state = start;
+    let mut path: Vec<String> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut spec_errors: Vec<RuntimeError> = Vec::new();
+
+    // Failure localization: the attempt that explained the most events.
+    let total_events = env.outstanding();
+    let mut best: (usize, Vec<String>) = (0, Vec::new());
+
+    // Consecutive steps without observable progress on the current path.
+    let mut barren: usize = 0;
+
+    // `true`: we just arrived at a (possibly new) node and must expand it;
+    // `false`: the last expansion failed and we must backtrack.
+    let mut at_node = true;
+
+    loop {
+        if at_node {
+            let explained = total_events - env.outstanding();
+            if explained > best.0 {
+                best.0 = explained;
+                // The path snapshot is diagnostic material for *invalid*
+                // traces; skip the clone while the search is still on its
+                // first, never-backtracked attempt so that the common
+                // valid-trace case stays O(n).
+                if stats.restores > 0 {
+                    best.1 = path.clone();
+                }
+            }
+            if env.all_done() {
+                return Ok(DfsOutcome {
+                    verdict: Verdict::Valid,
+                    witness: Some(path),
+                    spec_errors,
+                    best,
+                    total_events,
+                });
+            }
+            if path.len() >= options.limits.max_depth {
+                return Ok(DfsOutcome {
+                    verdict: Verdict::Inconclusive(InconclusiveReason::DepthLimit),
+                    witness: None,
+                    spec_errors,
+                    best,
+                    total_events,
+                });
+            }
+            if options.state_hashing {
+                let key = fingerprint(&state, &env.cursors);
+                if !visited.insert(key) {
+                    stats.hash_prunes += 1;
+                    at_node = false;
+                    continue;
+                }
+            }
+            stats.max_depth = stats.max_depth.max(path.len());
+
+            stats.generates += 1;
+            let gen = match machine.generate(&mut state, env) {
+                Ok(g) => g,
+                Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
+                Err(e) => {
+                    record_error(&mut spec_errors, stats, e);
+                    at_node = false;
+                    continue;
+                }
+            };
+            if gen.fireable.is_empty() {
+                at_node = false;
+                continue;
+            }
+            stats.fanout_sum += gen.fireable.len() as u64;
+            stats.fanout_samples += 1;
+
+            let first = gen.fireable[0].clone();
+            if gen.fireable.len() > 1 {
+                stats.saves += 1;
+                stack.push(Frame {
+                    state: state.clone(),
+                    cursors: env.save(),
+                    fireable: gen.fireable,
+                    next: 1,
+                    path_len: path.len(),
+                    barren,
+                });
+            }
+            let before = env.outstanding();
+            match try_fire(machine, &mut state, &first, env, stats, &mut spec_errors)? {
+                true => {
+                    if env.outstanding() < before {
+                        barren = 0;
+                    } else {
+                        barren += 1;
+                    }
+                    if barren > options.limits.max_barren_steps {
+                        stats.barren_prunes += 1;
+                        at_node = false;
+                    } else {
+                        path.push(machine.transition_name(first.trans).to_string());
+                    }
+                }
+                false => at_node = false,
+            }
+            if stats.transitions_executed > options.limits.max_transitions {
+                return Ok(DfsOutcome {
+                    verdict: Verdict::Inconclusive(InconclusiveReason::TransitionLimit),
+                    witness: None,
+                    spec_errors,
+                    best,
+                    total_events,
+                });
+            }
+        } else {
+            // Backtrack to the nearest frame with untried children.
+            let Some(top) = stack.last_mut() else {
+                return Ok(DfsOutcome {
+                    verdict: Verdict::Invalid,
+                    witness: None,
+                    spec_errors,
+                    best,
+                    total_events,
+                });
+            };
+            if top.next >= top.fireable.len() {
+                stack.pop();
+                continue;
+            }
+            stats.restores += 1;
+            let last_child = top.next == top.fireable.len() - 1;
+            let f;
+            if last_child {
+                let frame = stack.pop().expect("stack non-empty");
+                f = frame.fireable[frame.next].clone();
+                state = frame.state;
+                env.restore(&frame.cursors);
+                path.truncate(frame.path_len);
+                barren = frame.barren;
+            } else {
+                f = top.fireable[top.next].clone();
+                top.next += 1;
+                state = top.state.clone();
+                env.restore(&top.cursors);
+                path.truncate(top.path_len);
+                barren = top.barren;
+            }
+            let before = env.outstanding();
+            match try_fire(machine, &mut state, &f, env, stats, &mut spec_errors)? {
+                true => {
+                    if env.outstanding() < before {
+                        barren = 0;
+                    } else {
+                        barren += 1;
+                    }
+                    if barren > options.limits.max_barren_steps {
+                        stats.barren_prunes += 1;
+                        // stay backtracking
+                    } else {
+                        path.push(machine.transition_name(f.trans).to_string());
+                        at_node = true;
+                    }
+                }
+                false => { /* stay backtracking */ }
+            }
+            if stats.transitions_executed > options.limits.max_transitions {
+                return Ok(DfsOutcome {
+                    verdict: Verdict::Inconclusive(InconclusiveReason::TransitionLimit),
+                    witness: None,
+                    spec_errors,
+                    best,
+                    total_events,
+                });
+            }
+        }
+    }
+}
+
+/// Fire one candidate; `Ok(true)` when the transition completed and all of
+/// its outputs were matched.
+fn try_fire(
+    machine: &Machine,
+    state: &mut MachineState,
+    f: &Fireable,
+    env: &mut TraceEnv,
+    stats: &mut SearchStats,
+    spec_errors: &mut Vec<RuntimeError>,
+) -> Result<bool, TangoError> {
+    stats.transitions_executed += 1;
+    env.begin_fire();
+    match machine.fire(state, f, env) {
+        Ok(FireOutcome::Completed) => Ok(env.end_fire()),
+        Ok(FireOutcome::OutputRejected) => Ok(false),
+        Err(e) if is_fatal(&e) => Err(TangoError::Runtime(e)),
+        Err(e) => {
+            record_error(spec_errors, stats, e);
+            Ok(false)
+        }
+    }
+}
+
+fn record_error(spec_errors: &mut Vec<RuntimeError>, stats: &mut SearchStats, e: RuntimeError) {
+    stats.error_branches += 1;
+    if spec_errors.len() < MAX_RECORDED_ERRORS {
+        spec_errors.push(e);
+    }
+}
+
+/// Errors that abort the whole analysis rather than one branch.
+fn is_fatal(e: &RuntimeError) -> bool {
+    matches!(
+        e.kind,
+        RuntimeErrorKind::Internal
+            | RuntimeErrorKind::CallDepthExceeded
+            | RuntimeErrorKind::LoopLimitExceeded
+    )
+}
+
+/// Hash of (machine state, trace cursors) for the visited-set extension.
+pub fn fingerprint(state: &MachineState, cursors: &crate::env::Cursors) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    state.control.hash(&mut h);
+    state.globals.hash(&mut h);
+    state.heap.hash(&mut h);
+    cursors.hash(&mut h);
+    h.finish()
+}

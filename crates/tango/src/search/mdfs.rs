@@ -1,0 +1,318 @@
+//! Multi-threaded depth-first search (§3.1) for on-line trace analysis.
+//!
+//! Standard DFS deadlocks on dynamic traces: a branch may be blocked only
+//! because an input queue is temporarily empty, while the real solution is
+//! elsewhere — or right here once more data arrives. MDFS therefore keeps
+//! every node whose transition list was *incomplete* (an input queue was
+//! exhausted but may still grow) as a saved **PG-node** "thread" and
+//! re-generates it when new input arrives.
+//!
+//! Implementation notes mapping to the paper:
+//! * each search node carries its own state snapshot plus the set of
+//!   transitions already explored from it, so a re-generate only explores
+//!   what the new input enabled (§3.1.1's "additional transitions");
+//! * *dynamic node reordering* (§3.1.3): whenever new input arrives the
+//!   PG-nodes are pushed on **top** of the work stack, putting the rest of
+//!   the tree "on hold";
+//! * termination (§3.1.2): `Invalid` only when the tree is exhausted and
+//!   no PG-nodes remain; a PG-node that has consumed and verified
+//!   everything received so far is a **PGAV-node** and yields the interim
+//!   verdict `ValidSoFar`; cycling through non-AV PG-nodes yields
+//!   `LikelyInvalid`; the `eof` marker freezes the trace, turns PG-nodes
+//!   into fully generated ones, and forces a conclusive verdict;
+//! * an output that cannot be matched *yet* (its stream may still grow)
+//!   does not count as explored, so the branch is retried later — the
+//!   output-side dual of an incomplete transition list.
+
+use crate::env::{Cursors, RejectReason, TraceEnv};
+use crate::error::TangoError;
+use crate::options::AnalysisOptions;
+use crate::stats::SearchStats;
+use crate::trace::source::TraceSource;
+use crate::trace::ResolvedTrace;
+use crate::verdict::{AnalysisReport, InconclusiveReason, Verdict};
+use estelle_frontend::sema::model::AnalyzedModule;
+use estelle_runtime::{FireOutcome, Machine, MachineState, RuntimeError, RuntimeErrorKind};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// One saved search-tree node ("thread").
+struct Node {
+    state: MachineState,
+    cursors: Cursors,
+    /// Compiled-transition indices already explored from this node.
+    tried: HashSet<usize>,
+    /// Transitions whose firing failed only because an output stream was
+    /// exhausted-but-growing: retried once new data arrives. Without this
+    /// the node would spin on the same transition without ever polling.
+    blocked: HashSet<usize>,
+    /// Consecutive barren steps on the path to this node.
+    barren: usize,
+    path: Vec<String>,
+}
+
+/// How long the analyzer sleeps between polls when idle.
+const POLL_INTERVAL: Duration = Duration::from_millis(1);
+
+/// Run MDFS against a dynamic trace source. `on_status` sees every change
+/// of the interim verdict; returning `false` stops the analysis and
+/// reports the interim verdict.
+pub fn run_mdfs(
+    machine: &Machine,
+    module: &AnalyzedModule,
+    source: &mut dyn TraceSource,
+    options: &AnalysisOptions,
+    on_status: &mut dyn FnMut(&Verdict) -> bool,
+) -> Result<AnalysisReport, TangoError> {
+    let t0 = Instant::now();
+    let machine = machine.policy_view(options.policy);
+    let mut stats = SearchStats::default();
+    let mut spec_errors: Vec<RuntimeError> = Vec::new();
+
+    let mut env = TraceEnv::new(
+        module,
+        ResolvedTrace::empty(module.ips.len()),
+        options,
+        true,
+    )?;
+
+    let mut work: Vec<Node> = Vec::new();
+    let mut pg_list: Vec<Node> = Vec::new();
+
+    let start = machine.initial_state()?;
+    stats.saves += 1;
+    work.push(Node {
+        state: start,
+        cursors: env.save(),
+        tried: HashSet::new(),
+        blocked: HashSet::new(),
+        barren: 0,
+        path: Vec::new(),
+    });
+
+    /// Revive parked PG-nodes: fresh data may unblock output-blocked
+    /// transitions, so their blocked sets are cleared. With §3.1.3
+    /// reordering the revived nodes go on top of the LIFO work stack and
+    /// are searched immediately; basic MDFS queues them at the bottom,
+    /// after the rest of the known tree.
+    fn revive(work: &mut Vec<Node>, pg_list: &mut Vec<Node>, reorder: bool) {
+        for n in pg_list.iter_mut() {
+            n.blocked.clear();
+        }
+        if reorder {
+            work.append(pg_list);
+        } else {
+            let rest = std::mem::take(work);
+            work.append(pg_list);
+            work.extend(rest);
+        }
+    }
+
+    let finish = |verdict: Verdict,
+                      witness: Option<Vec<String>>,
+                      mut stats: SearchStats,
+                      spec_errors: Vec<RuntimeError>| {
+        stats.cpu_time = t0.elapsed();
+        let mut r = AnalysisReport::new(verdict, stats);
+        r.witness = witness;
+        r.spec_errors = spec_errors;
+        r
+    };
+
+    let mut last_status: Option<Verdict> = None;
+
+    loop {
+        // Absorb anything the source produced.
+        let poll = source.poll();
+        let got_new = !poll.events.is_empty();
+        for e in &poll.events {
+            env.trace.push_event(e, module).map_err(TangoError::TraceResolve)?;
+        }
+        if poll.eof {
+            env.eof = true;
+        }
+        if got_new || poll.eof {
+            // Dynamic node reordering: PG-nodes jump the queue.
+            revive(&mut work, &mut pg_list, options.mdfs_reorder);
+        }
+
+        // DFS burst until the work stack drains.
+        while let Some(mut node) = work.pop() {
+            if stats.transitions_executed > options.limits.max_transitions {
+                return Ok(finish(
+                    Verdict::Inconclusive(InconclusiveReason::TransitionLimit),
+                    None,
+                    stats,
+                    spec_errors,
+                ));
+            }
+            stats.max_depth = stats.max_depth.max(node.path.len());
+            env.restore(&node.cursors);
+            stats.restores += 1;
+
+            if env.all_done() {
+                if env.eof {
+                    return Ok(finish(Verdict::Valid, Some(node.path), stats, spec_errors));
+                }
+                // PGAV: everything so far is explained; park the node.
+                stats.pg_nodes += 1;
+                pg_list.push(node);
+                continue;
+            }
+
+            // Generate (or re-generate) this node's transition list.
+            let mut st = node.state.clone();
+            stats.generates += 1;
+            let gen = match machine.generate(&mut st, &env) {
+                Ok(g) => g,
+                Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
+                Err(e) => {
+                    record_error(&mut spec_errors, &mut stats, e);
+                    continue;
+                }
+            };
+            let is_pg = gen.incomplete;
+            let untried: Vec<_> = gen
+                .fireable
+                .into_iter()
+                .filter(|f| !node.tried.contains(&f.trans) && !node.blocked.contains(&f.trans))
+                .collect();
+            if !untried.is_empty() {
+                stats.fanout_sum += untried.len() as u64;
+                stats.fanout_samples += 1;
+            }
+
+            let Some(f) = untried.first().cloned() else {
+                if is_pg || !node.blocked.is_empty() {
+                    if pg_list.len() >= options.limits.max_pg_nodes {
+                        return Ok(finish(
+                            Verdict::Inconclusive(InconclusiveReason::PgNodeLimit),
+                            None,
+                            stats,
+                            spec_errors,
+                        ));
+                    }
+                    stats.pg_nodes += 1;
+                    pg_list.push(node);
+                }
+                continue;
+            };
+
+            // Fire the child on a fresh copy of the node's state.
+            node.tried.insert(f.trans);
+            let mut child_state = node.state.clone();
+            env.restore(&node.cursors);
+            let before = env.outstanding();
+            stats.transitions_executed += 1;
+            env.begin_fire();
+            let fired = match machine.fire(&mut child_state, &f, &mut env) {
+                Ok(FireOutcome::Completed) => env.end_fire(),
+                Ok(FireOutcome::OutputRejected) => false,
+                Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
+                Err(e) => {
+                    record_error(&mut spec_errors, &mut stats, e);
+                    false
+                }
+            };
+            if !fired && env.last_reject == Some(RejectReason::MayGrow) {
+                // The failure was "output not in the trace *yet*": park it
+                // as blocked and retry once data arrives.
+                node.tried.remove(&f.trans);
+                node.blocked.insert(f.trans);
+            }
+
+            let has_more = untried.len() > 1 || is_pg || !node.blocked.is_empty();
+            if fired {
+                let child_barren = if env.outstanding() < before {
+                    0
+                } else {
+                    node.barren + 1
+                };
+                let mut child_path = node.path.clone();
+                child_path.push(machine.transition_name(f.trans).to_string());
+                if has_more {
+                    work.push(node);
+                }
+                if child_barren > options.limits.max_barren_steps {
+                    stats.barren_prunes += 1;
+                } else {
+                    stats.saves += 1;
+                    work.push(Node {
+                        state: child_state,
+                        cursors: env.save(),
+                        tried: HashSet::new(),
+                        blocked: HashSet::new(),
+                        barren: child_barren,
+                        path: child_path,
+                    });
+                }
+            } else if has_more {
+                work.push(node);
+            }
+        }
+
+        // The tree (as currently known) is exhausted.
+        if env.eof {
+            if pg_list.is_empty() {
+                return Ok(finish(Verdict::Invalid, None, stats, spec_errors));
+            }
+            // EOF makes PG-nodes fully generated: process them once more.
+            revive(&mut work, &mut pg_list, options.mdfs_reorder);
+            continue;
+        }
+        if pg_list.is_empty() {
+            // No PG-node can be revived by future input: conclusively
+            // invalid even though the trace may keep growing (§3.1.2).
+            return Ok(finish(Verdict::Invalid, None, stats, spec_errors));
+        }
+
+        // Interim verdict: PGAV ⇒ valid so far, else likely invalid.
+        let any_av = pg_list.iter().any(|n| {
+            env.restore(&n.cursors);
+            env.all_done()
+        });
+        let status = if any_av {
+            Verdict::ValidSoFar
+        } else {
+            Verdict::LikelyInvalid
+        };
+        if last_status.as_ref() != Some(&status) {
+            last_status = Some(status.clone());
+        }
+        if !on_status(&status) {
+            return Ok(finish(status, None, stats, spec_errors));
+        }
+
+        // Block until the source has more to say.
+        loop {
+            let p = source.poll();
+            if !p.events.is_empty() || p.eof {
+                for e in &p.events {
+                    env.trace.push_event(e, module).map_err(TangoError::TraceResolve)?;
+                }
+                if p.eof {
+                    env.eof = true;
+                }
+                revive(&mut work, &mut pg_list, options.mdfs_reorder);
+                break;
+            }
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+}
+
+fn record_error(spec_errors: &mut Vec<RuntimeError>, stats: &mut SearchStats, e: RuntimeError) {
+    stats.error_branches += 1;
+    if spec_errors.len() < 16 {
+        spec_errors.push(e);
+    }
+}
+
+fn is_fatal(e: &RuntimeError) -> bool {
+    matches!(
+        e.kind,
+        RuntimeErrorKind::Internal
+            | RuntimeErrorKind::CallDepthExceeded
+            | RuntimeErrorKind::LoopLimitExceeded
+    )
+}

@@ -1,0 +1,9 @@
+//! Search strategies.
+//!
+//! * [`dfs`] — the static-mode depth-first search of §2.2;
+//! * [`mdfs`] — the multi-threaded depth-first search of §3.1 for
+//!   on-line (dynamic) trace analysis, with PG-nodes, PGAV detection and
+//!   dynamic node reordering.
+
+pub mod dfs;
+pub mod mdfs;

@@ -1,0 +1,143 @@
+//! Search statistics: the counters reported in the paper's tables.
+//!
+//! Figure 3 and Figure 4 report, per analysis run: CPU time (CPUT),
+//! transitions executed (TE), generates (GE), restores/backtracks (RE) and
+//! state saves (SA). We track the same counters plus fanout accounting for
+//! the §4.2 discussion (average fanout 2.6 → 1.5 under full checking).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters for one trace-analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// TE: transitions executed (edges searched in the search tree).
+    pub transitions_executed: u64,
+    /// GE: generate operations (fireable-list computations).
+    pub generates: u64,
+    /// RE: restores, i.e. backtracks performed.
+    pub restores: u64,
+    /// SA: state saves.
+    pub saves: u64,
+    /// Wall-clock time of the search.
+    pub cpu_time: Duration,
+    /// Deepest point reached in the search tree.
+    pub max_depth: usize,
+    /// Sum of fireable-list sizes over all generates with ≥1 candidate —
+    /// `fanout_sum / fanout_samples` is the paper's average fanout.
+    pub fanout_sum: u64,
+    pub fanout_samples: u64,
+    /// PG-nodes created (dynamic mode only).
+    pub pg_nodes: u64,
+    /// Branches abandoned because of runtime errors in the specification
+    /// (division by zero on a path, etc.).
+    pub error_branches: u64,
+    /// States pruned by the optional visited-state hash table.
+    pub hash_prunes: u64,
+    /// Paths cut by the consecutive-barren-steps bound (non-progress
+    /// cycles, unbounded fabrication on unobserved IPs).
+    pub barren_prunes: u64,
+}
+
+impl SearchStats {
+    /// Average branching factor over the search.
+    pub fn average_fanout(&self) -> f64 {
+        if self.fanout_samples == 0 {
+            0.0
+        } else {
+            self.fanout_sum as f64 / self.fanout_samples as f64
+        }
+    }
+
+    /// Transitions searched per CPU second — the paper's §4 throughput
+    /// metric.
+    pub fn transitions_per_second(&self) -> f64 {
+        let secs = self.cpu_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.transitions_executed as f64 / secs
+        }
+    }
+
+    /// Merge another run's counters into this one (used by the
+    /// initial-state search, which runs several analyses).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.transitions_executed += other.transitions_executed;
+        self.generates += other.generates;
+        self.restores += other.restores;
+        self.saves += other.saves;
+        self.cpu_time += other.cpu_time;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.fanout_sum += other.fanout_sum;
+        self.fanout_samples += other.fanout_samples;
+        self.pg_nodes += other.pg_nodes;
+        self.error_branches += other.error_branches;
+        self.hash_prunes += other.hash_prunes;
+        self.barren_prunes += other.barren_prunes;
+    }
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CPUT={:.3}s TE={} GE={} RE={} SA={}",
+            self.cpu_time.as_secs_f64(),
+            self.transitions_executed,
+            self.generates,
+            self.restores,
+            self.saves
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_average() {
+        let mut s = SearchStats::default();
+        assert_eq!(s.average_fanout(), 0.0);
+        s.fanout_sum = 12;
+        s.fanout_samples = 5;
+        assert!((s.average_fanout() - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = SearchStats {
+            transitions_executed: 10,
+            max_depth: 4,
+            ..Default::default()
+        };
+        let b = SearchStats {
+            transitions_executed: 5,
+            restores: 2,
+            max_depth: 9,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.transitions_executed, 15);
+        assert_eq!(a.restores, 2);
+        assert_eq!(a.max_depth, 9);
+    }
+
+    #[test]
+    fn display_matches_table_columns() {
+        let s = SearchStats {
+            transitions_executed: 173,
+            generates: 104,
+            restores: 69,
+            saves: 69,
+            cpu_time: Duration::from_millis(900),
+            ..Default::default()
+        };
+        let line = s.to_string();
+        assert!(line.contains("TE=173"));
+        assert!(line.contains("GE=104"));
+        assert!(line.contains("RE=69"));
+        assert!(line.contains("SA=69"));
+    }
+}

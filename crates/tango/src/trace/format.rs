@@ -1,0 +1,281 @@
+//! The textual trace-file format.
+//!
+//! One event per line, matching what the 1995 tool read from its trace
+//! files in spirit:
+//!
+//! ```text
+//! # LAPD trace, run 3                 -- comments and blank lines ignored
+//! in  U.dl_data(7)
+//! out L.i_frame(0, 0, 7)
+//! in  L.rr(1)
+//! out U.dl_data_ind(true)
+//! eof                                 -- dynamic-mode end marker (§3.1.2)
+//! ```
+//!
+//! Parameter literals: integers, `true`/`false`, `nil`, `?` (undefined —
+//! partial traces), and enum literal names, which are resolved against the
+//! specification when the trace is bound to a module.
+
+use super::{Dir, Event, Trace};
+use estelle_frontend::sema::model::AnalyzedModule;
+use estelle_runtime::Value;
+use std::fmt;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone)]
+pub struct TraceParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Result of parsing one line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Line {
+    Event(Event),
+    /// The explicit end-of-trace marker used to force a verdict in
+    /// dynamic mode.
+    Eof,
+    /// Comment or blank.
+    Blank,
+}
+
+/// Parse a whole trace file; an `eof` marker, if present, must be last.
+/// `module` supplies enum literals for symbolic parameters; pass `None`
+/// to accept only self-describing literals.
+pub fn parse_trace(text: &str, module: Option<&AnalyzedModule>) -> Result<Trace, TraceParseError> {
+    let mut events = Vec::new();
+    let mut saw_eof = false;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        match parse_line(raw, module).map_err(|message| TraceParseError {
+            line: lineno,
+            message,
+        })? {
+            Line::Blank => {}
+            Line::Eof => {
+                saw_eof = true;
+            }
+            Line::Event(e) => {
+                if saw_eof {
+                    return Err(TraceParseError {
+                        line: lineno,
+                        message: "event after the `eof` marker".to_string(),
+                    });
+                }
+                events.push(e);
+            }
+        }
+    }
+    Ok(Trace::new(events))
+}
+
+/// Parse a single line of the trace format.
+pub fn parse_line(raw: &str, module: Option<&AnalyzedModule>) -> Result<Line, String> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(Line::Blank);
+    }
+    if line.eq_ignore_ascii_case("eof") {
+        return Ok(Line::Eof);
+    }
+    let (dir, rest) = if let Some(rest) = strip_word(line, "in") {
+        (Dir::In, rest)
+    } else if let Some(rest) = strip_word(line, "out") {
+        (Dir::Out, rest)
+    } else {
+        return Err(format!("expected `in`, `out`, `eof` or a comment, found `{}`", line));
+    };
+
+    let rest = rest.trim();
+    // `IP.interaction` then optional `(p1, p2, ...)`.
+    let (head, params_text) = match rest.find('(') {
+        None => (rest, None),
+        Some(p) => {
+            let (h, t) = rest.split_at(p);
+            let t = t.trim();
+            if !t.ends_with(')') {
+                return Err("missing `)`".to_string());
+            }
+            (h.trim(), Some(&t[1..t.len() - 1]))
+        }
+    };
+    let mut parts = head.splitn(2, '.');
+    let ip = parts.next().unwrap_or("").trim();
+    let interaction = parts.next().unwrap_or("").trim();
+    if ip.is_empty() || interaction.is_empty() {
+        return Err(format!("expected `IP.interaction`, found `{}`", head));
+    }
+    if !is_ident(ip) || !is_ident(interaction) {
+        return Err(format!("bad identifier in `{}`", head));
+    }
+
+    let mut params = Vec::new();
+    if let Some(text) = params_text {
+        let text = text.trim();
+        if !text.is_empty() {
+            for piece in text.split(',') {
+                params.push(parse_value(piece.trim(), module)?);
+            }
+        }
+    }
+
+    Ok(Line::Event(Event {
+        dir,
+        ip: ip.to_string(),
+        interaction: interaction.to_string(),
+        params,
+    }))
+}
+
+fn strip_word<'a>(line: &'a str, word: &str) -> Option<&'a str> {
+    let head = line.get(..word.len())?;
+    if !head.eq_ignore_ascii_case(word) {
+        return None;
+    }
+    let rest = &line[word.len()..];
+    if rest.starts_with(|c: char| c.is_whitespace()) {
+        Some(rest)
+    } else {
+        None
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse one parameter literal.
+pub fn parse_value(text: &str, module: Option<&AnalyzedModule>) -> Result<Value, String> {
+    match text {
+        "?" => return Ok(Value::Undefined),
+        "nil" => return Ok(Value::Pointer(None)),
+        _ => {}
+    }
+    if text.eq_ignore_ascii_case("true") {
+        return Ok(Value::Bool(true));
+    }
+    if text.eq_ignore_ascii_case("false") {
+        return Ok(Value::Bool(false));
+    }
+    if let Ok(v) = text.parse::<i64>() {
+        return Ok(Value::Int(v));
+    }
+    if is_ident(text) {
+        if let Some(m) = module {
+            if let Some(&(ty, ord)) = m.enum_literals.get(&text.to_ascii_lowercase()) {
+                return Ok(Value::Enum(ty, ord));
+            }
+        }
+        return Err(format!("unknown enum literal `{}`", text));
+    }
+    Err(format!("cannot parse parameter `{}`", text))
+}
+
+/// Render one event in the format [`parse_line`] accepts.
+pub fn render_event(e: &Event, module: Option<&AnalyzedModule>) -> String {
+    let mut s = format!("{} {}.{}", e.dir, e.ip, e.interaction);
+    if !e.params.is_empty() {
+        let params: Vec<String> = e.params.iter().map(|v| render_value(v, module)).collect();
+        s.push('(');
+        s.push_str(&params.join(", "));
+        s.push(')');
+    }
+    s
+}
+
+/// Render a parameter value; enum ordinals print as their literal names
+/// when the module is supplied.
+pub fn render_value(v: &Value, module: Option<&AnalyzedModule>) -> String {
+    match v {
+        Value::Enum(ty, ord) => {
+            if let Some(m) = module {
+                if let estelle_frontend::sema::types::Type::Enum { literals } = m.types.get(*ty) {
+                    if let Some(name) = literals.get(*ord as usize) {
+                        return name.clone();
+                    }
+                }
+            }
+            format!("#{}", ord)
+        }
+        other => other.describe(),
+    }
+}
+
+/// Render a whole trace, one event per line, with a trailing `eof` marker
+/// when `closed` is set.
+pub fn render_trace(trace: &Trace, module: Option<&AnalyzedModule>, closed: bool) -> String {
+    let mut out = String::new();
+    for e in &trace.events {
+        out.push_str(&render_event(e, module));
+        out.push('\n');
+    }
+    if closed {
+        out.push_str("eof\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_events() {
+        let t = parse_trace("in A.x\nout B.ack\n", None).expect("parses");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events[0], Event::input("A", "x", vec![]));
+        assert_eq!(t.events[1], Event::output("B", "ack", vec![]));
+    }
+
+    #[test]
+    fn parse_params_and_comments() {
+        let text = "# header\n\nin U.req(3, true, ?)\nout L.send(-1)\n";
+        let t = parse_trace(text, None).unwrap();
+        assert_eq!(
+            t.events[0].params,
+            vec![Value::Int(3), Value::Bool(true), Value::Undefined]
+        );
+        assert_eq!(t.events[1].params, vec![Value::Int(-1)]);
+    }
+
+    #[test]
+    fn eof_must_be_last() {
+        assert!(parse_trace("in A.x\neof\n", None).is_ok());
+        let err = parse_trace("eof\nin A.x\n", None).unwrap_err();
+        assert!(err.message.contains("after the `eof`"));
+    }
+
+    #[test]
+    fn bad_lines_error_with_position() {
+        let err = parse_trace("in A.x\nbogus line\n", None).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse_trace("in A.x(", None).is_err());
+        assert!(parse_trace("in .x", None).is_err());
+        assert!(parse_trace("in A.x(1 2)", None).is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = parse_trace("in A.x(1, false)\nout B.y\n", None).unwrap();
+        let rendered = render_trace(&t, None, true);
+        assert_eq!(rendered, "in A.x(1, false)\nout B.y\neof\n");
+        let back = parse_trace(&rendered, None).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn direction_prefix_requires_word_boundary() {
+        // "input" is not "in put".
+        assert!(parse_trace("input A.x\n", None).is_err());
+    }
+}

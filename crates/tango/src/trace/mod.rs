@@ -1,0 +1,286 @@
+//! The trace model.
+//!
+//! A trace is the observable behaviour of an implementation under test: a
+//! global sequence of interactions crossing its interaction points, each
+//! either an **input** (arriving at the IUT) or an **output** (sent by the
+//! IUT). Within one (IP, direction) stream the order is authoritative
+//! (§2.4.2: "if two interactions going in the same direction through the
+//! same IP appear in the trace file, the order in which they appear is
+//! observed and checked"); ordering *across* streams is checked or ignored
+//! according to the relative-order options.
+
+pub mod format;
+pub mod source;
+
+use estelle_frontend::sema::model::AnalyzedModule;
+use estelle_runtime::Value;
+use std::fmt;
+
+/// Direction of a traced interaction, from the IUT's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Consumed by the IUT.
+    In,
+    /// Produced by the IUT.
+    Out,
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Dir::In => "in",
+            Dir::Out => "out",
+        })
+    }
+}
+
+/// One traced interaction, in textual (unresolved) form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    pub dir: Dir,
+    pub ip: String,
+    pub interaction: String,
+    pub params: Vec<Value>,
+}
+
+impl Event {
+    pub fn input(ip: &str, interaction: &str, params: Vec<Value>) -> Self {
+        Event {
+            dir: Dir::In,
+            ip: ip.to_string(),
+            interaction: interaction.to_string(),
+            params,
+        }
+    }
+
+    pub fn output(ip: &str, interaction: &str, params: Vec<Value>) -> Self {
+        Event {
+            dir: Dir::Out,
+            ip: ip.to_string(),
+            interaction: interaction.to_string(),
+            params,
+        }
+    }
+}
+
+/// A complete (static) trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    pub fn new(events: Vec<Event>) -> Self {
+        Trace { events }
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A traced interaction resolved against the specification: IP id and the
+/// interaction's index within that IP's input or output signature list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResolvedEvent {
+    pub dir: Dir,
+    pub ip: usize,
+    pub interaction: usize,
+    pub params: Vec<Value>,
+    /// Position in the original trace (for diagnostics).
+    pub index: usize,
+}
+
+/// A trace with every event resolved, plus per-(IP, direction) streams.
+///
+/// Streams are lists of global event indices, so relative-order predicates
+/// reduce to integer comparisons on trace positions.
+#[derive(Clone, Debug, Default)]
+pub struct ResolvedTrace {
+    pub events: Vec<ResolvedEvent>,
+    /// Per IP: global indices of its input events, in trace order.
+    pub inputs: Vec<Vec<usize>>,
+    /// Per IP: global indices of its output events, in trace order.
+    pub outputs: Vec<Vec<usize>>,
+}
+
+/// Errors from resolving a textual trace against a module.
+#[derive(Debug, Clone)]
+pub struct TraceResolveError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for TraceResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace event {}: {}", self.line + 1, self.message)
+    }
+}
+
+impl std::error::Error for TraceResolveError {}
+
+impl ResolvedTrace {
+    /// A resolved trace with streams for `ip_count` IPs and no events.
+    pub fn empty(ip_count: usize) -> Self {
+        ResolvedTrace {
+            events: Vec::new(),
+            inputs: vec![Vec::new(); ip_count],
+            outputs: vec![Vec::new(); ip_count],
+        }
+    }
+
+    /// Resolve a textual trace against the module's IP/interaction tables.
+    pub fn resolve(trace: &Trace, module: &AnalyzedModule) -> Result<Self, TraceResolveError> {
+        let mut out = ResolvedTrace::empty(module.ips.len());
+        for e in &trace.events {
+            out.push_event(e, module)?;
+        }
+        Ok(out)
+    }
+
+    /// Append one more event (dynamic mode: the trace grows during
+    /// analysis).
+    pub fn push_event(
+        &mut self,
+        e: &Event,
+        module: &AnalyzedModule,
+    ) -> Result<(), TraceResolveError> {
+        let index = self.events.len();
+        let err = |message: String| TraceResolveError {
+            line: index,
+            message,
+        };
+        let ip_id = module
+            .lookup_ip(&e.ip)
+            .ok_or_else(|| err(format!("unknown interaction point `{}`", e.ip)))?;
+        let info = module.ip(ip_id);
+        let key = e.interaction.to_ascii_lowercase();
+        let (interaction, sig) = match e.dir {
+            Dir::In => info
+                .input_index(&key)
+                .map(|i| (i, &info.inputs[i]))
+                .ok_or_else(|| {
+                    err(format!(
+                        "`{}` cannot arrive at `{}` according to the channel definition",
+                        e.interaction, e.ip
+                    ))
+                })?,
+            Dir::Out => info
+                .output_index(&key)
+                .map(|i| (i, &info.outputs[i]))
+                .ok_or_else(|| {
+                    err(format!(
+                        "`{}` cannot be sent at `{}` according to the channel definition",
+                        e.interaction, e.ip
+                    ))
+                })?,
+        };
+        if sig.params.len() != e.params.len() {
+            return Err(err(format!(
+                "`{}` carries {} parameter(s), trace has {}",
+                e.interaction,
+                sig.params.len(),
+                e.params.len()
+            )));
+        }
+        let ip = ip_id.0 as usize;
+        match e.dir {
+            Dir::In => self.inputs[ip].push(index),
+            Dir::Out => self.outputs[ip].push(index),
+        }
+        self.events.push(ResolvedEvent {
+            dir: e.dir,
+            ip,
+            interaction,
+            params: e.params.clone(),
+            index,
+        });
+        Ok(())
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estelle_frontend::analyze;
+
+    fn module() -> AnalyzedModule {
+        analyze(
+            r#"
+            specification s;
+            channel CU(user, m); by user: req(n : integer); by m: conf; end;
+            channel CL(net, m); by net: pkt(n : integer); by m: send(n : integer); end;
+            module M process;
+                ip U : CU(m);
+                ip L : CL(m);
+            end;
+            body MB for M;
+                state S;
+                initialize to S begin end;
+            end;
+            end.
+            "#,
+        )
+        .expect("analyzes")
+    }
+
+    #[test]
+    fn resolve_builds_streams() {
+        let m = module();
+        let t = Trace::new(vec![
+            Event::input("U", "req", vec![Value::Int(1)]),
+            Event::output("L", "send", vec![Value::Int(1)]),
+            Event::input("L", "pkt", vec![Value::Int(2)]),
+            Event::output("U", "conf", vec![]),
+        ]);
+        let r = ResolvedTrace::resolve(&t, &m).expect("resolves");
+        assert_eq!(r.inputs[0], vec![0]); // U inputs
+        assert_eq!(r.outputs[1], vec![1]); // L outputs
+        assert_eq!(r.inputs[1], vec![2]); // L inputs
+        assert_eq!(r.outputs[0], vec![3]); // U outputs
+    }
+
+    #[test]
+    fn wrong_direction_rejected() {
+        let m = module();
+        // `conf` is sent by the module, it cannot be an input.
+        let t = Trace::new(vec![Event::input("U", "conf", vec![])]);
+        let e = ResolvedTrace::resolve(&t, &m).unwrap_err();
+        assert!(e.message.contains("cannot arrive"));
+    }
+
+    #[test]
+    fn unknown_ip_rejected() {
+        let m = module();
+        let t = Trace::new(vec![Event::input("X", "req", vec![])]);
+        assert!(ResolvedTrace::resolve(&t, &m).is_err());
+    }
+
+    #[test]
+    fn parameter_arity_checked() {
+        let m = module();
+        let t = Trace::new(vec![Event::input("U", "req", vec![])]);
+        let e = ResolvedTrace::resolve(&t, &m).unwrap_err();
+        assert!(e.message.contains("parameter"));
+    }
+
+    #[test]
+    fn case_insensitive_resolution() {
+        let m = module();
+        let t = Trace::new(vec![Event::input("u", "REQ", vec![Value::Int(1)])]);
+        assert!(ResolvedTrace::resolve(&t, &m).is_ok());
+    }
+}

@@ -1,0 +1,247 @@
+//! Dynamic trace sources for on-line analysis.
+//!
+//! In dynamic mode (§3) the trace file grows while the analyzer runs: "at
+//! any time, another process independent of Tango can append data to a
+//! dynamic trace file, which the TAM must check periodically for more data
+//! to read". A [`TraceSource`] is that periodic check. Three
+//! implementations cover the paper's use cases:
+//!
+//! * [`StaticSource`] — a complete trace, immediately at end-of-file;
+//! * [`ChannelSource`] — events pushed from another thread over a
+//!   `crossbeam` channel (interfacing a live IUT monitor);
+//! * [`FollowFileSource`] — a trace file on disk that another process
+//!   appends to, polled for new lines.
+
+use super::format::{parse_line, Line};
+use super::{Event, Trace};
+use crossbeam_channel::{Receiver, TryRecvError};
+use estelle_frontend::sema::model::AnalyzedModule;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::PathBuf;
+
+/// What one poll of a dynamic source produced.
+#[derive(Debug, Default, Clone)]
+pub struct Poll {
+    /// Events appended since the previous poll.
+    pub events: Vec<Event>,
+    /// True once the source has signalled there will be no more data — the
+    /// paper's "end-of-file" marker that forces a conclusive verdict.
+    pub eof: bool,
+}
+
+/// A possibly growing supply of trace events.
+pub trait TraceSource {
+    /// Collect any newly available events. Non-blocking.
+    fn poll(&mut self) -> Poll;
+}
+
+/// A static trace presented through the dynamic interface: everything on
+/// the first poll, then eof.
+#[derive(Debug)]
+pub struct StaticSource {
+    trace: Option<Trace>,
+}
+
+impl StaticSource {
+    pub fn new(trace: Trace) -> Self {
+        StaticSource { trace: Some(trace) }
+    }
+}
+
+impl TraceSource for StaticSource {
+    fn poll(&mut self) -> Poll {
+        Poll {
+            events: self.trace.take().map(|t| t.events).unwrap_or_default(),
+            eof: true,
+        }
+    }
+}
+
+/// Messages a live feeder can push to a [`ChannelSource`].
+#[derive(Debug, Clone)]
+pub enum Feed {
+    Event(Event),
+    /// No more events will ever arrive.
+    Eof,
+}
+
+/// Events pushed from another thread.
+pub struct ChannelSource {
+    rx: Receiver<Feed>,
+    eof: bool,
+}
+
+impl ChannelSource {
+    pub fn new(rx: Receiver<Feed>) -> Self {
+        ChannelSource { rx, eof: false }
+    }
+
+    /// A connected (feeder, source) pair: push [`Feed`] messages from any
+    /// thread, analyze on this one.
+    pub fn pair() -> (crossbeam_channel::Sender<Feed>, ChannelSource) {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        (tx, ChannelSource::new(rx))
+    }
+}
+
+impl TraceSource for ChannelSource {
+    fn poll(&mut self) -> Poll {
+        let mut out = Poll {
+            events: Vec::new(),
+            eof: self.eof,
+        };
+        loop {
+            match self.rx.try_recv() {
+                Ok(Feed::Event(e)) => out.events.push(e),
+                Ok(Feed::Eof) | Err(TryRecvError::Disconnected) => {
+                    self.eof = true;
+                    out.eof = true;
+                    return out;
+                }
+                Err(TryRecvError::Empty) => return out,
+            }
+        }
+    }
+}
+
+/// Follows a trace file that another process appends to. Partial trailing
+/// lines (a writer mid-append) are left in the file until complete.
+pub struct FollowFileSource {
+    path: PathBuf,
+    offset: u64,
+    module: Option<AnalyzedModule>,
+    eof: bool,
+    /// Parse errors encountered while following (bad lines are skipped so
+    /// one glitch does not wedge the monitor, but they are recorded).
+    pub errors: Vec<String>,
+}
+
+impl FollowFileSource {
+    pub fn new(path: impl Into<PathBuf>, module: Option<AnalyzedModule>) -> Self {
+        FollowFileSource {
+            path: path.into(),
+            offset: 0,
+            module,
+            eof: false,
+            errors: Vec::new(),
+        }
+    }
+}
+
+impl TraceSource for FollowFileSource {
+    fn poll(&mut self) -> Poll {
+        let mut out = Poll {
+            events: Vec::new(),
+            eof: self.eof,
+        };
+        if self.eof {
+            return out;
+        }
+        let Ok(mut f) = File::open(&self.path) else {
+            return out; // not created yet — keep polling
+        };
+        if f.seek(SeekFrom::Start(self.offset)).is_err() {
+            return out;
+        }
+        let mut reader = BufReader::new(f);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(n) => {
+                    if !line.ends_with('\n') {
+                        // Incomplete trailing line: re-read next poll.
+                        break;
+                    }
+                    self.offset += n as u64;
+                    match parse_line(&line, self.module.as_ref()) {
+                        Ok(Line::Blank) => {}
+                        Ok(Line::Eof) => {
+                            self.eof = true;
+                            out.eof = true;
+                            break;
+                        }
+                        Ok(Line::Event(e)) => out.events.push(e),
+                        Err(msg) => self.errors.push(msg),
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Dir;
+    use std::io::Write;
+
+    #[test]
+    fn static_source_drains_once() {
+        let t = Trace::new(vec![Event::input("A", "x", vec![])]);
+        let mut s = StaticSource::new(t);
+        let p = s.poll();
+        assert_eq!(p.events.len(), 1);
+        assert!(p.eof);
+        let p2 = s.poll();
+        assert!(p2.events.is_empty());
+        assert!(p2.eof);
+    }
+
+    #[test]
+    fn channel_source_streams_until_eof() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let mut s = ChannelSource::new(rx);
+        assert!(s.poll().events.is_empty());
+        tx.send(Feed::Event(Event::input("A", "x", vec![]))).unwrap();
+        tx.send(Feed::Event(Event::output("A", "y", vec![]))).unwrap();
+        let p = s.poll();
+        assert_eq!(p.events.len(), 2);
+        assert!(!p.eof);
+        tx.send(Feed::Eof).unwrap();
+        assert!(s.poll().eof);
+    }
+
+    #[test]
+    fn dropped_sender_counts_as_eof() {
+        let (tx, rx) = crossbeam_channel::unbounded::<Feed>();
+        let mut s = ChannelSource::new(rx);
+        drop(tx);
+        assert!(s.poll().eof);
+    }
+
+    #[test]
+    fn follow_file_reads_appends_and_skips_partial_lines() {
+        let dir = std::env::temp_dir().join(format!("tango-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("follow.trace");
+        std::fs::write(&path, "in A.x\n").unwrap();
+
+        let mut s = FollowFileSource::new(&path, None);
+        let p = s.poll();
+        assert_eq!(p.events.len(), 1);
+        assert_eq!(p.events[0].dir, Dir::In);
+
+        // Append one full line and one partial line.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "out A.y\nin A").unwrap();
+        drop(f);
+        let p = s.poll();
+        assert_eq!(p.events.len(), 1);
+        assert_eq!(p.events[0].interaction, "y");
+
+        // Complete the partial line and close the trace.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, ".x\neof").unwrap();
+        drop(f);
+        let p = s.poll();
+        assert_eq!(p.events.len(), 1);
+        assert!(p.eof);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the trace format and the order-checking
+//! environment.
+
+use proptest::prelude::*;
+use tango::trace::format::{parse_trace, render_trace};
+use tango::{Dir, Event, Trace};
+use estelle_runtime::Value;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        Just(Value::Undefined),
+        Just(Value::Pointer(None)),
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (
+        any::<bool>(),
+        prop_oneof![Just("A"), Just("B"), Just("Line3")],
+        prop_oneof![Just("x"), Just("data"), Just("ack_2")],
+        prop::collection::vec(value_strategy(), 0..4),
+    )
+        .prop_map(|(is_in, ip, interaction, params)| Event {
+            dir: if is_in { Dir::In } else { Dir::Out },
+            ip: ip.to_string(),
+            interaction: interaction.to_string(),
+            params,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// render ∘ parse is the identity on arbitrary traces.
+    #[test]
+    fn trace_format_round_trips(events in prop::collection::vec(event_strategy(), 0..30),
+                                closed in any::<bool>()) {
+        let trace = Trace::new(events);
+        let text = render_trace(&trace, None, closed);
+        let back = parse_trace(&text, None).expect("rendered traces parse");
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Junk lines never panic the parser; they produce positioned errors.
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC{0,200}") {
+        let _ = parse_trace(&text, None);
+    }
+}
+
+mod env_properties {
+    use super::*;
+    use estelle_frontend::analyze;
+    use estelle_frontend::sema::model::AnalyzedModule;
+    use estelle_runtime::InputSource;
+    use tango::env::TraceEnv;
+    use tango::trace::ResolvedTrace;
+    use tango::{AnalysisOptions, OrderOptions};
+
+    fn module() -> AnalyzedModule {
+        analyze(
+            r#"
+            specification s;
+            channel CA(a, m); by a: x(n : integer); by m: y(n : integer); end;
+            channel CB(b, m); by b: u; by m: v; end;
+            module M process; ip A : CA(m); ip B : CB(m); end;
+            body MB for M; state S; initialize to S begin end; end;
+            end.
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn arb_event() -> impl Strategy<Value = Event> {
+        (any::<bool>(), any::<bool>(), -5i64..5).prop_map(|(at_a, is_in, n)| {
+            match (at_a, is_in) {
+                (true, true) => Event::input("A", "x", vec![Value::Int(n)]),
+                (true, false) => Event::output("A", "y", vec![Value::Int(n)]),
+                (false, true) => Event::input("B", "u", vec![]),
+                (false, false) => Event::output("B", "v", vec![]),
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Under IP ordering, at most one IP offers a consumable input at
+        /// any time (the paper's "most non-spontaneous transitions become
+        /// deterministic").
+        #[test]
+        fn ip_order_serializes_heads(events in prop::collection::vec(arb_event(), 1..25)) {
+            let m = module();
+            let trace = Trace::new(events);
+            let resolved = ResolvedTrace::resolve(&trace, &m).unwrap();
+            let opts = AnalysisOptions::with_order(OrderOptions::ip());
+            let mut env = TraceEnv::new(&m, resolved, &opts, false).unwrap();
+
+            // Drain inputs greedily; at every step at most one IP is
+            // consumable, and consumption follows global trace order.
+            let mut consumed_global = Vec::new();
+            loop {
+                let offers: Vec<usize> = (0..2)
+                    .filter(|&ip| matches!(env.head(ip), estelle_runtime::QueueHead::Message { .. }))
+                    .collect();
+                prop_assert!(offers.len() <= 1, "IP order must serialize inputs");
+                let Some(&ip) = offers.first() else { break };
+                let gidx = env.trace.inputs[ip][env.cursors.input[ip]];
+                consumed_global.push(gidx);
+                env.consume(ip);
+            }
+            let mut sorted = consumed_global.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&consumed_global, &sorted);
+            // Everything eventually drains: inputs blocked only by other
+            // inputs cannot deadlock. (Outputs may still be pending.)
+            for ip in 0..2 {
+                prop_assert_eq!(env.cursors.input[ip], env.trace.inputs[ip].len());
+            }
+        }
+
+        /// Save/restore of cursors is exact under arbitrary prefixes of
+        /// consumption.
+        #[test]
+        fn cursor_snapshots_are_exact(events in prop::collection::vec(arb_event(), 1..25),
+                                      steps in 0usize..10) {
+            let m = module();
+            let trace = Trace::new(events);
+            let resolved = ResolvedTrace::resolve(&trace, &m).unwrap();
+            let opts = AnalysisOptions::with_order(OrderOptions::none());
+            let mut env = TraceEnv::new(&m, resolved, &opts, false).unwrap();
+
+            for _ in 0..steps {
+                let Some(ip) = (0..2).find(|&ip| {
+                    matches!(env.head(ip), estelle_runtime::QueueHead::Message { .. })
+                }) else { break };
+                env.consume(ip);
+            }
+            let saved = env.save();
+            let outstanding_before = env.outstanding();
+            // Consume whatever remains.
+            while let Some(ip) = (0..2).find(|&ip| {
+                matches!(env.head(ip), estelle_runtime::QueueHead::Message { .. })
+            }) {
+                env.consume(ip);
+            }
+            env.restore(&saved);
+            prop_assert_eq!(env.outstanding(), outstanding_before);
+            prop_assert_eq!(env.save(), saved);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the Tango reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the real APIs.
+
+pub use estelle_ast as ast;
+pub use estelle_frontend as frontend;
+pub use estelle_runtime as runtime;
+pub use protocols;
+pub use tango;

@@ -1,0 +1,88 @@
+//! §3.2.1 — "Degenerate Cases when using MDFS".
+//!
+//! "Some protocol specifications have multiple IPs of which, during a
+//! typical test case execution, not all are in use. In such cases, the
+//! unused IPs will have empty queues during the entire search … each
+//! state generated during the MDFS becomes a PG-node, and thus must be
+//! saved … MDFS will waste all of the available memory very quickly. If
+//! it is known before the trace analysis that no inputs will ever arrive
+//! at a particular IP, using the disable_ip runtime option will prevent
+//! this degenerate MDFS case from occurring."
+
+use tango::{AnalysisOptions, ChannelSource, Event, Feed, OrderOptions, Verdict};
+use tango_repro::protocols::ip3;
+use tango_repro::tango::InconclusiveReason;
+
+/// Drive ip3' on-line with traffic only at B/C; IP `A` never sees an
+/// interaction, so without countermeasures every node is PG.
+fn run(disable_a: bool, max_pg: usize) -> tango::AnalysisReport {
+    let analyzer = ip3::analyzer_prime();
+    let (tx, mut source) = ChannelSource::pair();
+    for _ in 0..6 {
+        tx.send(Feed::Event(Event::input("B", "data", vec![]))).unwrap();
+        tx.send(Feed::Event(Event::output("C", "data", vec![]))).unwrap();
+    }
+    // The trace stays OPEN (no eof): that is what makes empty queues
+    // "may grow" and nodes partially generated. Stop at the first interim
+    // verdict and inspect the bookkeeping.
+    let mut options = AnalysisOptions::with_order(OrderOptions::none());
+    if disable_a {
+        // Both quiet IPs: A never sees traffic, and C only ever receives
+        // outputs — their input queues are known to stay empty.
+        options = options.disable_ip("A").disable_ip("C");
+    }
+    options.limits.max_pg_nodes = max_pg;
+    analyzer
+        .analyze_online(&mut source, &options, &mut |_| false)
+        .unwrap()
+}
+
+#[test]
+fn unused_ip_creates_pg_nodes_everywhere() {
+    let report = run(false, 1_000_000);
+    // Everything received so far is explained: valid so far.
+    assert_eq!(report.verdict, Verdict::ValidSoFar);
+    // Every node along the search kept waiting on A: PG bookkeeping at
+    // nearly every step.
+    assert!(
+        report.stats.pg_nodes >= 6,
+        "expected pervasive PG-nodes, got {}",
+        report.stats.pg_nodes
+    );
+}
+
+#[test]
+fn disable_ip_prevents_the_degenerate_case() {
+    let degenerate = run(false, 1_000_000);
+    let disabled = run(true, 1_000_000);
+    assert_eq!(disabled.verdict, Verdict::ValidSoFar);
+    assert!(
+        disabled.stats.pg_nodes < degenerate.stats.pg_nodes,
+        "disable_ip should reduce PG-node churn: {} vs {}",
+        disabled.stats.pg_nodes,
+        degenerate.stats.pg_nodes
+    );
+}
+
+#[test]
+fn pg_node_limit_guards_memory() {
+    // The §3.2.1 memory hazard, bounded: an open-ended analysis whose
+    // PG list would grow past the cap stops inconclusively instead of
+    // "wasting all of the available memory".
+    let analyzer = ip3::analyzer_prime();
+    let (tx, mut source) = ChannelSource::pair();
+    // A long stream with NO eof: nodes keep getting parked.
+    for _ in 0..64 {
+        tx.send(Feed::Event(Event::input("B", "data", vec![]))).unwrap();
+        tx.send(Feed::Event(Event::output("C", "data", vec![]))).unwrap();
+    }
+    let mut options = AnalysisOptions::with_order(OrderOptions::none());
+    options.limits.max_pg_nodes = 8;
+    let report = analyzer
+        .analyze_online(&mut source, &options, &mut |_| true)
+        .unwrap();
+    assert_eq!(
+        report.verdict,
+        Verdict::Inconclusive(InconclusiveReason::PgNodeLimit)
+    );
+}

@@ -1,0 +1,186 @@
+//! Cross-crate property tests: the analyzer's soundness and sensitivity
+//! contracts, and verdict preservation under the normal-form transform.
+
+use proptest::prelude::*;
+use tango::{AnalysisOptions, ChoicePolicy, Dir, OrderOptions, Tango, Verdict};
+use tango_repro::protocols::{synthetic::SyntheticSpec, tp0};
+use tango_repro::runtime::normal_form::normalize_specification;
+use tango_repro::runtime::Value;
+
+proptest! {
+    // Each case runs a full generate-then-analyze cycle; keep counts sane.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness: anything the specification's own implementation does is
+    /// accepted by the analyzer, in every checking mode.
+    #[test]
+    fn tp0_self_traces_always_verify(up in 0usize..5, down in 0usize..5, seed in 0u64..1000) {
+        let analyzer = tp0::analyzer();
+        let trace = tp0::valid_trace(up, down, seed);
+        for order in [
+            OrderOptions::none(),
+            OrderOptions::io(),
+            OrderOptions::ip(),
+            OrderOptions::full(),
+        ] {
+            let r = analyzer
+                .analyze(&trace, &AnalysisOptions::with_order(order))
+                .unwrap();
+            prop_assert_eq!(
+                r.verdict.clone(),
+                Verdict::Valid,
+                "up={} down={} seed={} mode={}",
+                up, down, seed, order.label()
+            );
+        }
+    }
+
+    /// Sensitivity: changing any data-bearing *output* parameter to a
+    /// different value makes the trace invalid under full checking.
+    #[test]
+    fn tp0_output_mutations_always_detected(seed in 0u64..500, pick in 0usize..100) {
+        let analyzer = tp0::analyzer();
+        let trace = tp0::complete_valid_trace(3, 2, seed);
+        let data_outputs: Vec<usize> = trace
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.dir == Dir::Out && !e.params.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!data_outputs.is_empty());
+        let idx = data_outputs[pick % data_outputs.len()];
+        let mut bad = trace.clone();
+        if let Value::Int(v) = bad.events[idx].params[0] {
+            bad.events[idx].params[0] = Value::Int(v + 1);
+        }
+        let mut options = AnalysisOptions::with_order(OrderOptions::full());
+        options.limits.max_transitions = 10_000_000;
+        let r = analyzer.analyze(&bad, &options).unwrap();
+        prop_assert_eq!(r.verdict, Verdict::Invalid);
+    }
+
+    /// Dropping any single *input* event from a complete trace is
+    /// detected under full order checking: some later event loses its
+    /// explanation. (Dropping an output is not always detectable — t17
+    /// legally discards buffered data at disconnect, so a missing dt_req
+    /// can be explained by an earlier disconnect decision.)
+    #[test]
+    fn tp0_dropped_inputs_detected(seed in 0u64..200, pick in 0usize..100) {
+        let analyzer = tp0::analyzer();
+        let trace = tp0::complete_valid_trace(2, 2, seed);
+        let inputs: Vec<usize> = trace
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.dir == Dir::In)
+            .map(|(i, _)| i)
+            .collect();
+        let idx = inputs[pick % inputs.len()];
+        let mut bad = trace.clone();
+        bad.events.remove(idx);
+        let mut options = AnalysisOptions::with_order(OrderOptions::full());
+        options.limits.max_transitions = 10_000_000;
+        let r = analyzer.analyze(&bad, &options).unwrap();
+        prop_assert_eq!(r.verdict.clone(), Verdict::Invalid, "dropped event {}", idx);
+    }
+
+    /// Synthetic ring specs of arbitrary size verify their own traces.
+    #[test]
+    fn synthetic_self_traces_verify(states in 1usize..6, extra in 0usize..40, steps in 0usize..30) {
+        let spec = SyntheticSpec::new(states, states + extra);
+        let analyzer = spec.analyzer();
+        let trace = analyzer
+            .generate_trace(&spec.workload(steps), ChoicePolicy::First, 100_000)
+            .unwrap();
+        let r = analyzer
+            .analyze(&trace, &AnalysisOptions::default())
+            .unwrap();
+        prop_assert_eq!(r.verdict, Verdict::Valid);
+    }
+}
+
+/// A branching specification used for the normal-form property.
+const BRANCHY: &str = r#"
+specification branchy;
+channel C(env, m);
+    by env: put(n : integer);
+    by m: small(n : integer); big(n : integer); zero;
+end;
+module M process; ip P : C(m); end;
+body MB for M;
+    var seen : integer;
+    state S;
+    initialize to S begin seen := 0 end;
+    trans
+    from S to S when P.put name Classify:
+    begin
+        if n = 0 then output P.zero
+        else begin
+            if n < 10 then output P.small(n)
+            else output P.big(n);
+        end;
+        seen := seen + 1;
+    end;
+end;
+end.
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// §5.3: the normal-form transformation preserves verdicts — any
+    /// trace gets the same valid/invalid answer from the original and the
+    /// normalized specification.
+    #[test]
+    fn normal_form_preserves_verdicts(values in prop::collection::vec(-20i64..30, 1..8),
+                                      corrupt in any::<bool>()) {
+        let original = Tango::generate(BRANCHY).unwrap();
+        let spec = tango_repro::frontend::parse_specification(BRANCHY).unwrap();
+        let normalized_src =
+            tango_repro::ast::print::print_specification(&normalize_specification(&spec).unwrap());
+        let normalized = Tango::generate(&normalized_src).unwrap();
+
+        // Build a trace from the original implementation...
+        let script: Vec<_> = values
+            .iter()
+            .map(|&v| tango::ScriptedInput::new("P", "put", vec![Value::Int(v)]))
+            .collect();
+        let mut trace = original
+            .generate_trace(&script, ChoicePolicy::First, 10_000)
+            .unwrap();
+        // ... optionally corrupting one output parameter.
+        if corrupt {
+            if let Some(e) = trace
+                .events
+                .iter_mut()
+                .find(|e| e.dir == Dir::Out && !e.params.is_empty())
+            {
+                if let Value::Int(v) = e.params[0] {
+                    e.params[0] = Value::Int(v + 1);
+                }
+            }
+        }
+        let options = AnalysisOptions::default();
+        let a = original.analyze(&trace, &options).unwrap();
+        let b = normalized.analyze(&trace, &options).unwrap();
+        prop_assert_eq!(a.verdict, b.verdict);
+    }
+}
+
+/// The normalized BRANCHY spec is genuinely branch-free.
+#[test]
+fn normal_form_eliminates_branches() {
+    let spec = tango_repro::frontend::parse_specification(BRANCHY).unwrap();
+    let normalized = normalize_specification(&spec).unwrap();
+    let body = &normalized.body.bodies[0];
+    assert!(body.transitions.len() >= 3);
+    for t in &body.transitions {
+        assert!(
+            !t.block.iter().any(|s| s.kind.is_control()),
+            "transition {} still branches",
+            t.name.as_ref().map(|n| n.text.as_str()).unwrap_or("?")
+        );
+        assert!(t.provided.is_some());
+    }
+}

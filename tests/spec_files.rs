@@ -1,0 +1,37 @@
+//! The standalone `.est` files under `specs/` (used by the CLI docs and
+//! examples) must stay in sync with the sources embedded in the
+//! `protocols` crate, and must all build.
+
+use tango_repro::protocols::{abp, lapd, tp0};
+
+fn read_spec(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs");
+    std::fs::read_to_string(format!("{}/{}.est", path, name))
+        .unwrap_or_else(|e| panic!("specs/{}.est unreadable: {}", name, e))
+}
+
+#[test]
+fn spec_files_match_embedded_sources() {
+    for (name, embedded) in [
+        ("tp0", tp0::SOURCE),
+        ("lapd", lapd::SOURCE),
+        ("abp", abp::SOURCE),
+    ] {
+        assert_eq!(
+            read_spec(name).trim(),
+            embedded.trim(),
+            "specs/{}.est diverged from protocols::{}::SOURCE",
+            name,
+            name
+        );
+    }
+}
+
+#[test]
+fn all_spec_files_generate_analyzers() {
+    for name in ["ack", "tp0", "lapd", "abp"] {
+        let src = read_spec(name);
+        tango::Tango::generate(&src)
+            .unwrap_or_else(|e| panic!("specs/{}.est failed to build: {}", name, e));
+    }
+}
