@@ -1,0 +1,24 @@
+#!/bin/sh
+# Repository CI: tier-1 verification plus lints. Fails on the first error.
+#
+#   ./ci.sh
+#
+# Tier-1 (the gate every change must keep green, see ROADMAP.md):
+#   cargo build --release && cargo test -q
+# plus the full workspace test suite and clippy with warnings denied.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,7 +1,9 @@
-//! Criterion benches mirroring the paper's tables at reduced sizes.
+//! Benches mirroring the paper's tables at reduced sizes.
 //!
 //! The table-printing binaries in `src/bin/` regenerate the full figures;
-//! these benches measure the same workloads with statistical rigor:
+//! this harness measures the same workloads with a simple warmup +
+//! repeated-timing loop (the workspace builds offline, so `criterion` is
+//! not available — `harness = false` and a hand-rolled `main` instead):
 //!
 //! * `fig3_lapd/*` — valid LAPD trace analysis per order-checking mode;
 //! * `fig4_tp0/*` — invalid TP0 trace analysis per order-checking mode;
@@ -9,14 +11,36 @@
 //! * `machine_ops/*` — the four primitive operations of §2.2 (generate,
 //!   update, save, restore), the per-edge costs behind every table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use protocols::{lapd, tp0};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 use tango::{AnalysisOptions, OrderOptions};
 
-fn fig3_lapd(c: &mut Criterion) {
+/// Time `f` with a small warmup; report the best-of-N median-ish figure.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    const WARMUP: usize = 2;
+    const RUNS: usize = 7;
+    for _ in 0..WARMUP {
+        black_box(f());
+    }
+    let mut times: Vec<Duration> = (0..RUNS)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    let median = times[RUNS / 2];
+    let best = times[0];
+    println!(
+        "{:<40} median {:>12.3?}   best {:>12.3?}",
+        name, median, best
+    );
+}
+
+fn fig3_lapd() {
     let analyzer = lapd::analyzer();
-    let mut group = c.benchmark_group("fig3_lapd");
     for di in [5usize, 15] {
         let trace = lapd::valid_trace(di, di, di as u64);
         for (order, label) in [
@@ -24,26 +48,18 @@ fn fig3_lapd(c: &mut Criterion) {
             (OrderOptions::full(), "FULL"),
         ] {
             let options = AnalysisOptions::with_order(order);
-            group.bench_with_input(
-                BenchmarkId::new(label, di),
-                &trace,
-                |b, trace| {
-                    b.iter(|| {
-                        let r = analyzer.analyze(black_box(trace), &options).unwrap();
-                        assert!(r.verdict.is_valid());
-                        r.stats.transitions_executed
-                    })
-                },
-            );
+            bench(&format!("fig3_lapd/{}/{}", label, di), || {
+                let r = analyzer.analyze(black_box(&trace), &options).unwrap();
+                assert!(r.verdict.is_valid());
+                r.stats.transitions_executed
+            });
         }
     }
-    group.finish();
 }
 
-fn fig4_tp0(c: &mut Criterion) {
+fn fig4_tp0() {
     let analyzer = tp0::analyzer();
     let bad = tp0::invalidate_last_data(&tp0::complete_valid_trace(2, 2, 13)).unwrap();
-    let mut group = c.benchmark_group("fig4_tp0_invalid");
     for (order, label) in [
         (OrderOptions::none(), "NR"),
         (OrderOptions::io(), "IO"),
@@ -52,57 +68,51 @@ fn fig4_tp0(c: &mut Criterion) {
     ] {
         let mut options = AnalysisOptions::with_order(order);
         options.limits.max_transitions = 10_000_000;
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let r = analyzer.analyze(black_box(&bad), &options).unwrap();
-                assert!(!r.verdict.is_valid());
-                r.stats.transitions_executed
-            })
+        bench(&format!("fig4_tp0_invalid/{}", label), || {
+            let r = analyzer.analyze(black_box(&bad), &options).unwrap();
+            assert!(!r.verdict.is_valid());
+            r.stats.transitions_executed
         });
     }
-    group.finish();
 }
 
-fn tp0_valid_linear(c: &mut Criterion) {
+fn tp0_valid_linear() {
     let analyzer = tp0::analyzer();
     let options = AnalysisOptions::with_order(OrderOptions::full());
-    let mut group = c.benchmark_group("tp0_valid");
     for n in [5usize, 10, 20] {
         let trace = tp0::valid_trace(n, n, n as u64);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, trace| {
-            b.iter(|| {
-                let r = analyzer.analyze(black_box(trace), &options).unwrap();
-                assert!(r.verdict.is_valid());
-                r.stats.transitions_executed
-            })
+        bench(&format!("tp0_valid/{}", n), || {
+            let r = analyzer.analyze(black_box(&trace), &options).unwrap();
+            assert!(r.verdict.is_valid());
+            r.stats.transitions_executed
         });
     }
-    group.finish();
 }
 
-fn machine_ops(c: &mut Criterion) {
+fn machine_ops() {
     use estelle_runtime::env::NullEnv;
     let analyzer = tp0::analyzer();
     let machine = &analyzer.machine;
-    let mut group = c.benchmark_group("machine_ops");
 
-    group.bench_function("initial_state", |b| {
-        b.iter(|| machine.initial_state().unwrap())
+    bench("machine_ops/initial_state", || {
+        machine.initial_state().unwrap()
     });
 
     let state = machine.initial_state().unwrap();
-    group.bench_function("save_restore_clone", |b| {
-        b.iter(|| black_box(state.clone()))
+    bench("machine_ops/save_restore_clone", || {
+        black_box(state.clone())
     });
 
     let mut st = machine.initial_state().unwrap();
     let env = NullEnv::default();
-    group.bench_function("generate", |b| {
-        b.iter(|| machine.generate(black_box(&mut st), &env).unwrap())
+    bench("machine_ops/generate", || {
+        machine.generate(black_box(&mut st), &env).unwrap()
     });
-
-    group.finish();
 }
 
-criterion_group!(benches, fig3_lapd, fig4_tp0, tp0_valid_linear, machine_ops);
-criterion_main!(benches);
+fn main() {
+    fig3_lapd();
+    fig4_tp0();
+    tp0_valid_linear();
+    machine_ops();
+}

@@ -14,7 +14,7 @@
 use protocols::ip3;
 use tango::{AnalysisOptions, ChannelSource, Event, Feed, OrderOptions, Verdict};
 
-fn scenario(tx: &crossbeam_channel::Sender<Feed>, rounds: usize) {
+fn scenario(tx: &std::sync::mpsc::Sender<Feed>, rounds: usize) {
     tx.send(Feed::Event(Event::input("A", "x", vec![]))).unwrap();
     tx.send(Feed::Event(Event::output("A", "o", vec![]))).unwrap();
     for _ in 0..rounds {

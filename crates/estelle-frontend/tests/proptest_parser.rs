@@ -1,109 +1,129 @@
-//! Property tests for the parser and pretty printer.
+//! Randomized-sweep tests for the parser and pretty printer.
 //!
 //! Core property: `print ∘ parse` is idempotent — parsing pretty-printed
 //! output reproduces the same tree (modulo spans), so printing again
 //! yields byte-identical text. Checked on randomly generated expressions
 //! and on every bundled specification.
+//!
+//! Formerly `proptest`-based; now deterministic seeded sweeps (the
+//! workspace builds offline with no registry dependencies).
 
 use estelle_ast::expr::SetElem;
 use estelle_ast::print::{print_expr, print_specification};
 use estelle_ast::{BinOp, Expr, ExprKind, Ident, Span, UnOp};
 use estelle_frontend::{parse_expression, parse_specification};
-use proptest::prelude::*;
 
-fn ident_strategy() -> impl Strategy<Value = Ident> {
-    prop_oneof![
-        Just("alpha"),
-        Just("beta"),
-        Just("buf1"),
-        Just("Count"),
-        Just("x_y"),
-    ]
-    .prop_map(Ident::synthetic)
+/// Minimal SplitMix64 for reproducible pseudo-random sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn index(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..10_000).prop_map(|v| Expr::new(ExprKind::IntLit(v), Span::DUMMY)),
-        any::<bool>().prop_map(|b| Expr::new(ExprKind::BoolLit(b), Span::DUMMY)),
-        Just(Expr::new(ExprKind::NilLit, Span::DUMMY)),
-        ident_strategy().prop_map(Expr::name),
-    ];
-    leaf.prop_recursive(4, 64, 4, |inner| {
-        prop_oneof![
-            // Binary operators.
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Div),
-                    Just(BinOp::Mod),
-                    Just(BinOp::And),
-                    Just(BinOp::Or),
-                    Just(BinOp::Eq),
-                    Just(BinOp::Ne),
-                    Just(BinOp::Lt),
-                    Just(BinOp::Le),
-                    Just(BinOp::Gt),
-                    Just(BinOp::Ge),
-                    Just(BinOp::In),
-                ],
-                inner.clone(),
-                inner.clone()
+fn arb_ident(rng: &mut Rng) -> Ident {
+    Ident::synthetic(["alpha", "beta", "buf1", "Count", "x_y"][rng.index(5)])
+}
+
+fn arb_leaf(rng: &mut Rng) -> Expr {
+    match rng.index(4) {
+        0 => Expr::new(ExprKind::IntLit(rng.index(10_000) as i64), Span::DUMMY),
+        1 => Expr::new(ExprKind::BoolLit(rng.index(2) == 0), Span::DUMMY),
+        2 => Expr::new(ExprKind::NilLit, Span::DUMMY),
+        _ => Expr::name(arb_ident(rng)),
+    }
+}
+
+const BINOPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Mod,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::In,
+];
+
+fn arb_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 {
+        return arb_leaf(rng);
+    }
+    match rng.index(8) {
+        0 => arb_leaf(rng),
+        1 => {
+            let op = BINOPS[rng.index(BINOPS.len())];
+            let l = arb_expr(rng, depth - 1);
+            let r = arb_expr(rng, depth - 1);
+            Expr::new(ExprKind::Binary(op, Box::new(l), Box::new(r)), Span::DUMMY)
+        }
+        2 => {
+            let op = [UnOp::Neg, UnOp::Plus, UnOp::Not][rng.index(3)];
+            Expr::new(
+                ExprKind::Unary(op, Box::new(arb_expr(rng, depth - 1))),
+                Span::DUMMY,
             )
-                .prop_map(|(op, l, r)| Expr::new(
-                    ExprKind::Binary(op, Box::new(l), Box::new(r)),
-                    Span::DUMMY
-                )),
-            // Unary operators.
-            (
-                prop_oneof![Just(UnOp::Neg), Just(UnOp::Plus), Just(UnOp::Not)],
-                inner.clone()
-            )
-                .prop_map(|(op, e)| Expr::new(
-                    ExprKind::Unary(op, Box::new(e)),
-                    Span::DUMMY
-                )),
-            // Postfix forms.
-            (inner.clone(), ident_strategy()).prop_map(|(b, f)| Expr::new(
-                ExprKind::Field(Box::new(b), f),
-                Span::DUMMY
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::new(
-                ExprKind::Index(Box::new(b), Box::new(i)),
-                Span::DUMMY
-            )),
-            inner
-                .clone()
-                .prop_map(|b| Expr::new(ExprKind::Deref(Box::new(b)), Span::DUMMY)),
-            // Calls.
-            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(name, args)| Expr::new(ExprKind::Call(name, args), Span::DUMMY)
+        }
+        3 => Expr::new(
+            ExprKind::Field(Box::new(arb_expr(rng, depth - 1)), arb_ident(rng)),
+            Span::DUMMY,
+        ),
+        4 => Expr::new(
+            ExprKind::Index(
+                Box::new(arb_expr(rng, depth - 1)),
+                Box::new(arb_expr(rng, depth - 1)),
             ),
-            // Set constructors.
-            prop::collection::vec(
-                prop_oneof![
-                    inner.clone().prop_map(SetElem::Single),
-                    (inner.clone(), inner.clone()).prop_map(|(a, b)| SetElem::Range(a, b)),
-                ],
-                0..3
-            )
-            .prop_map(|elems| Expr::new(ExprKind::SetCtor(elems), Span::DUMMY)),
-        ]
-    })
+            Span::DUMMY,
+        ),
+        5 => Expr::new(
+            ExprKind::Deref(Box::new(arb_expr(rng, depth - 1))),
+            Span::DUMMY,
+        ),
+        6 => {
+            let args = (0..rng.index(3)).map(|_| arb_expr(rng, depth - 1)).collect();
+            Expr::new(ExprKind::Call(arb_ident(rng), args), Span::DUMMY)
+        }
+        _ => {
+            let elems = (0..rng.index(3))
+                .map(|_| {
+                    if rng.index(2) == 0 {
+                        SetElem::Single(arb_expr(rng, depth - 1))
+                    } else {
+                        SetElem::Range(arb_expr(rng, depth - 1), arb_expr(rng, depth - 1))
+                    }
+                })
+                .collect();
+            Expr::new(ExprKind::SetCtor(elems), Span::DUMMY)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// print(parse(print(e))) == print(e) for arbitrary expression trees.
-    #[test]
-    fn expr_print_parse_idempotent(e in expr_strategy()) {
+/// print(parse(print(e))) == print(e) for arbitrary expression trees.
+#[test]
+fn expr_print_parse_idempotent() {
+    for seed in 0..256u64 {
+        let mut rng = Rng(seed);
+        let depth = 1 + rng.index(4);
+        let e = arb_expr(&mut rng, depth);
         let printed = print_expr(&e);
-        let reparsed = parse_expression(&printed)
-            .unwrap_or_else(|err| panic!("`{}` failed to reparse: {}", printed, err));
-        prop_assert_eq!(print_expr(&reparsed), printed);
+        let reparsed = parse_expression(&printed).unwrap_or_else(|err| {
+            panic!("seed {}: `{}` failed to reparse: {}", seed, printed, err)
+        });
+        assert_eq!(print_expr(&reparsed), printed, "seed {}", seed);
     }
 }
 

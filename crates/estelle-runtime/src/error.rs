@@ -40,6 +40,10 @@ pub enum RuntimeErrorKind {
     OutputRejected,
     /// Internal invariant violation (compiler bug, not a spec bug).
     Internal,
+    /// A panic unwound out of an interpreter step and was converted into a
+    /// structured error by the analyzer's isolation guard. The offending
+    /// branch is abandoned; the search continues on other branches.
+    Panic,
 }
 
 /// A runtime failure with an optional source location.
@@ -82,6 +86,10 @@ impl RuntimeError {
 
     pub fn internal(message: impl Into<String>) -> Self {
         RuntimeError::new(RuntimeErrorKind::Internal, message)
+    }
+
+    pub fn panic(message: impl Into<String>) -> Self {
+        RuntimeError::new(RuntimeErrorKind::Panic, message)
     }
 }
 

@@ -55,6 +55,20 @@ impl Heap {
         self.cells.len()
     }
 
+    /// Approximate footprint in bytes of everything the heap owns,
+    /// including out-of-line storage inside the cell values. Proportional
+    /// rather than exact — used for the analyzer's snapshot-memory budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| match c {
+                Cell::Free { .. } => std::mem::size_of::<Cell>(),
+                Cell::Used { value, .. } => std::mem::size_of::<Cell>() + value.approx_bytes(),
+            })
+            .sum::<usize>()
+            + self.free.len() * std::mem::size_of::<u32>()
+    }
+
     /// Allocate a cell holding `value`, as `new(p)` does.
     pub fn alloc(&mut self, value: Value) -> HeapRef {
         self.live += 1;

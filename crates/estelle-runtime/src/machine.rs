@@ -51,6 +51,15 @@ impl MachineState {
     pub fn size_estimate(&self) -> usize {
         self.globals.len() + self.heap.slots()
     }
+
+    /// Approximate footprint of one saved snapshot in bytes (globals and
+    /// dynamic memory, including out-of-line storage). The trace
+    /// analyzer's memory budget charges each saved search node this much.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.globals.iter().map(Value::approx_bytes).sum::<usize>()
+            + self.heap.approx_bytes()
+    }
 }
 
 /// One fireable transition found by *Generate*.

@@ -107,6 +107,21 @@ impl Value {
         }
     }
 
+    /// Approximate heap footprint of the value in bytes: the inline
+    /// enum size plus everything owned out-of-line (set members, array
+    /// and record elements). Feeds the analyzer's snapshot-memory budget,
+    /// so it only needs to be proportional, not exact.
+    pub fn approx_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<Value>();
+        match self {
+            Value::Set(s) => inline + s.len() * std::mem::size_of::<i64>(),
+            Value::Array(vs) | Value::Record(vs) => {
+                inline + vs.iter().map(Value::approx_bytes).sum::<usize>()
+            }
+            _ => inline,
+        }
+    }
+
     /// Short description used in diagnostics and trace rendering.
     pub fn describe(&self) -> String {
         match self {

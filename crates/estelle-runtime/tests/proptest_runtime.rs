@@ -1,11 +1,33 @@
-//! Property tests for the runtime substrate: the heap against a
+//! Randomized-sweep tests for the runtime substrate: the heap against a
 //! reference model, set semantics, and interpreter arithmetic against
 //! direct evaluation.
+//!
+//! Formerly `proptest`-based; now deterministic seeded sweeps (the
+//! workspace builds offline with no registry dependencies). Each failure
+//! message carries the seed that reproduces it.
 
 use estelle_runtime::value::SmallSet;
 use estelle_runtime::{Heap, Machine, Value};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
+
+/// Minimal SplitMix64 for reproducible pseudo-random sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn index(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % ((hi - lo) as u64 + 1)) as i64
+    }
+}
 
 // ---------------------------------------------------------------------
 // Heap vs. a reference model
@@ -22,25 +44,23 @@ enum HeapOp {
     Snapshot,
 }
 
-fn heap_ops() -> impl Strategy<Value = Vec<HeapOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (any::<i64>()).prop_map(HeapOp::Alloc),
-            (0usize..8).prop_map(HeapOp::Dispose),
-            (0usize..8, any::<i64>()).prop_map(|(i, v)| HeapOp::Write(i, v)),
-            Just(HeapOp::Snapshot),
-        ],
-        0..60,
-    )
+fn heap_ops(rng: &mut Rng) -> Vec<HeapOp> {
+    (0..rng.index(60))
+        .map(|_| match rng.index(4) {
+            0 => HeapOp::Alloc(rng.next() as i64),
+            1 => HeapOp::Dispose(rng.index(8)),
+            2 => HeapOp::Write(rng.index(8), rng.next() as i64),
+            _ => HeapOp::Snapshot,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The heap agrees with a simple Vec-based model under arbitrary
-    /// alloc/dispose/write interleavings, and snapshots are immutable.
-    #[test]
-    fn heap_matches_reference_model(ops in heap_ops()) {
+/// The heap agrees with a simple Vec-based model under arbitrary
+/// alloc/dispose/write interleavings, and snapshots are immutable.
+#[test]
+fn heap_matches_reference_model() {
+    for seed in 0..256u64 {
+        let ops = heap_ops(&mut Rng(seed));
         let mut heap = Heap::new();
         let mut live: Vec<(estelle_runtime::HeapRef, i64)> = Vec::new();
         let mut snapshot: Option<(Heap, Vec<(estelle_runtime::HeapRef, i64)>)> = None;
@@ -56,7 +76,7 @@ proptest! {
                         let (r, _) = live.remove(i % live.len());
                         heap.dispose(r).expect("live ref disposes");
                         // Double dispose must fail.
-                        prop_assert!(heap.dispose(r).is_err());
+                        assert!(heap.dispose(r).is_err(), "seed {}", seed);
                     }
                 }
                 HeapOp::Write(i, v) => {
@@ -72,45 +92,56 @@ proptest! {
                 }
             }
             // Model agreement after every step.
-            prop_assert_eq!(heap.live(), live.len());
+            assert_eq!(heap.live(), live.len(), "seed {}", seed);
             for (r, v) in &live {
-                prop_assert_eq!(heap.get(*r).unwrap(), &Value::Int(*v));
+                assert_eq!(heap.get(*r).unwrap(), &Value::Int(*v), "seed {}", seed);
             }
         }
 
         // The snapshot still shows the world as it was.
         if let Some((snap, snap_live)) = snapshot {
-            prop_assert_eq!(snap.live(), snap_live.len());
+            assert_eq!(snap.live(), snap_live.len(), "seed {}", seed);
             for (r, v) in &snap_live {
-                prop_assert_eq!(snap.get(*r).unwrap(), &Value::Int(*v));
+                assert_eq!(snap.get(*r).unwrap(), &Value::Int(*v), "seed {}", seed);
             }
         }
     }
+}
 
-    /// SmallSet behaves like BTreeSet for insert/contains/len.
-    #[test]
-    fn small_set_matches_btreeset(values in prop::collection::vec(-50i64..50, 0..40)) {
+/// SmallSet behaves like BTreeSet for insert/contains/len.
+#[test]
+fn small_set_matches_btreeset() {
+    for seed in 0..256u64 {
+        let mut rng = Rng(seed);
+        let values: Vec<i64> = (0..rng.index(40)).map(|_| rng.int(-50, 49)).collect();
         let mut small = SmallSet::empty();
         let mut reference = BTreeSet::new();
         for v in &values {
             small.insert(*v);
             reference.insert(*v);
-            prop_assert_eq!(small.len(), reference.len());
+            assert_eq!(small.len(), reference.len(), "seed {}", seed);
         }
         for v in -50i64..50 {
-            prop_assert_eq!(small.contains(v), reference.contains(&v));
+            assert_eq!(small.contains(v), reference.contains(&v), "seed {}", seed);
         }
         let collected: Vec<i64> = small.iter().collect();
         let expected: Vec<i64> = reference.into_iter().collect();
-        prop_assert_eq!(collected, expected);
+        assert_eq!(collected, expected, "seed {}", seed);
     }
+}
 
-    /// The interpreter's integer arithmetic matches Rust's, including
-    /// Pascal `div`/`mod` truncation semantics, evaluated through a real
-    /// compiled specification.
-    #[test]
-    fn interpreter_arithmetic_matches_host(a in -10_000i64..10_000, b in -10_000i64..10_000) {
-        prop_assume!(b != 0);
+/// The interpreter's integer arithmetic matches Rust's, including
+/// Pascal `div`/`mod` truncation semantics, evaluated through a real
+/// compiled specification.
+#[test]
+fn interpreter_arithmetic_matches_host() {
+    for seed in 0..48u64 {
+        let mut rng = Rng(seed);
+        let a = rng.int(-10_000, 9_999);
+        let mut b = rng.int(-10_000, 9_999);
+        if b == 0 {
+            b = 1;
+        }
         let src = format!(
             r#"
             specification arith;
@@ -132,22 +163,27 @@ proptest! {
         );
         let machine = Machine::from_source(&src).expect("builds");
         let st = machine.initial_state().expect("initializes");
-        prop_assert_eq!(&st.globals[0], &Value::Int(a.wrapping_div(b)));
-        prop_assert_eq!(&st.globals[1], &Value::Int(a.wrapping_rem(b)));
-        prop_assert_eq!(&st.globals[2], &Value::Int((a + b) * 2 - b));
+        assert_eq!(&st.globals[0], &Value::Int(a.wrapping_div(b)), "seed {}", seed);
+        assert_eq!(&st.globals[1], &Value::Int(a.wrapping_rem(b)), "seed {}", seed);
+        assert_eq!(&st.globals[2], &Value::Int((a + b) * 2 - b), "seed {}", seed);
     }
+}
 
-    /// `matches` is reflexive and symmetric for arbitrary scalar values,
-    /// and undefined absorbs everything.
-    #[test]
-    fn value_matching_properties(x in -100i64..100, y in -100i64..100) {
+/// `matches` is reflexive and symmetric for arbitrary scalar values,
+/// and undefined absorbs everything.
+#[test]
+fn value_matching_properties() {
+    for seed in 0..256u64 {
+        let mut rng = Rng(seed);
+        let x = rng.int(-100, 99);
+        let y = rng.int(-100, 99);
         let a = Value::Int(x);
         let b = Value::Int(y);
-        prop_assert!(a.matches(&a));
-        prop_assert_eq!(a.matches(&b), b.matches(&a));
-        prop_assert_eq!(a.matches(&b), x == y);
-        prop_assert!(Value::Undefined.matches(&a));
-        prop_assert!(a.matches(&Value::Undefined));
+        assert!(a.matches(&a));
+        assert_eq!(a.matches(&b), b.matches(&a));
+        assert_eq!(a.matches(&b), x == y);
+        assert!(Value::Undefined.matches(&a));
+        assert!(a.matches(&Value::Undefined));
     }
 }
 

@@ -263,8 +263,9 @@ mod tests {
     fn different_seeds_give_different_interleavings() {
         let t1 = valid_trace(4, 4, 1);
         let t2 = valid_trace(4, 4, 2);
-        // Same multiset of interactions, typically different order.
-        assert_eq!(t1.len(), t2.len());
+        // Interleaving — and, because t17 may disconnect early and
+        // discard buffered data, possibly length — depends on the seed;
+        // the event sequences must differ.
         assert_ne!(t1, t2, "seeds 1 and 2 should interleave differently");
     }
 

@@ -32,7 +32,8 @@
 use estelle_frontend::parse_specification;
 use estelle_runtime::normal_form::normalize_specification;
 use std::process::ExitCode;
-use tango::{AnalysisOptions, FollowFileSource, OrderOptions, Tango, Verdict};
+use std::time::Duration;
+use tango::{AnalysisOptions, FollowFileSource, OrderOptions, RecoveryPolicy, Tango, Verdict};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,8 +69,29 @@ fn usage() -> String {
     "usage: tango <check|analyze|online|normalize|graph|generate> <spec.est> \
      [trace.txt|script.txt] [--order nr|io|ip|full] [--disable-ip NAME] \
      [--unobserved-ip NAME] [--initial-state-search] [--state-hashing] \
+     [--max-seconds F] [--max-mem N[k|m|g]] [--on-truncate restart|fail] \
      [--seed N]"
         .to_string()
+}
+
+/// Parse a byte budget like `64k`, `16m`, `1g` or a plain byte count.
+fn parse_bytes(s: &str) -> Result<usize, String> {
+    let lower = s.to_ascii_lowercase();
+    let (digits, mult) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => (
+            d,
+            match lower.as_bytes()[lower.len() - 1] {
+                b'k' => 1usize << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            },
+        ),
+        None => (lower.as_str(), 1),
+    };
+    digits
+        .parse::<usize>()
+        .map(|n| n * mult)
+        .map_err(|_| format!("bad memory budget `{}`", s))
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -181,12 +203,37 @@ fn normalize(spec_path: &str) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn parse_options(args: &[String]) -> Result<(AnalysisOptions, Vec<String>), String> {
+fn parse_options(
+    args: &[String],
+) -> Result<(AnalysisOptions, RecoveryPolicy, Vec<String>), String> {
     let mut options = AnalysisOptions::default();
+    let mut recovery = RecoveryPolicy::default();
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--max-seconds" => {
+                let v = it.next().ok_or("--max-seconds needs a value")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-seconds value `{}`", v))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("bad --max-seconds value `{}`", v));
+                }
+                options.limits.max_wall_time = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-mem" => {
+                let v = it.next().ok_or("--max-mem needs a value")?;
+                options.limits.max_state_bytes = Some(parse_bytes(v)?);
+            }
+            "--on-truncate" => {
+                let v = it.next().ok_or("--on-truncate needs a value")?;
+                recovery = match v.to_ascii_lowercase().as_str() {
+                    "restart" => RecoveryPolicy::Restart,
+                    "fail" => RecoveryPolicy::Fail,
+                    other => return Err(format!("unknown truncation policy `{}`", other)),
+                };
+            }
             "--order" => {
                 let v = it.next().ok_or("--order needs a value")?;
                 options.order = match v.to_ascii_lowercase().as_str() {
@@ -214,11 +261,11 @@ fn parse_options(args: &[String]) -> Result<(AnalysisOptions, Vec<String>), Stri
             _ => positional.push(a.clone()),
         }
     }
-    Ok((options, positional))
+    Ok((options, recovery, positional))
 }
 
 fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
-    let (options, positional) = parse_options(args)?;
+    let (options, recovery, positional) = parse_options(args)?;
     let [spec_path, trace_path] = positional.as_slice() else {
         return Err(usage());
     };
@@ -233,13 +280,21 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
     };
 
     let report = if online {
-        let mut src = FollowFileSource::new(trace_path, Some(analyzer.module().clone()));
-        analyzer
+        let mut src = FollowFileSource::new(trace_path, Some(analyzer.module().clone()))
+            .with_recovery(recovery);
+        let report = analyzer
             .analyze_online(&mut src, &options, &mut |v| {
                 println!("interim: {}", v);
                 true
             })
-            .map_err(|e| e.to_string())?
+            .map_err(|e| e.to_string())?;
+        if src.skipped_lines() > 0 {
+            eprintln!(
+                "warning: {} unparseable trace line(s) skipped",
+                src.skipped_lines()
+            );
+        }
+        report
     } else {
         let text = read(trace_path)?;
         analyzer
@@ -253,6 +308,15 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
     }
     for e in report.spec_errors.iter().take(3) {
         println!("note: branch abandoned with {}", e);
+    }
+    for fault in &report.source_faults {
+        eprintln!("source fault: {}", fault);
+    }
+    if report.checkpoint.is_some() {
+        eprintln!(
+            "note: search stopped on a resource limit; rerun with higher \
+             --max-seconds/--max-mem limits to continue"
+        );
     }
     Ok(match report.verdict {
         Verdict::Valid => ExitCode::SUCCESS,

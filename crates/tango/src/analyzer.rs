@@ -7,10 +7,11 @@
 //! ([`TraceAnalyzer::analyze_online`]), supports the runtime options of
 //! §2.4, and doubles as an implementation generator (§4.1's methodology).
 
+use crate::checkpoint::Checkpoint;
 use crate::error::TangoError;
 use crate::genimpl::{run_implementation, ChoicePolicy, ScriptedInput};
 use crate::options::AnalysisOptions;
-use crate::search::dfs::run_dfs;
+use crate::search::dfs::{resume_dfs, run_dfs, DfsOutcome};
 use crate::search::mdfs::run_mdfs;
 use crate::stats::SearchStats;
 use crate::trace::format::parse_trace;
@@ -91,17 +92,7 @@ impl TraceAnalyzer {
         let mut env = TraceEnv::new(self.module(), trace.clone(), options, false)?;
         let start = machine.initial_state()?;
         let outcome = run_dfs(&machine, &mut env, start, options, &mut stats)?;
-
-        let mut report = AnalysisReport::new(outcome.verdict, stats);
-        report.witness = outcome.witness;
-        report.spec_errors = outcome.spec_errors;
-        if report.verdict == Verdict::Invalid {
-            report.best_effort = Some(crate::verdict::BestEffort {
-                events_explained: outcome.best.0,
-                events_total: outcome.total_events,
-                path: outcome.best.1,
-            });
-        }
+        let mut report = report_from_outcome(outcome, stats, &trace);
 
         // §2.4.1: on failure, "backtrack to the point right after the
         // initialize transition was taken, choose another initial FSM
@@ -135,6 +126,29 @@ impl TraceAnalyzer {
         Ok(report)
     }
 
+    /// Continue an analysis stopped on a resource limit (static mode).
+    ///
+    /// `checkpoint` comes from the [`AnalysisReport::checkpoint`] of the
+    /// stopped run; `options` should differ from the original ones only in
+    /// raised limits — the checking options must stay the same for the
+    /// combined verdict to be meaningful. Counters continue rather than
+    /// restart: after any number of stop/resume rounds, the final
+    /// TE/GE/RE/SA totals equal those of an uninterrupted run. The
+    /// §2.4.1 initial-state search is not re-entered on resume; resume the
+    /// default-state search to its own conclusion instead.
+    pub fn analyze_resume(
+        &self,
+        checkpoint: Checkpoint,
+        options: &AnalysisOptions,
+    ) -> Result<AnalysisReport, TangoError> {
+        let machine = self.machine.policy_view(options.policy);
+        let Checkpoint { dfs, trace, stats } = checkpoint;
+        let mut stats = stats;
+        let mut env = TraceEnv::new(self.module(), trace.clone(), options, false)?;
+        let outcome = resume_dfs(&machine, &mut env, dfs, options, &mut stats)?;
+        Ok(report_from_outcome(outcome, stats, &trace))
+    }
+
     /// On-line analysis of a dynamic trace (§3): multi-threaded DFS with
     /// PG-nodes and dynamic node reordering. Runs until the source reaches
     /// end-of-file (then returns a conclusive verdict) or until the trace
@@ -160,4 +174,31 @@ impl TraceAnalyzer {
     ) -> Result<Trace, TangoError> {
         run_implementation(&self.machine, script, choice, max_steps)
     }
+}
+
+/// Assemble a report from a raw DFS outcome: failure localization for
+/// invalid traces, a resumable checkpoint for limit-stopped ones.
+fn report_from_outcome(
+    outcome: DfsOutcome,
+    stats: SearchStats,
+    trace: &ResolvedTrace,
+) -> AnalysisReport {
+    let mut report = AnalysisReport::new(outcome.verdict, stats);
+    report.witness = outcome.witness;
+    report.spec_errors = outcome.spec_errors;
+    if report.verdict == Verdict::Invalid {
+        report.best_effort = Some(crate::verdict::BestEffort {
+            events_explained: outcome.best.0,
+            events_total: outcome.total_events,
+            path: outcome.best.1,
+        });
+    }
+    if let Some(dfs) = outcome.checkpoint {
+        report.checkpoint = Some(Box::new(Checkpoint {
+            dfs,
+            trace: trace.clone(),
+            stats: report.stats.clone(),
+        }));
+    }
+    report
 }

@@ -1,0 +1,47 @@
+//! Stop/resume checkpoints for static-mode analysis.
+//!
+//! When a static DFS stops on a resource limit (transition count, depth,
+//! wall-clock deadline or snapshot-memory budget), the report carries a
+//! [`Checkpoint`]: the frozen search state plus the resolved trace and the
+//! counters accumulated so far. [`crate::TraceAnalyzer::analyze_resume`]
+//! continues the search exactly where it stopped — no work is repeated,
+//! and the final TE/GE/RE/SA totals across stop + resume equal those of an
+//! uninterrupted run, so figures assembled from budgeted batch runs stay
+//! comparable with the paper's tables.
+
+use crate::search::dfs::DfsCheckpoint;
+use crate::stats::SearchStats;
+use crate::trace::ResolvedTrace;
+
+/// A resumable, stopped static analysis. Opaque except for the progress
+/// accessors; produce with a limited [`crate::TraceAnalyzer::analyze`]
+/// (or `analyze_resume`) call, consume with
+/// [`crate::TraceAnalyzer::analyze_resume`].
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    pub(crate) dfs: DfsCheckpoint,
+    pub(crate) trace: ResolvedTrace,
+    pub(crate) stats: SearchStats,
+}
+
+impl Checkpoint {
+    /// Depth of the search path at the stop point.
+    pub fn depth(&self) -> usize {
+        self.dfs.depth()
+    }
+
+    /// Saved backtracking frames awaiting exploration.
+    pub fn pending_frames(&self) -> usize {
+        self.dfs.pending_frames()
+    }
+
+    /// Checkable events in the trace under analysis.
+    pub fn events_total(&self) -> usize {
+        self.dfs.events_total()
+    }
+
+    /// Counters accumulated up to the stop; resuming continues them.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+}

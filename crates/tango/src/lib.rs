@@ -47,21 +47,27 @@
 //! ```
 
 pub mod analyzer;
+pub mod checkpoint;
 pub mod env;
 pub mod error;
 pub mod genimpl;
 pub mod options;
+pub mod rng;
 pub mod search;
 pub mod stats;
 pub mod trace;
 pub mod verdict;
 
 pub use analyzer::{Tango, TraceAnalyzer};
+pub use checkpoint::Checkpoint;
 pub use error::TangoError;
 pub use genimpl::{ChoicePolicy, ScriptedInput};
 pub use options::{AnalysisOptions, OrderOptions, SearchLimits};
 pub use stats::SearchStats;
 pub use trace::format::{parse_trace, render_trace};
-pub use trace::source::{ChannelSource, Feed, FollowFileSource, StaticSource, TraceSource};
+pub use trace::source::{
+    ChannelSource, FaultPlan, FaultySource, Feed, FollowFileSource, RecoveryPolicy,
+    StaticSource, TraceSource,
+};
 pub use trace::{Dir, Event, Trace};
 pub use verdict::{AnalysisReport, InconclusiveReason, Verdict};

@@ -7,6 +7,7 @@
 
 use estelle_runtime::UndefinedPolicy;
 use std::collections::HashSet;
+use std::time::Duration;
 
 /// Which relative-order relations between trace streams are enforced
 /// (§2.4.2). Order *within* one (IP, direction) stream is always enforced.
@@ -86,6 +87,17 @@ pub struct SearchLimits {
     /// (not failed globally) when they exceed it, so a generous default is
     /// safe for real protocols.
     pub max_barren_steps: usize,
+    /// Wall-clock deadline for one search. Checked cooperatively at the
+    /// top of the search loop; on expiry the static DFS stops with
+    /// `Inconclusive(TimeLimit)` and a resumable checkpoint, the on-line
+    /// MDFS stops with the same verdict (including while idle-polling a
+    /// stalled source, so a dead feed can never wedge the monitor).
+    pub max_wall_time: Option<Duration>,
+    /// Budget, in approximate bytes, for the saved state snapshots held
+    /// by the search (DFS backtracking frames, MDFS work and PG nodes).
+    /// On excess the search stops with `Inconclusive(MemoryLimit)` — the
+    /// static DFS with a resumable checkpoint.
+    pub max_state_bytes: Option<usize>,
 }
 
 impl Default for SearchLimits {
@@ -95,6 +107,8 @@ impl Default for SearchLimits {
             max_pg_nodes: 1_000_000,
             max_depth: 1_000_000,
             max_barren_steps: 128,
+            max_wall_time: None,
+            max_state_bytes: None,
         }
     }
 }

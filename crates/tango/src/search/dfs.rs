@@ -7,22 +7,30 @@
 //! more than one fireable transition (nothing to come back for otherwise),
 //! and a *restore* (RE) per actual backtrack.
 //!
-//! Extension beyond the paper (flagged off by default): a visited-state
-//! hash table pruning re-exploration of identical (machine state, cursor)
-//! pairs — the approach §4.2 suggests as future work for taming the
-//! exponential analysis of invalid TP0 traces.
+//! Extensions beyond the paper:
+//!
+//! * a visited-state hash table (flagged off by default) pruning
+//!   re-exploration of identical (machine state, cursor) pairs — the
+//!   approach §4.2 suggests as future work for taming the exponential
+//!   analysis of invalid TP0 traces;
+//! * resource governance: a wall-clock deadline and a snapshot-memory
+//!   budget, checked cooperatively *before* each step mutates anything, so
+//!   that stopping on any limit freezes an exactly resumable
+//!   [`DfsCheckpoint`]. Resuming with raised limits continues the search
+//!   where it stopped: no work is repeated and the TE/GE/RE/SA totals come
+//!   out identical to an uninterrupted run.
 
 use crate::env::TraceEnv;
 use crate::error::TangoError;
 use crate::options::AnalysisOptions;
 use crate::stats::SearchStats;
 use crate::verdict::{InconclusiveReason, Verdict};
-use estelle_runtime::{
-    FireOutcome, Fireable, Machine, MachineState, RuntimeError, RuntimeErrorKind,
-};
+use estelle_runtime::{FireOutcome, Fireable, Machine, MachineState, RuntimeError};
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
+
+use super::{guard, is_fatal, record_error};
 
 /// Result of the raw search (before initial-state-search wrapping).
 #[derive(Debug)]
@@ -34,12 +42,13 @@ pub struct DfsOutcome {
     pub best: (usize, Vec<String>),
     /// Checkable events in the trace (outstanding at search start).
     pub total_events: usize,
+    /// Present when the verdict is `Inconclusive`: the frozen search,
+    /// resumable via [`resume_dfs`].
+    pub checkpoint: Option<DfsCheckpoint>,
 }
 
-/// Cap on recorded per-branch specification errors.
-const MAX_RECORDED_ERRORS: usize = 16;
-
-struct Frame {
+#[derive(Clone, Debug)]
+pub(crate) struct Frame {
     state: MachineState,
     cursors: crate::env::Cursors,
     fireable: Vec<Fireable>,
@@ -47,6 +56,48 @@ struct Frame {
     path_len: usize,
     /// Consecutive barren steps on the path up to this node.
     barren: usize,
+    /// Snapshot bytes charged for this frame against the memory budget.
+    bytes: usize,
+}
+
+/// The complete mutable state of a stopped [`search`], captured before
+/// the step that would have exceeded a limit. Opaque outside the crate;
+/// carried by [`crate::checkpoint::Checkpoint`].
+#[derive(Clone, Debug)]
+pub struct DfsCheckpoint {
+    state: MachineState,
+    cursors: crate::env::Cursors,
+    path: Vec<String>,
+    stack: Vec<Frame>,
+    visited: HashSet<u64>,
+    spec_errors: Vec<RuntimeError>,
+    best: (usize, Vec<String>),
+    best_pending_len: Option<usize>,
+    total_events: usize,
+    barren: usize,
+    at_node: bool,
+}
+
+impl DfsCheckpoint {
+    /// Depth of the search path at the stop point.
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Saved backtracking frames awaiting exploration.
+    pub fn pending_frames(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Checkable events in the trace under analysis.
+    pub fn events_total(&self) -> usize {
+        self.total_events
+    }
+}
+
+enum Init {
+    Fresh(MachineState),
+    Resume(Box<DfsCheckpoint>),
 }
 
 /// Run a depth-first search from `start` against the trace in `env`.
@@ -58,7 +109,32 @@ pub fn run_dfs(
     stats: &mut SearchStats,
 ) -> Result<DfsOutcome, TangoError> {
     let t0 = Instant::now();
-    let result = search(machine, env, start, options, stats);
+    let result = search(machine, env, Init::Fresh(start), options, stats);
+    stats.cpu_time += t0.elapsed();
+    result
+}
+
+/// Continue a search stopped on a resource limit. `stats` must be the
+/// counters accumulated up to the stop (they continue, not restart), and
+/// `env` a fresh environment over the same trace — the checkpoint
+/// repositions its cursors. `options` should differ from the original run
+/// only in its limits; changing checking options mid-search would make the
+/// combined verdict meaningless.
+pub fn resume_dfs(
+    machine: &Machine,
+    env: &mut TraceEnv,
+    checkpoint: DfsCheckpoint,
+    options: &AnalysisOptions,
+    stats: &mut SearchStats,
+) -> Result<DfsOutcome, TangoError> {
+    let t0 = Instant::now();
+    let result = search(
+        machine,
+        env,
+        Init::Resume(Box::new(checkpoint)),
+        options,
+        stats,
+    );
     stats.cpu_time += t0.elapsed();
     result
 }
@@ -66,38 +142,92 @@ pub fn run_dfs(
 fn search(
     machine: &Machine,
     env: &mut TraceEnv,
-    start: MachineState,
+    init: Init,
     options: &AnalysisOptions,
     stats: &mut SearchStats,
 ) -> Result<DfsOutcome, TangoError> {
-    let mut state = start;
-    let mut path: Vec<String> = Vec::new();
-    let mut stack: Vec<Frame> = Vec::new();
-    let mut visited: HashSet<u64> = HashSet::new();
-    let mut spec_errors: Vec<RuntimeError> = Vec::new();
-
+    let mut state;
+    let mut path: Vec<String>;
+    let mut stack: Vec<Frame>;
+    let mut visited: HashSet<u64>;
+    let mut spec_errors: Vec<RuntimeError>;
+    let total_events;
     // Failure localization: the attempt that explained the most events.
-    let total_events = env.outstanding();
-    let mut best: (usize, Vec<String>) = (0, Vec::new());
-
+    let mut best: (usize, Vec<String>);
+    // `Some(len)`: `best` was recorded on the first, never-backtracked
+    // attempt without cloning the path (the common valid-trace case stays
+    // O(n)); the first `len` path entries are materialized into `best.1`
+    // lazily, at the first backtrack or at an `Invalid` return — whichever
+    // comes first, while the virgin path is still intact.
+    let mut best_pending_len: Option<usize>;
     // Consecutive steps without observable progress on the current path.
-    let mut barren: usize = 0;
-
+    let mut barren: usize;
     // `true`: we just arrived at a (possibly new) node and must expand it;
     // `false`: the last expansion failed and we must backtrack.
-    let mut at_node = true;
+    let mut at_node: bool;
 
-    loop {
+    match init {
+        Init::Fresh(s) => {
+            state = s;
+            path = Vec::new();
+            stack = Vec::new();
+            visited = HashSet::new();
+            spec_errors = Vec::new();
+            total_events = env.outstanding();
+            best = (0, Vec::new());
+            best_pending_len = None;
+            barren = 0;
+            at_node = true;
+            stats.snapshot_bytes = 0;
+        }
+        Init::Resume(cp) => {
+            let cp = *cp;
+            env.restore(&cp.cursors);
+            state = cp.state;
+            path = cp.path;
+            stack = cp.stack;
+            visited = cp.visited;
+            spec_errors = cp.spec_errors;
+            total_events = cp.total_events;
+            best = cp.best;
+            best_pending_len = cp.best_pending_len;
+            barren = cp.barren;
+            at_node = cp.at_node;
+            stats.snapshot_bytes = stack.iter().map(|f| f.bytes).sum();
+        }
+    }
+    stats.peak_snapshot_bytes = stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
+
+    // A resumed search gets a fresh wall-clock allowance.
+    let deadline = options.limits.max_wall_time.map(|d| Instant::now() + d);
+
+    let reason = loop {
+        // Governance, checked before the next step mutates anything: a
+        // `break` here freezes the loop variables into an exactly
+        // resumable checkpoint.
+        if stats.transitions_executed > options.limits.max_transitions {
+            break InconclusiveReason::TransitionLimit;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break InconclusiveReason::TimeLimit;
+        }
+        if options
+            .limits
+            .max_state_bytes
+            .is_some_and(|cap| stats.snapshot_bytes > cap)
+        {
+            break InconclusiveReason::MemoryLimit;
+        }
+
         if at_node {
             let explained = total_events - env.outstanding();
             if explained > best.0 {
                 best.0 = explained;
-                // The path snapshot is diagnostic material for *invalid*
-                // traces; skip the clone while the search is still on its
-                // first, never-backtracked attempt so that the common
-                // valid-trace case stays O(n).
                 if stats.restores > 0 {
                     best.1 = path.clone();
+                    best_pending_len = None;
+                } else {
+                    best_pending_len = Some(path.len());
                 }
             }
             if env.all_done() {
@@ -107,16 +237,11 @@ fn search(
                     spec_errors,
                     best,
                     total_events,
+                    checkpoint: None,
                 });
             }
             if path.len() >= options.limits.max_depth {
-                return Ok(DfsOutcome {
-                    verdict: Verdict::Inconclusive(InconclusiveReason::DepthLimit),
-                    witness: None,
-                    spec_errors,
-                    best,
-                    total_events,
-                });
+                break InconclusiveReason::DepthLimit;
             }
             if options.state_hashing {
                 let key = fingerprint(&state, &env.cursors);
@@ -129,7 +254,7 @@ fn search(
             stats.max_depth = stats.max_depth.max(path.len());
 
             stats.generates += 1;
-            let gen = match machine.generate(&mut state, env) {
+            let gen = match guard("generate", || machine.generate(&mut state, env)) {
                 Ok(g) => g,
                 Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
                 Err(e) => {
@@ -148,13 +273,22 @@ fn search(
             let first = gen.fireable[0].clone();
             if gen.fireable.len() > 1 {
                 stats.saves += 1;
+                let snapshot = state.clone();
+                let cursors = env.save();
+                let bytes = snapshot.approx_bytes()
+                    + (cursors.input.len() + cursors.output.len())
+                        * std::mem::size_of::<usize>();
+                stats.snapshot_bytes += bytes;
+                stats.peak_snapshot_bytes =
+                    stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
                 stack.push(Frame {
-                    state: state.clone(),
-                    cursors: env.save(),
+                    state: snapshot,
+                    cursors,
                     fireable: gen.fireable,
                     next: 1,
                     path_len: path.len(),
                     barren,
+                    bytes,
                 });
             }
             let before = env.outstanding();
@@ -174,16 +308,12 @@ fn search(
                 }
                 false => at_node = false,
             }
-            if stats.transitions_executed > options.limits.max_transitions {
-                return Ok(DfsOutcome {
-                    verdict: Verdict::Inconclusive(InconclusiveReason::TransitionLimit),
-                    witness: None,
-                    spec_errors,
-                    best,
-                    total_events,
-                });
-            }
         } else {
+            // About to abandon the current attempt: if the best attempt so
+            // far is the still-intact virgin path, materialize it now.
+            if let Some(len) = best_pending_len.take() {
+                best.1 = path[..len].to_vec();
+            }
             // Backtrack to the nearest frame with untried children.
             let Some(top) = stack.last_mut() else {
                 return Ok(DfsOutcome {
@@ -192,10 +322,12 @@ fn search(
                     spec_errors,
                     best,
                     total_events,
+                    checkpoint: None,
                 });
             };
             if top.next >= top.fireable.len() {
-                stack.pop();
+                let frame = stack.pop().expect("stack non-empty");
+                stats.snapshot_bytes -= frame.bytes;
                 continue;
             }
             stats.restores += 1;
@@ -203,6 +335,7 @@ fn search(
             let f;
             if last_child {
                 let frame = stack.pop().expect("stack non-empty");
+                stats.snapshot_bytes -= frame.bytes;
                 f = frame.fireable[frame.next].clone();
                 state = frame.state;
                 env.restore(&frame.cursors);
@@ -234,17 +367,29 @@ fn search(
                 }
                 false => { /* stay backtracking */ }
             }
-            if stats.transitions_executed > options.limits.max_transitions {
-                return Ok(DfsOutcome {
-                    verdict: Verdict::Inconclusive(InconclusiveReason::TransitionLimit),
-                    witness: None,
-                    spec_errors,
-                    best,
-                    total_events,
-                });
-            }
         }
-    }
+    };
+
+    Ok(DfsOutcome {
+        verdict: Verdict::Inconclusive(reason),
+        witness: None,
+        spec_errors: spec_errors.clone(),
+        best: best.clone(),
+        total_events,
+        checkpoint: Some(DfsCheckpoint {
+            cursors: env.save(),
+            state,
+            path,
+            stack,
+            visited,
+            spec_errors,
+            best,
+            best_pending_len,
+            total_events,
+            barren,
+            at_node,
+        }),
+    })
 }
 
 /// Fire one candidate; `Ok(true)` when the transition completed and all of
@@ -259,7 +404,7 @@ fn try_fire(
 ) -> Result<bool, TangoError> {
     stats.transitions_executed += 1;
     env.begin_fire();
-    match machine.fire(state, f, env) {
+    match guard("fire", || machine.fire(state, f, env)) {
         Ok(FireOutcome::Completed) => Ok(env.end_fire()),
         Ok(FireOutcome::OutputRejected) => Ok(false),
         Err(e) if is_fatal(&e) => Err(TangoError::Runtime(e)),
@@ -268,23 +413,6 @@ fn try_fire(
             Ok(false)
         }
     }
-}
-
-fn record_error(spec_errors: &mut Vec<RuntimeError>, stats: &mut SearchStats, e: RuntimeError) {
-    stats.error_branches += 1;
-    if spec_errors.len() < MAX_RECORDED_ERRORS {
-        spec_errors.push(e);
-    }
-}
-
-/// Errors that abort the whole analysis rather than one branch.
-fn is_fatal(e: &RuntimeError) -> bool {
-    matches!(
-        e.kind,
-        RuntimeErrorKind::Internal
-            | RuntimeErrorKind::CallDepthExceeded
-            | RuntimeErrorKind::LoopLimitExceeded
-    )
 }
 
 /// Hash of (machine state, trace cursors) for the visited-set extension.

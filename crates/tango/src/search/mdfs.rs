@@ -23,6 +23,14 @@
 //! * an output that cannot be matched *yet* (its stream may still grow)
 //!   does not count as explored, so the branch is retried later — the
 //!   output-side dual of an incomplete transition list.
+//!
+//! Resource governance: the wall-clock deadline is checked both in the
+//! search burst and in the idle polling loop, so a monitor fed by a
+//! stalled or dead source stops with `Inconclusive(TimeLimit)` instead of
+//! wedging silently; the snapshot-memory budget covers work + PG nodes.
+//! Whatever the verdict, [`TraceSource::diagnostics`] is folded into
+//! [`AnalysisReport::source_faults`] so feed-level faults (parse errors,
+//! truncation, a dead feeder) survive into the report.
 
 use crate::env::{Cursors, RejectReason, TraceEnv};
 use crate::error::TangoError;
@@ -32,9 +40,11 @@ use crate::trace::source::TraceSource;
 use crate::trace::ResolvedTrace;
 use crate::verdict::{AnalysisReport, InconclusiveReason, Verdict};
 use estelle_frontend::sema::model::AnalyzedModule;
-use estelle_runtime::{FireOutcome, Machine, MachineState, RuntimeError, RuntimeErrorKind};
+use estelle_runtime::{FireOutcome, Machine, MachineState, RuntimeError};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
+
+use super::{guard, is_fatal, record_error};
 
 /// One saved search-tree node ("thread").
 struct Node {
@@ -49,6 +59,29 @@ struct Node {
     /// Consecutive barren steps on the path to this node.
     barren: usize,
     path: Vec<String>,
+    /// Snapshot bytes charged against the memory budget.
+    bytes: usize,
+}
+
+impl Node {
+    fn new(
+        state: MachineState,
+        cursors: Cursors,
+        barren: usize,
+        path: Vec<String>,
+    ) -> Self {
+        let bytes = state.approx_bytes()
+            + (cursors.input.len() + cursors.output.len()) * std::mem::size_of::<usize>();
+        Node {
+            state,
+            cursors,
+            tried: HashSet::new(),
+            blocked: HashSet::new(),
+            barren,
+            path,
+            bytes,
+        }
+    }
 }
 
 /// How long the analyzer sleeps between polls when idle.
@@ -65,6 +98,7 @@ pub fn run_mdfs(
     on_status: &mut dyn FnMut(&Verdict) -> bool,
 ) -> Result<AnalysisReport, TangoError> {
     let t0 = Instant::now();
+    let deadline = options.limits.max_wall_time.map(|d| t0 + d);
     let machine = machine.policy_view(options.policy);
     let mut stats = SearchStats::default();
     let mut spec_errors: Vec<RuntimeError> = Vec::new();
@@ -81,14 +115,10 @@ pub fn run_mdfs(
 
     let start = machine.initial_state()?;
     stats.saves += 1;
-    work.push(Node {
-        state: start,
-        cursors: env.save(),
-        tried: HashSet::new(),
-        blocked: HashSet::new(),
-        barren: 0,
-        path: Vec::new(),
-    });
+    let root = Node::new(start, env.save(), 0, Vec::new());
+    stats.snapshot_bytes = root.bytes;
+    stats.peak_snapshot_bytes = stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
+    work.push(root);
 
     /// Revive parked PG-nodes: fresh data may unblock output-blocked
     /// transitions, so their blocked sets are cleared. With §3.1.3
@@ -111,11 +141,13 @@ pub fn run_mdfs(
     let finish = |verdict: Verdict,
                       witness: Option<Vec<String>>,
                       mut stats: SearchStats,
-                      spec_errors: Vec<RuntimeError>| {
+                      spec_errors: Vec<RuntimeError>,
+                      source_faults: Vec<String>| {
         stats.cpu_time = t0.elapsed();
         let mut r = AnalysisReport::new(verdict, stats);
         r.witness = witness;
         r.spec_errors = spec_errors;
+        r.source_faults = source_faults;
         r
     };
 
@@ -138,12 +170,36 @@ pub fn run_mdfs(
 
         // DFS burst until the work stack drains.
         while let Some(mut node) = work.pop() {
+            stats.snapshot_bytes -= node.bytes;
             if stats.transitions_executed > options.limits.max_transitions {
                 return Ok(finish(
                     Verdict::Inconclusive(InconclusiveReason::TransitionLimit),
                     None,
                     stats,
                     spec_errors,
+                    source.diagnostics(),
+                ));
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(finish(
+                    Verdict::Inconclusive(InconclusiveReason::TimeLimit),
+                    None,
+                    stats,
+                    spec_errors,
+                    source.diagnostics(),
+                ));
+            }
+            if options
+                .limits
+                .max_state_bytes
+                .is_some_and(|cap| stats.snapshot_bytes + node.bytes > cap)
+            {
+                return Ok(finish(
+                    Verdict::Inconclusive(InconclusiveReason::MemoryLimit),
+                    None,
+                    stats,
+                    spec_errors,
+                    source.diagnostics(),
                 ));
             }
             stats.max_depth = stats.max_depth.max(node.path.len());
@@ -152,10 +208,17 @@ pub fn run_mdfs(
 
             if env.all_done() {
                 if env.eof {
-                    return Ok(finish(Verdict::Valid, Some(node.path), stats, spec_errors));
+                    return Ok(finish(
+                        Verdict::Valid,
+                        Some(node.path),
+                        stats,
+                        spec_errors,
+                        source.diagnostics(),
+                    ));
                 }
                 // PGAV: everything so far is explained; park the node.
                 stats.pg_nodes += 1;
+                stats.snapshot_bytes += node.bytes;
                 pg_list.push(node);
                 continue;
             }
@@ -163,7 +226,7 @@ pub fn run_mdfs(
             // Generate (or re-generate) this node's transition list.
             let mut st = node.state.clone();
             stats.generates += 1;
-            let gen = match machine.generate(&mut st, &env) {
+            let gen = match guard("generate", || machine.generate(&mut st, &env)) {
                 Ok(g) => g,
                 Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
                 Err(e) => {
@@ -190,9 +253,11 @@ pub fn run_mdfs(
                             None,
                             stats,
                             spec_errors,
+                            source.diagnostics(),
                         ));
                     }
                     stats.pg_nodes += 1;
+                    stats.snapshot_bytes += node.bytes;
                     pg_list.push(node);
                 }
                 continue;
@@ -205,7 +270,7 @@ pub fn run_mdfs(
             let before = env.outstanding();
             stats.transitions_executed += 1;
             env.begin_fire();
-            let fired = match machine.fire(&mut child_state, &f, &mut env) {
+            let fired = match guard("fire", || machine.fire(&mut child_state, &f, &mut env)) {
                 Ok(FireOutcome::Completed) => env.end_fire(),
                 Ok(FireOutcome::OutputRejected) => false,
                 Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
@@ -231,22 +296,21 @@ pub fn run_mdfs(
                 let mut child_path = node.path.clone();
                 child_path.push(machine.transition_name(f.trans).to_string());
                 if has_more {
+                    stats.snapshot_bytes += node.bytes;
                     work.push(node);
                 }
                 if child_barren > options.limits.max_barren_steps {
                     stats.barren_prunes += 1;
                 } else {
                     stats.saves += 1;
-                    work.push(Node {
-                        state: child_state,
-                        cursors: env.save(),
-                        tried: HashSet::new(),
-                        blocked: HashSet::new(),
-                        barren: child_barren,
-                        path: child_path,
-                    });
+                    let child = Node::new(child_state, env.save(), child_barren, child_path);
+                    stats.snapshot_bytes += child.bytes;
+                    stats.peak_snapshot_bytes =
+                        stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
+                    work.push(child);
                 }
             } else if has_more {
+                stats.snapshot_bytes += node.bytes;
                 work.push(node);
             }
         }
@@ -254,7 +318,13 @@ pub fn run_mdfs(
         // The tree (as currently known) is exhausted.
         if env.eof {
             if pg_list.is_empty() {
-                return Ok(finish(Verdict::Invalid, None, stats, spec_errors));
+                return Ok(finish(
+                    Verdict::Invalid,
+                    None,
+                    stats,
+                    spec_errors,
+                    source.diagnostics(),
+                ));
             }
             // EOF makes PG-nodes fully generated: process them once more.
             revive(&mut work, &mut pg_list, options.mdfs_reorder);
@@ -263,7 +333,13 @@ pub fn run_mdfs(
         if pg_list.is_empty() {
             // No PG-node can be revived by future input: conclusively
             // invalid even though the trace may keep growing (§3.1.2).
-            return Ok(finish(Verdict::Invalid, None, stats, spec_errors));
+            return Ok(finish(
+                Verdict::Invalid,
+                None,
+                stats,
+                spec_errors,
+                source.diagnostics(),
+            ));
         }
 
         // Interim verdict: PGAV ⇒ valid so far, else likely invalid.
@@ -280,11 +356,21 @@ pub fn run_mdfs(
             last_status = Some(status.clone());
         }
         if !on_status(&status) {
-            return Ok(finish(status, None, stats, spec_errors));
+            return Ok(finish(status, None, stats, spec_errors, source.diagnostics()));
         }
 
-        // Block until the source has more to say.
+        // Block until the source has more to say — but never past the
+        // deadline: a stalled source must not wedge the monitor.
         loop {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(finish(
+                    Verdict::Inconclusive(InconclusiveReason::TimeLimit),
+                    None,
+                    stats,
+                    spec_errors,
+                    source.diagnostics(),
+                ));
+            }
             let p = source.poll();
             if !p.events.is_empty() || p.eof {
                 for e in &p.events {
@@ -299,20 +385,4 @@ pub fn run_mdfs(
             std::thread::sleep(POLL_INTERVAL);
         }
     }
-}
-
-fn record_error(spec_errors: &mut Vec<RuntimeError>, stats: &mut SearchStats, e: RuntimeError) {
-    stats.error_branches += 1;
-    if spec_errors.len() < 16 {
-        spec_errors.push(e);
-    }
-}
-
-fn is_fatal(e: &RuntimeError) -> bool {
-    matches!(
-        e.kind,
-        RuntimeErrorKind::Internal
-            | RuntimeErrorKind::CallDepthExceeded
-            | RuntimeErrorKind::LoopLimitExceeded
-    )
 }

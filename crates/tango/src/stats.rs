@@ -37,6 +37,12 @@ pub struct SearchStats {
     /// Paths cut by the consecutive-barren-steps bound (non-progress
     /// cycles, unbounded fabrication on unobserved IPs).
     pub barren_prunes: u64,
+    /// Approximate bytes of saved state snapshots currently held by the
+    /// search (DFS frames, MDFS work + PG nodes) — the quantity the
+    /// `max_state_bytes` budget governs.
+    pub snapshot_bytes: usize,
+    /// High-water mark of `snapshot_bytes` over the run.
+    pub peak_snapshot_bytes: usize,
 }
 
 impl SearchStats {
@@ -75,6 +81,8 @@ impl SearchStats {
         self.error_branches += other.error_branches;
         self.hash_prunes += other.hash_prunes;
         self.barren_prunes += other.barren_prunes;
+        self.snapshot_bytes = other.snapshot_bytes;
+        self.peak_snapshot_bytes = self.peak_snapshot_bytes.max(other.peak_snapshot_bytes);
     }
 }
 

@@ -61,6 +61,44 @@ impl Event {
             params,
         }
     }
+
+    /// Check that this event resolves against the module's channel
+    /// definitions (the IP exists, the interaction is legal in this
+    /// direction, the parameter count matches) without appending it to a
+    /// [`ResolvedTrace`]. Dynamic sources use this to turn syntactically
+    /// well-formed but unresolvable lines — a mangled feed can produce
+    /// both kinds — into skipped-line diagnostics instead of aborting the
+    /// whole on-line analysis.
+    pub fn check_against(&self, module: &AnalyzedModule) -> Result<(), String> {
+        let ip_id = module
+            .lookup_ip(&self.ip)
+            .ok_or_else(|| format!("unknown interaction point `{}`", self.ip))?;
+        let info = module.ip(ip_id);
+        let key = self.interaction.to_ascii_lowercase();
+        let sig = match self.dir {
+            Dir::In => info.input_index(&key).map(|i| &info.inputs[i]).ok_or_else(|| {
+                format!(
+                    "`{}` cannot arrive at `{}` according to the channel definition",
+                    self.interaction, self.ip
+                )
+            })?,
+            Dir::Out => info.output_index(&key).map(|i| &info.outputs[i]).ok_or_else(|| {
+                format!(
+                    "`{}` cannot be sent at `{}` according to the channel definition",
+                    self.interaction, self.ip
+                )
+            })?,
+        };
+        if sig.params.len() != self.params.len() {
+            return Err(format!(
+                "`{}` carries {} parameter(s), trace has {}",
+                self.interaction,
+                sig.params.len(),
+                self.params.len()
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// A complete (static) trace.

@@ -54,6 +54,11 @@ pub enum InconclusiveReason {
     TransitionLimit,
     DepthLimit,
     PgNodeLimit,
+    /// The wall-clock deadline (`SearchLimits::max_wall_time`) expired.
+    TimeLimit,
+    /// The snapshot-memory budget (`SearchLimits::max_state_bytes`) was
+    /// exceeded.
+    MemoryLimit,
 }
 
 impl Verdict {
@@ -95,6 +100,14 @@ pub struct AnalysisReport {
     /// For invalid traces: the most-explaining path found (static DFS
     /// only), localizing where the trace stops being explainable.
     pub best_effort: Option<BestEffort>,
+    /// When a static analysis stopped on a resource limit: the frozen
+    /// search state. Feed it to [`crate::TraceAnalyzer::analyze_resume`]
+    /// with raised limits to continue exactly where the search stopped
+    /// (no work is repeated; counters continue rather than restart).
+    pub checkpoint: Option<Box<crate::checkpoint::Checkpoint>>,
+    /// Faults the dynamic trace source observed while feeding (parse
+    /// errors, file truncation, a dead feeder …). Empty for static runs.
+    pub source_faults: Vec<String>,
 }
 
 impl AnalysisReport {
@@ -106,6 +119,8 @@ impl AnalysisReport {
             spec_errors: Vec::new(),
             initial_state_used: None,
             best_effort: None,
+            checkpoint: None,
+            source_faults: Vec::new(),
         }
     }
 }

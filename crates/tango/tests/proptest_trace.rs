@@ -1,51 +1,64 @@
-//! Property tests for the trace format and the order-checking
+//! Randomized-sweep tests for the trace format and the order-checking
 //! environment.
+//!
+//! Formerly written with `proptest`; the workspace now builds offline with
+//! no registry dependencies, so the same properties are checked over
+//! deterministic seeded sweeps of [`tango::rng::SplitMix64`]. Every case
+//! is reproducible from its printed seed.
 
-use proptest::prelude::*;
+use estelle_runtime::Value;
+use tango::rng::SplitMix64;
 use tango::trace::format::{parse_trace, render_trace};
 use tango::{Dir, Event, Trace};
-use estelle_runtime::Value;
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (-1_000_000i64..1_000_000).prop_map(Value::Int),
-        any::<bool>().prop_map(Value::Bool),
-        Just(Value::Undefined),
-        Just(Value::Pointer(None)),
-    ]
+fn arb_value(rng: &mut SplitMix64) -> Value {
+    match rng.gen_index(4) {
+        0 => Value::Int(rng.gen_range_i64(-1_000_000, 1_000_000)),
+        1 => Value::Bool(rng.gen_bool()),
+        2 => Value::Undefined,
+        _ => Value::Pointer(None),
+    }
 }
 
-fn event_strategy() -> impl Strategy<Value = Event> {
-    (
-        any::<bool>(),
-        prop_oneof![Just("A"), Just("B"), Just("Line3")],
-        prop_oneof![Just("x"), Just("data"), Just("ack_2")],
-        prop::collection::vec(value_strategy(), 0..4),
-    )
-        .prop_map(|(is_in, ip, interaction, params)| Event {
-            dir: if is_in { Dir::In } else { Dir::Out },
-            ip: ip.to_string(),
-            interaction: interaction.to_string(),
-            params,
-        })
+fn arb_format_event(rng: &mut SplitMix64) -> Event {
+    let ip = ["A", "B", "Line3"][rng.gen_index(3)];
+    let interaction = ["x", "data", "ack_2"][rng.gen_index(3)];
+    let params = (0..rng.gen_index(4)).map(|_| arb_value(rng)).collect();
+    Event {
+        dir: if rng.gen_bool() { Dir::In } else { Dir::Out },
+        ip: ip.to_string(),
+        interaction: interaction.to_string(),
+        params,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// render ∘ parse is the identity on arbitrary traces.
-    #[test]
-    fn trace_format_round_trips(events in prop::collection::vec(event_strategy(), 0..30),
-                                closed in any::<bool>()) {
+/// render ∘ parse is the identity on arbitrary traces.
+#[test]
+fn trace_format_round_trips() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(seed);
+        let events: Vec<Event> = (0..rng.gen_index(30))
+            .map(|_| arb_format_event(&mut rng))
+            .collect();
+        let closed = rng.gen_bool();
         let trace = Trace::new(events);
         let text = render_trace(&trace, None, closed);
         let back = parse_trace(&text, None).expect("rendered traces parse");
-        prop_assert_eq!(back, trace);
+        assert_eq!(back, trace, "seed {}", seed);
     }
+}
 
-    /// Junk lines never panic the parser; they produce positioned errors.
-    #[test]
-    fn arbitrary_text_never_panics(text in "\\PC{0,200}") {
+/// Junk lines never panic the parser; they produce positioned errors.
+#[test]
+fn arbitrary_text_never_panics() {
+    let alphabet: Vec<char> =
+        (' '..='~').chain("§µλ\t(),.".chars()).collect();
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.gen_index(201);
+        let text: String = (0..len)
+            .map(|_| alphabet[rng.gen_index(alphabet.len())])
+            .collect();
         let _ = parse_trace(&text, None);
     }
 }
@@ -73,27 +86,29 @@ mod env_properties {
         .unwrap()
     }
 
-    fn arb_event() -> impl Strategy<Value = Event> {
-        (any::<bool>(), any::<bool>(), -5i64..5).prop_map(|(at_a, is_in, n)| {
-            match (at_a, is_in) {
-                (true, true) => Event::input("A", "x", vec![Value::Int(n)]),
-                (true, false) => Event::output("A", "y", vec![Value::Int(n)]),
-                (false, true) => Event::input("B", "u", vec![]),
-                (false, false) => Event::output("B", "v", vec![]),
-            }
-        })
+    fn arb_event(rng: &mut SplitMix64) -> Event {
+        let n = rng.gen_range_i64(-5, 4);
+        match (rng.gen_bool(), rng.gen_bool()) {
+            (true, true) => Event::input("A", "x", vec![Value::Int(n)]),
+            (true, false) => Event::output("A", "y", vec![Value::Int(n)]),
+            (false, true) => Event::input("B", "u", vec![]),
+            (false, false) => Event::output("B", "v", vec![]),
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
+    fn arb_events(rng: &mut SplitMix64) -> Vec<Event> {
+        (0..1 + rng.gen_index(24)).map(|_| arb_event(rng)).collect()
+    }
 
-        /// Under IP ordering, at most one IP offers a consumable input at
-        /// any time (the paper's "most non-spontaneous transitions become
-        /// deterministic").
-        #[test]
-        fn ip_order_serializes_heads(events in prop::collection::vec(arb_event(), 1..25)) {
-            let m = module();
-            let trace = Trace::new(events);
+    /// Under IP ordering, at most one IP offers a consumable input at
+    /// any time (the paper's "most non-spontaneous transitions become
+    /// deterministic").
+    #[test]
+    fn ip_order_serializes_heads() {
+        let m = module();
+        for seed in 0..128u64 {
+            let mut rng = SplitMix64::new(seed);
+            let trace = Trace::new(arb_events(&mut rng));
             let resolved = ResolvedTrace::resolve(&trace, &m).unwrap();
             let opts = AnalysisOptions::with_order(OrderOptions::ip());
             let mut env = TraceEnv::new(&m, resolved, &opts, false).unwrap();
@@ -103,9 +118,14 @@ mod env_properties {
             let mut consumed_global = Vec::new();
             loop {
                 let offers: Vec<usize> = (0..2)
-                    .filter(|&ip| matches!(env.head(ip), estelle_runtime::QueueHead::Message { .. }))
+                    .filter(|&ip| {
+                        matches!(
+                            env.head(ip),
+                            estelle_runtime::QueueHead::Message { .. }
+                        )
+                    })
                     .collect();
-                prop_assert!(offers.len() <= 1, "IP order must serialize inputs");
+                assert!(offers.len() <= 1, "IP order must serialize inputs (seed {})", seed);
                 let Some(&ip) = offers.first() else { break };
                 let gidx = env.trace.inputs[ip][env.cursors.input[ip]];
                 consumed_global.push(gidx);
@@ -113,21 +133,24 @@ mod env_properties {
             }
             let mut sorted = consumed_global.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(&consumed_global, &sorted);
+            assert_eq!(consumed_global, sorted, "seed {}", seed);
             // Everything eventually drains: inputs blocked only by other
             // inputs cannot deadlock. (Outputs may still be pending.)
             for ip in 0..2 {
-                prop_assert_eq!(env.cursors.input[ip], env.trace.inputs[ip].len());
+                assert_eq!(env.cursors.input[ip], env.trace.inputs[ip].len());
             }
         }
+    }
 
-        /// Save/restore of cursors is exact under arbitrary prefixes of
-        /// consumption.
-        #[test]
-        fn cursor_snapshots_are_exact(events in prop::collection::vec(arb_event(), 1..25),
-                                      steps in 0usize..10) {
-            let m = module();
-            let trace = Trace::new(events);
+    /// Save/restore of cursors is exact under arbitrary prefixes of
+    /// consumption.
+    #[test]
+    fn cursor_snapshots_are_exact() {
+        let m = module();
+        for seed in 0..128u64 {
+            let mut rng = SplitMix64::new(seed);
+            let trace = Trace::new(arb_events(&mut rng));
+            let steps = rng.gen_index(10);
             let resolved = ResolvedTrace::resolve(&trace, &m).unwrap();
             let opts = AnalysisOptions::with_order(OrderOptions::none());
             let mut env = TraceEnv::new(&m, resolved, &opts, false).unwrap();
@@ -135,7 +158,9 @@ mod env_properties {
             for _ in 0..steps {
                 let Some(ip) = (0..2).find(|&ip| {
                     matches!(env.head(ip), estelle_runtime::QueueHead::Message { .. })
-                }) else { break };
+                }) else {
+                    break;
+                };
                 env.consume(ip);
             }
             let saved = env.save();
@@ -147,8 +172,8 @@ mod env_properties {
                 env.consume(ip);
             }
             env.restore(&saved);
-            prop_assert_eq!(env.outstanding(), outstanding_before);
-            prop_assert_eq!(env.save(), saved);
+            assert_eq!(env.outstanding(), outstanding_before, "seed {}", seed);
+            assert_eq!(env.save(), saved, "seed {}", seed);
         }
     }
 }

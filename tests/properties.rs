@@ -1,21 +1,26 @@
-//! Cross-crate property tests: the analyzer's soundness and sensitivity
-//! contracts, and verdict preservation under the normal-form transform.
+//! Cross-crate randomized-sweep tests: the analyzer's soundness and
+//! sensitivity contracts, and verdict preservation under the normal-form
+//! transform.
+//!
+//! Formerly `proptest`-based; now deterministic seeded sweeps (the
+//! workspace builds offline with no registry dependencies).
 
-use proptest::prelude::*;
+use tango::rng::SplitMix64;
 use tango::{AnalysisOptions, ChoicePolicy, Dir, OrderOptions, Tango, Verdict};
 use tango_repro::protocols::{synthetic::SyntheticSpec, tp0};
 use tango_repro::runtime::normal_form::normalize_specification;
 use tango_repro::runtime::Value;
 
-proptest! {
-    // Each case runs a full generate-then-analyze cycle; keep counts sane.
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Soundness: anything the specification's own implementation does is
-    /// accepted by the analyzer, in every checking mode.
-    #[test]
-    fn tp0_self_traces_always_verify(up in 0usize..5, down in 0usize..5, seed in 0u64..1000) {
-        let analyzer = tp0::analyzer();
+/// Soundness: anything the specification's own implementation does is
+/// accepted by the analyzer, in every checking mode.
+#[test]
+fn tp0_self_traces_always_verify() {
+    let analyzer = tp0::analyzer();
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(case);
+        let up = rng.gen_index(5);
+        let down = rng.gen_index(5);
+        let seed = rng.next_u64() % 1000;
         let trace = tp0::valid_trace(up, down, seed);
         for order in [
             OrderOptions::none(),
@@ -26,20 +31,28 @@ proptest! {
             let r = analyzer
                 .analyze(&trace, &AnalysisOptions::with_order(order))
                 .unwrap();
-            prop_assert_eq!(
-                r.verdict.clone(),
+            assert_eq!(
+                r.verdict,
                 Verdict::Valid,
                 "up={} down={} seed={} mode={}",
-                up, down, seed, order.label()
+                up,
+                down,
+                seed,
+                order.label()
             );
         }
     }
+}
 
-    /// Sensitivity: changing any data-bearing *output* parameter to a
-    /// different value makes the trace invalid under full checking.
-    #[test]
-    fn tp0_output_mutations_always_detected(seed in 0u64..500, pick in 0usize..100) {
-        let analyzer = tp0::analyzer();
+/// Sensitivity: changing any data-bearing *output* parameter to a
+/// different value makes the trace invalid under full checking.
+#[test]
+fn tp0_output_mutations_always_detected() {
+    let analyzer = tp0::analyzer();
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(1000 + case);
+        let seed = rng.next_u64() % 500;
+        let pick = rng.gen_index(100);
         let trace = tp0::complete_valid_trace(3, 2, seed);
         let data_outputs: Vec<usize> = trace
             .events
@@ -48,7 +61,7 @@ proptest! {
             .filter(|(_, e)| e.dir == Dir::Out && !e.params.is_empty())
             .map(|(i, _)| i)
             .collect();
-        prop_assume!(!data_outputs.is_empty());
+        assert!(!data_outputs.is_empty());
         let idx = data_outputs[pick % data_outputs.len()];
         let mut bad = trace.clone();
         if let Value::Int(v) = bad.events[idx].params[0] {
@@ -57,17 +70,22 @@ proptest! {
         let mut options = AnalysisOptions::with_order(OrderOptions::full());
         options.limits.max_transitions = 10_000_000;
         let r = analyzer.analyze(&bad, &options).unwrap();
-        prop_assert_eq!(r.verdict, Verdict::Invalid);
+        assert_eq!(r.verdict, Verdict::Invalid, "case {}", case);
     }
+}
 
-    /// Dropping any single *input* event from a complete trace is
-    /// detected under full order checking: some later event loses its
-    /// explanation. (Dropping an output is not always detectable — t17
-    /// legally discards buffered data at disconnect, so a missing dt_req
-    /// can be explained by an earlier disconnect decision.)
-    #[test]
-    fn tp0_dropped_inputs_detected(seed in 0u64..200, pick in 0usize..100) {
-        let analyzer = tp0::analyzer();
+/// Dropping any single *input* event from a complete trace is
+/// detected under full order checking: some later event loses its
+/// explanation. (Dropping an output is not always detectable — t17
+/// legally discards buffered data at disconnect, so a missing dt_req
+/// can be explained by an earlier disconnect decision.)
+#[test]
+fn tp0_dropped_inputs_detected() {
+    let analyzer = tp0::analyzer();
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(2000 + case);
+        let seed = rng.next_u64() % 200;
+        let pick = rng.gen_index(100);
         let trace = tp0::complete_valid_trace(2, 2, seed);
         let inputs: Vec<usize> = trace
             .events
@@ -82,12 +100,18 @@ proptest! {
         let mut options = AnalysisOptions::with_order(OrderOptions::full());
         options.limits.max_transitions = 10_000_000;
         let r = analyzer.analyze(&bad, &options).unwrap();
-        prop_assert_eq!(r.verdict.clone(), Verdict::Invalid, "dropped event {}", idx);
+        assert_eq!(r.verdict, Verdict::Invalid, "dropped event {}", idx);
     }
+}
 
-    /// Synthetic ring specs of arbitrary size verify their own traces.
-    #[test]
-    fn synthetic_self_traces_verify(states in 1usize..6, extra in 0usize..40, steps in 0usize..30) {
+/// Synthetic ring specs of arbitrary size verify their own traces.
+#[test]
+fn synthetic_self_traces_verify() {
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(3000 + case);
+        let states = 1 + rng.gen_index(5);
+        let extra = rng.gen_index(40);
+        let steps = rng.gen_index(30);
         let spec = SyntheticSpec::new(states, states + extra);
         let analyzer = spec.analyzer();
         let trace = analyzer
@@ -96,7 +120,7 @@ proptest! {
         let r = analyzer
             .analyze(&trace, &AnalysisOptions::default())
             .unwrap();
-        prop_assert_eq!(r.verdict, Verdict::Valid);
+        assert_eq!(r.verdict, Verdict::Valid, "case {}", case);
     }
 }
 
@@ -126,20 +150,23 @@ end;
 end.
 "#;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// §5.3: the normal-form transformation preserves verdicts — any
+/// trace gets the same valid/invalid answer from the original and the
+/// normalized specification.
+#[test]
+fn normal_form_preserves_verdicts() {
+    let original = Tango::generate(BRANCHY).unwrap();
+    let spec = tango_repro::frontend::parse_specification(BRANCHY).unwrap();
+    let normalized_src =
+        tango_repro::ast::print::print_specification(&normalize_specification(&spec).unwrap());
+    let normalized = Tango::generate(&normalized_src).unwrap();
 
-    /// §5.3: the normal-form transformation preserves verdicts — any
-    /// trace gets the same valid/invalid answer from the original and the
-    /// normalized specification.
-    #[test]
-    fn normal_form_preserves_verdicts(values in prop::collection::vec(-20i64..30, 1..8),
-                                      corrupt in any::<bool>()) {
-        let original = Tango::generate(BRANCHY).unwrap();
-        let spec = tango_repro::frontend::parse_specification(BRANCHY).unwrap();
-        let normalized_src =
-            tango_repro::ast::print::print_specification(&normalize_specification(&spec).unwrap());
-        let normalized = Tango::generate(&normalized_src).unwrap();
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(4000 + case);
+        let values: Vec<i64> = (0..1 + rng.gen_index(7))
+            .map(|_| rng.gen_range_i64(-20, 29))
+            .collect();
+        let corrupt = rng.gen_bool();
 
         // Build a trace from the original implementation...
         let script: Vec<_> = values
@@ -164,7 +191,7 @@ proptest! {
         let options = AnalysisOptions::default();
         let a = original.analyze(&trace, &options).unwrap();
         let b = normalized.analyze(&trace, &options).unwrap();
-        prop_assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.verdict, b.verdict, "case {}", case);
     }
 }
 
