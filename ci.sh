@@ -21,4 +21,15 @@ cargo test -q --workspace
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== snapshot_bench smoke (quick mode) =="
+# A/B the COW and deep-clone snapshot paths on reduced workloads; the
+# binary itself asserts both modes produce identical verdicts and
+# TE/GE/RE/SA counters, then overwrites BENCH_snapshots.json. Keep the
+# committed full-size record; validate the quick one, then restore.
+cp BENCH_snapshots.json BENCH_snapshots.json.orig
+cargo run -q --release -p bench --bin snapshot_bench -- --quick
+cargo run -q --release -p bench --bin snapshot_bench -- --check BENCH_snapshots.json
+mv BENCH_snapshots.json.orig BENCH_snapshots.json
+cargo run -q --release -p bench --bin snapshot_bench -- --check BENCH_snapshots.json
+
 echo "CI OK"

@@ -8,6 +8,8 @@
 use tango::{AnalysisOptions, AnalysisReport, OrderOptions, TraceAnalyzer, Verdict};
 use tango::Trace;
 
+pub mod json;
+
 /// One row of a paper-style results table.
 #[derive(Clone, Debug)]
 pub struct Row {

@@ -34,6 +34,7 @@
 pub mod compile;
 pub mod env;
 pub mod error;
+pub mod fxhash;
 pub mod graph;
 pub mod heap;
 pub mod interp;
@@ -45,7 +46,8 @@ pub mod value;
 pub use compile::{compile, CompiledModule};
 pub use env::{InputSource, OutputSink, QueueHead};
 pub use error::{RtResult, RuntimeError, RuntimeErrorKind};
-pub use heap::{Heap, HeapRef};
+pub use fxhash::FxHasher;
+pub use heap::{Heap, HeapRef, CHUNK_CELLS};
 pub use interp::UndefinedPolicy;
 pub use machine::{BuildError, FireOutcome, Fireable, Generated, Machine, MachineState};
 pub use value::Value;

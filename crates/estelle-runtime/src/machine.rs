@@ -37,8 +37,9 @@ impl fmt::Display for BuildError {
 impl std::error::Error for BuildError {}
 
 /// The saved/restored TAM state (§2.3): control state, module variables
-/// and dynamic memory. Cloning is the paper's *Save* operation.
-#[derive(Clone, Debug)]
+/// and dynamic memory. The paper's *Save* operation is [`MachineState::snapshot`];
+/// `clone` is equivalent since the heap shares its chunks copy-on-write.
+#[derive(Clone, Debug, PartialEq)]
 pub struct MachineState {
     pub control: StateId,
     pub globals: Vec<Value>,
@@ -52,9 +53,34 @@ impl MachineState {
         self.globals.len() + self.heap.slots()
     }
 
+    /// The paper's *Save*: a snapshot that can later be handed back to the
+    /// search as *Restore*. Cheap — globals are copied (small: one `Value`
+    /// per module variable) and the heap's chunk table is copied, while
+    /// the chunks themselves stay shared copy-on-write. Cost is
+    /// O(globals + touched chunks), not O(whole state).
+    pub fn snapshot(&self) -> MachineState {
+        self.clone()
+    }
+
+    /// The pre-COW *Save*: a snapshot whose dynamic memory is eagerly
+    /// deep-copied, sharing nothing. Kept as the `--cow=off` baseline the
+    /// benchmark record A/Bs against.
+    pub fn deep_snapshot(&self) -> MachineState {
+        let mut s = self.clone();
+        s.heap.unshare();
+        s
+    }
+
     /// Approximate footprint of one saved snapshot in bytes (globals and
     /// dynamic memory, including out-of-line storage). The trace
     /// analyzer's memory budget charges each saved search node this much.
+    ///
+    /// Storage is charged exactly once: [`Value::approx_bytes`] never
+    /// follows a [`Value::Pointer`] into the heap (a global holding a heap
+    /// reference contributes only its inline pointer size), and the cells
+    /// it points at are charged by [`crate::heap::Heap::approx_bytes`]
+    /// alone — so pointer-linked structures are not double-counted no
+    /// matter how many globals or cells reference them.
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.globals.iter().map(Value::approx_bytes).sum::<usize>()
@@ -476,6 +502,52 @@ mod tests {
         let st = m.initial_state_at(StateId(0)).unwrap();
         assert_eq!(st.control, StateId(0));
         assert_eq!(st.globals[0], Value::Int(0));
+    }
+
+    #[test]
+    fn approx_bytes_charges_pointer_targets_once() {
+        let mut heap = crate::heap::Heap::new();
+        let r = heap.alloc(Value::Array(vec![Value::Int(1); 8]));
+        // Two globals point at the same cell: each contributes only its
+        // inline pointer; the pointee is charged once, by the heap.
+        let st = MachineState {
+            control: StateId(0),
+            globals: vec![Value::Pointer(Some(r)), Value::Pointer(Some(r))],
+            heap,
+        };
+        let expected = std::mem::size_of::<MachineState>()
+            + 2 * std::mem::size_of::<Value>()
+            + st.heap.approx_bytes();
+        assert_eq!(st.approx_bytes(), expected);
+
+        // Dropping one referencing global removes exactly one inline
+        // pointer from the estimate — nothing heap-side was tied to it.
+        let mut one = st.clone();
+        one.globals.pop();
+        assert_eq!(one.approx_bytes(), expected - std::mem::size_of::<Value>());
+    }
+
+    #[test]
+    fn snapshot_shares_heap_and_deep_snapshot_does_not() {
+        let m = Machine::from_source(PINGPONG).unwrap();
+        let mut st = m.initial_state().unwrap();
+        st.heap.alloc(Value::Int(7));
+
+        let snap = st.snapshot();
+        assert_eq!(st.heap.shared_chunks(), 1, "COW snapshot shares chunks");
+        assert_eq!(snap, st);
+
+        let deep = st.deep_snapshot();
+        assert_eq!(deep.heap.shared_chunks(), 0, "deep snapshot owns chunks");
+        assert_eq!(deep, st);
+
+        // Mutating the live state never leaks into either snapshot.
+        let mut env = Script::new(vec![(0, vec![Value::Int(5)])]);
+        let g = m.generate(&mut st, &env).unwrap();
+        m.fire(&mut st, &g.fireable[0], &mut env).unwrap();
+        assert_eq!(st.globals[0], Value::Int(5));
+        assert_eq!(snap.globals[0], Value::Int(0));
+        assert_eq!(deep.globals[0], Value::Int(0));
     }
 
     #[test]

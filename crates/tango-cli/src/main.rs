@@ -69,29 +69,46 @@ fn usage() -> String {
     "usage: tango <check|analyze|online|normalize|graph|generate> <spec.est> \
      [trace.txt|script.txt] [--order nr|io|ip|full] [--disable-ip NAME] \
      [--unobserved-ip NAME] [--initial-state-search] [--state-hashing] \
-     [--max-seconds F] [--max-mem N[k|m|g]] [--on-truncate restart|fail] \
-     [--seed N]"
+     [--cow=on|off] [--max-seconds F] [--max-mem N[k|m|g][b]] \
+     [--on-truncate restart|fail] [--seed N]"
         .to_string()
 }
 
-/// Parse a byte budget like `64k`, `16m`, `1g` or a plain byte count.
+/// Parse a byte budget like `64k`, `16m`, `1g`, `64mb` or a plain byte
+/// count. Rejects multiplier overflow instead of silently wrapping.
 fn parse_bytes(s: &str) -> Result<usize, String> {
+    let bad = || format!("bad memory budget `{}`", s);
     let lower = s.to_ascii_lowercase();
-    let (digits, mult) = match lower.strip_suffix(['k', 'm', 'g']) {
+    // An optional trailing `b` (`64mb`, `10kb`) is accepted and ignored —
+    // but a bare `b` is not a number.
+    let trimmed = match lower.strip_suffix('b') {
+        Some(rest) if !rest.is_empty() => rest,
+        Some(_) => return Err(bad()),
+        None => lower.as_str(),
+    };
+    let (digits, shift) = match trimmed.strip_suffix(['k', 'm', 'g']) {
         Some(d) => (
             d,
-            match lower.as_bytes()[lower.len() - 1] {
-                b'k' => 1usize << 10,
-                b'm' => 1 << 20,
-                _ => 1 << 30,
+            match trimmed.as_bytes()[trimmed.len() - 1] {
+                b'k' => 10u32,
+                b'm' => 20,
+                _ => 30,
             },
         ),
-        None => (lower.as_str(), 1),
+        None => (trimmed, 0),
     };
-    digits
-        .parse::<usize>()
-        .map(|n| n * mult)
-        .map_err(|_| format!("bad memory budget `{}`", s))
+    let n: usize = digits.parse().map_err(|_| bad())?;
+    n.checked_mul(1usize << shift).ok_or_else(bad)
+}
+
+/// Parse the `--cow` mode: `on` (copy-on-write Save/Restore, the default)
+/// or `off` (the original eager deep-clone path, kept for A/B timing).
+fn parse_cow(v: &str) -> Result<bool, String> {
+    match v.to_ascii_lowercase().as_str() {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("bad --cow mode `{}` (expected on|off)", other)),
+    }
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -255,6 +272,13 @@ fn parse_options(
             }
             "--initial-state-search" => options.initial_state_search = true,
             "--state-hashing" => options.state_hashing = true,
+            "--cow" => {
+                let v = it.next().ok_or("--cow needs on|off")?;
+                options.cow_snapshots = parse_cow(v)?;
+            }
+            flag if flag.starts_with("--cow=") => {
+                options.cow_snapshots = parse_cow(&flag["--cow=".len()..])?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{}`", flag));
             }
@@ -323,4 +347,60 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
         Verdict::Invalid => ExitCode::from(1),
         _ => ExitCode::from(2),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bytes_plain_and_suffixed() {
+        assert_eq!(parse_bytes("128").unwrap(), 128);
+        assert_eq!(parse_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("16m").unwrap(), 16 << 20);
+        assert_eq!(parse_bytes("1g").unwrap(), 1 << 30);
+        assert_eq!(parse_bytes("2G").unwrap(), 2 << 30);
+    }
+
+    #[test]
+    fn parse_bytes_accepts_trailing_b() {
+        assert_eq!(parse_bytes("64mb").unwrap(), 64 << 20);
+        assert_eq!(parse_bytes("10KB").unwrap(), 10 << 10);
+        assert_eq!(parse_bytes("1gb").unwrap(), 1 << 30);
+        assert_eq!(parse_bytes("7b").unwrap(), 7);
+    }
+
+    #[test]
+    fn parse_bytes_rejects_multiplier_overflow() {
+        // usize::MAX with a `g` suffix used to wrap via unchecked
+        // multiplication; it must be an error.
+        assert!(parse_bytes(&format!("{}g", usize::MAX)).is_err());
+        assert!(parse_bytes(&format!("{}k", usize::MAX)).is_err());
+        assert!(parse_bytes(&format!("{}gb", usize::MAX / 2)).is_err());
+        // The largest representable budgets still parse.
+        assert_eq!(parse_bytes(&format!("{}", usize::MAX)).unwrap(), usize::MAX);
+        assert_eq!(
+            parse_bytes(&format!("{}k", usize::MAX >> 10)).unwrap(),
+            (usize::MAX >> 10) << 10
+        );
+    }
+
+    #[test]
+    fn parse_bytes_rejects_garbage() {
+        for bad in ["", "b", "kb", "12q", "k12", "-5k", "1.5m", "64 m"] {
+            assert!(parse_bytes(bad).is_err(), "`{}` must not parse", bad);
+        }
+    }
+
+    #[test]
+    fn cow_flag_both_spellings() {
+        let (opts, _, _) =
+            parse_options(&["--cow=off".to_string(), "x".to_string()]).unwrap();
+        assert!(!opts.cow_snapshots);
+        let (opts, _, _) =
+            parse_options(&["--cow".to_string(), "on".to_string()]).unwrap();
+        assert!(opts.cow_snapshots);
+        assert!(parse_options(&["--cow=sideways".to_string()]).is_err());
+        assert!(parse_options(&["--cow".to_string()]).is_err());
+    }
 }

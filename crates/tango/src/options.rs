@@ -137,6 +137,13 @@ pub struct AnalysisOptions {
     /// search tree on hold"). Disable for the paper's basic MDFS, which
     /// only reconsiders PG-nodes after the rest of the tree is exhausted.
     pub mdfs_reorder: bool,
+    /// Copy-on-write *Save*/*Restore* (on by default): saved search nodes
+    /// share heap chunks with the live state and identical snapshots are
+    /// interned, so a save costs O(touched chunks) instead of O(state) —
+    /// the §3.2 dominant cost. `false` forces the original eager
+    /// deep-clone path (CLI `--cow=off`), kept for A/B measurement; the
+    /// verdict and the TE/GE/RE/SA counters are identical either way.
+    pub cow_snapshots: bool,
     pub limits: SearchLimits,
 }
 
@@ -150,6 +157,7 @@ impl Default for AnalysisOptions {
             policy: UndefinedPolicy::Error,
             state_hashing: false,
             mdfs_reorder: true,
+            cow_snapshots: true,
             limits: SearchLimits::default(),
         }
     }
@@ -206,5 +214,6 @@ mod tests {
         assert_eq!(o.policy, UndefinedPolicy::Error);
         assert!(!o.initial_state_search);
         assert!(!o.state_hashing);
+        assert!(o.cow_snapshots, "COW Save/Restore is the default path");
     }
 }

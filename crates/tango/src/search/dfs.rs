@@ -13,6 +13,12 @@
 //!   re-exploration of identical (machine state, cursor) pairs — the
 //!   approach §4.2 suggests as future work for taming the exponential
 //!   analysis of invalid TP0 traces;
+//! * copy-on-write *Save*/*Restore* through the [`super::snapshot`]
+//!   store: saved states share heap chunks with the live state and
+//!   identical snapshots are interned (resident and charged once), so a
+//!   save costs O(touched chunks) instead of O(state) — §3.2's dominant
+//!   cost. `AnalysisOptions::cow_snapshots = false` forces the old eager
+//!   deep-clone path for A/B measurement (`BENCH_snapshots.json`);
 //! * resource governance: a wall-clock deadline and a snapshot-memory
 //!   budget, checked cooperatively *before* each step mutates anything, so
 //!   that stopping on any limit freezes an exactly resumable
@@ -30,6 +36,7 @@ use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
+use super::snapshot::{FxBuildHasher, FxHasher, SavedState, SnapshotStore};
 use super::{guard, is_fatal, record_error};
 
 /// Result of the raw search (before initial-state-search wrapping).
@@ -49,15 +56,15 @@ pub struct DfsOutcome {
 
 #[derive(Clone, Debug)]
 pub(crate) struct Frame {
-    state: MachineState,
+    /// The saved state, held through the interning snapshot store: an
+    /// identical state saved twice is resident (and charged) once.
+    state: SavedState,
     cursors: crate::env::Cursors,
     fireable: Vec<Fireable>,
     next: usize,
     path_len: usize,
     /// Consecutive barren steps on the path up to this node.
     barren: usize,
-    /// Snapshot bytes charged for this frame against the memory budget.
-    bytes: usize,
 }
 
 /// The complete mutable state of a stopped [`search`], captured before
@@ -69,7 +76,7 @@ pub struct DfsCheckpoint {
     cursors: crate::env::Cursors,
     path: Vec<String>,
     stack: Vec<Frame>,
-    visited: HashSet<u64>,
+    visited: HashSet<u64, FxBuildHasher>,
     spec_errors: Vec<RuntimeError>,
     best: (usize, Vec<String>),
     best_pending_len: Option<usize>,
@@ -149,7 +156,7 @@ fn search(
     let mut state;
     let mut path: Vec<String>;
     let mut stack: Vec<Frame>;
-    let mut visited: HashSet<u64>;
+    let mut visited: HashSet<u64, FxBuildHasher>;
     let mut spec_errors: Vec<RuntimeError>;
     let total_events;
     // Failure localization: the attempt that explained the most events.
@@ -166,18 +173,23 @@ fn search(
     // `false`: the last expansion failed and we must backtrack.
     let mut at_node: bool;
 
+    // The snapshot pool: owns every saved state on the stack and the
+    // deduplicated byte accounting the memory budget governs.
+    let mut store: SnapshotStore;
+
     match init {
         Init::Fresh(s) => {
             state = s;
             path = Vec::new();
             stack = Vec::new();
-            visited = HashSet::new();
+            visited = HashSet::default();
             spec_errors = Vec::new();
             total_events = env.outstanding();
             best = (0, Vec::new());
             best_pending_len = None;
             barren = 0;
             at_node = true;
+            store = SnapshotStore::new(options.cow_snapshots);
             stats.snapshot_bytes = 0;
         }
         Init::Resume(cp) => {
@@ -193,7 +205,14 @@ fn search(
             best_pending_len = cp.best_pending_len;
             barren = cp.barren;
             at_node = cp.at_node;
-            stats.snapshot_bytes = stack.iter().map(|f| f.bytes).sum();
+            // Rebuild the pool (and the byte counter) from the surviving
+            // frames; charges are re-derived, never blindly subtracted, so
+            // the counter cannot wrap across stop/resume rounds.
+            store = SnapshotStore::rebuild(
+                options.cow_snapshots,
+                stack.iter().map(|f| &f.state),
+            );
+            stats.snapshot_bytes = store.resident_bytes();
         }
     }
     stats.peak_snapshot_bytes = stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
@@ -273,12 +292,14 @@ fn search(
             let first = gen.fireable[0].clone();
             if gen.fireable.len() > 1 {
                 stats.saves += 1;
-                let snapshot = state.clone();
                 let cursors = env.save();
-                let bytes = snapshot.approx_bytes()
-                    + (cursors.input.len() + cursors.output.len())
-                        * std::mem::size_of::<usize>();
-                stats.snapshot_bytes += bytes;
+                let meta_bytes = (cursors.input.len() + cursors.output.len())
+                    * std::mem::size_of::<usize>();
+                let (snapshot, interned) = store.save(&state, meta_bytes);
+                if interned {
+                    stats.intern_hits += 1;
+                }
+                stats.snapshot_bytes = store.resident_bytes();
                 stats.peak_snapshot_bytes =
                     stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
                 stack.push(Frame {
@@ -288,7 +309,6 @@ fn search(
                     next: 1,
                     path_len: path.len(),
                     barren,
-                    bytes,
                 });
             }
             let before = env.outstanding();
@@ -327,7 +347,8 @@ fn search(
             };
             if top.next >= top.fireable.len() {
                 let frame = stack.pop().expect("stack non-empty");
-                stats.snapshot_bytes -= frame.bytes;
+                store.release(&frame.state);
+                stats.snapshot_bytes = store.resident_bytes();
                 continue;
             }
             stats.restores += 1;
@@ -335,16 +356,17 @@ fn search(
             let f;
             if last_child {
                 let frame = stack.pop().expect("stack non-empty");
-                stats.snapshot_bytes -= frame.bytes;
+                store.release(&frame.state);
+                stats.snapshot_bytes = store.resident_bytes();
                 f = frame.fireable[frame.next].clone();
-                state = frame.state;
+                state = frame.state.take(store.cow());
                 env.restore(&frame.cursors);
                 path.truncate(frame.path_len);
                 barren = frame.barren;
             } else {
                 f = top.fireable[top.next].clone();
                 top.next += 1;
-                state = top.state.clone();
+                state = top.state.materialize(store.cow());
                 env.restore(&top.cursors);
                 path.truncate(top.path_len);
                 barren = top.barren;
@@ -416,8 +438,9 @@ fn try_fire(
 }
 
 /// Hash of (machine state, trace cursors) for the visited-set extension.
+/// Uses the same fast content hasher as the snapshot-interning cache.
 pub fn fingerprint(state: &MachineState, cursors: &crate::env::Cursors) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = FxHasher::default();
     state.control.hash(&mut h);
     state.globals.hash(&mut h);
     state.heap.hash(&mut h);

@@ -87,6 +87,17 @@ impl Node {
 /// How long the analyzer sleeps between polls when idle.
 const POLL_INTERVAL: Duration = Duration::from_millis(1);
 
+/// Copy a node's state for expansion. With COW snapshots (the default)
+/// this is O(globals + chunk table); with `--cow=off` it eagerly
+/// deep-copies, reproducing the pre-COW §3.2.2 cost for A/B measurement.
+fn copy_state(state: &MachineState, options: &AnalysisOptions) -> MachineState {
+    if options.cow_snapshots {
+        state.snapshot()
+    } else {
+        state.deep_snapshot()
+    }
+}
+
 /// Run MDFS against a dynamic trace source. `on_status` sees every change
 /// of the interim verdict; returning `false` stops the analysis and
 /// reports the interim verdict.
@@ -170,7 +181,14 @@ pub fn run_mdfs(
 
         // DFS burst until the work stack drains.
         while let Some(mut node) = work.pop() {
-            stats.snapshot_bytes -= node.bytes;
+            // The counter is rebuilt from per-node charges across
+            // park/revive cycles; saturate (and flag in debug builds)
+            // rather than ever letting it wrap.
+            debug_assert!(
+                stats.snapshot_bytes >= node.bytes,
+                "snapshot byte accounting must never wrap"
+            );
+            stats.snapshot_bytes = stats.snapshot_bytes.saturating_sub(node.bytes);
             if stats.transitions_executed > options.limits.max_transitions {
                 return Ok(finish(
                     Verdict::Inconclusive(InconclusiveReason::TransitionLimit),
@@ -224,7 +242,9 @@ pub fn run_mdfs(
             }
 
             // Generate (or re-generate) this node's transition list.
-            let mut st = node.state.clone();
+            // COW: the scratch copy shares heap chunks with the node's
+            // snapshot; guard side effects break sharing lazily.
+            let mut st = copy_state(&node.state, options);
             stats.generates += 1;
             let gen = match guard("generate", || machine.generate(&mut st, &env)) {
                 Ok(g) => g,
@@ -265,7 +285,7 @@ pub fn run_mdfs(
 
             // Fire the child on a fresh copy of the node's state.
             node.tried.insert(f.trans);
-            let mut child_state = node.state.clone();
+            let mut child_state = copy_state(&node.state, options);
             env.restore(&node.cursors);
             let before = env.outstanding();
             stats.transitions_executed += 1;

@@ -14,6 +14,7 @@
 
 pub mod dfs;
 pub mod mdfs;
+pub(crate) mod snapshot;
 
 use crate::stats::SearchStats;
 use estelle_runtime::{RuntimeError, RuntimeErrorKind};

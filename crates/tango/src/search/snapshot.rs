@@ -1,0 +1,411 @@
+//! Saved-state snapshot pool: copy-on-write *Save*/*Restore* with a
+//! visited-state interning cache and deduplicated byte accounting.
+//!
+//! The paper's §3.2 names Save/Restore as the dominant trace-analysis
+//! cost. Two layers attack it:
+//!
+//! 1. **Copy-on-write snapshots** — [`MachineState::snapshot`] shares heap
+//!    chunks with the live state, so *Save* costs O(globals + chunk
+//!    table) and the deep copy happens lazily, only for chunks the search
+//!    actually touches before backtracking.
+//! 2. **Snapshot interning** — backtracking searches repeatedly save
+//!    *identical* machine states under different trace cursors (e.g. the
+//!    same buffer contents reached along permuted event orders). The
+//!    store keys every save by a fast content hash of (control state,
+//!    globals, heap); a hit returns a handle onto the already-resident
+//!    snapshot and charges **zero** additional bytes — shared bytes are
+//!    charged once, so [`crate::SearchStats::snapshot_bytes`] reports true
+//!    deduplicated residency.
+//!
+//! The store also hosts the `--cow=off` A/B baseline: with COW disabled
+//! every save eagerly deep-copies (no interning, no sharing) and every
+//! restore deep-copies again — the exact pre-COW cost model — so the
+//! benchmark record (`BENCH_snapshots.json`) compares like with like.
+//!
+//! Accounting assumes stack (LIFO) release order, which the DFS
+//! guarantees: a deduplicated save always pops before the save that first
+//! charged the bytes, so subtracting each handle's charge on release is
+//! exact. Subtraction still saturates (with a debug assertion) so a
+//! counter rebuilt by checkpoint/resume can never wrap.
+
+use estelle_runtime::MachineState;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::rc::Rc;
+
+// The interning key and the DFS visited-set fingerprint both use the
+// runtime's fast content hasher; the heap side feeds it from cached
+// per-chunk digests, so hashing a state on *Save* is O(chunks), not
+// O(cells).
+pub(crate) use estelle_runtime::FxHasher;
+
+/// Hasher for the intern map and the visited set. Their keys are already
+/// well-mixed 64-bit content hashes; re-hashing them with SipHash would
+/// cost more than the map operation itself at millions of saves/second.
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Content hash of a machine state (control + globals + heap) — the
+/// interning key. Trace cursors are deliberately excluded: two search
+/// nodes at different trace positions can still share one state snapshot.
+pub(crate) fn state_key(state: &MachineState) -> u64 {
+    let mut h = FxHasher::default();
+    state.control.hash(&mut h);
+    state.globals.hash(&mut h);
+    state.heap.hash(&mut h);
+    h.finish()
+}
+
+/// A handle onto one saved snapshot. Clone-cheap (`Rc`); carries the
+/// bytes this particular save charged so release can return them.
+#[derive(Clone, Debug)]
+pub(crate) struct SavedState {
+    state: Rc<MachineState>,
+    key: u64,
+    bytes: usize,
+}
+
+impl SavedState {
+    /// *Restore* into a working state without consuming the handle (the
+    /// frame may have more children). COW: O(chunk table). Deep baseline:
+    /// a full copy, as the pre-COW search paid on every backtrack.
+    pub fn materialize(&self, cow: bool) -> MachineState {
+        if cow {
+            self.state.snapshot()
+        } else {
+            self.state.deep_snapshot()
+        }
+    }
+
+    /// *Restore* consuming the handle (last child of a frame): moves the
+    /// state out without any copy when this was the only reference.
+    /// Call [`SnapshotStore::release`] first so the store's interning
+    /// reference is already dropped.
+    pub fn take(self, cow: bool) -> MachineState {
+        match Rc::try_unwrap(self.state) {
+            Ok(state) => state,
+            Err(shared) => {
+                if cow {
+                    shared.snapshot()
+                } else {
+                    shared.deep_snapshot()
+                }
+            }
+        }
+    }
+}
+
+/// One interned snapshot: the resident copy plus how many live
+/// [`SavedState`] handles refer to it.
+struct Interned {
+    state: Rc<MachineState>,
+    refs: usize,
+}
+
+/// Collision chain for one content-hash key. The first entry is inline:
+/// true hash collisions are rare, so the common chain of length one costs
+/// no extra allocation per save (at millions of saves per run the chain
+/// `Vec` would otherwise dominate the save path).
+struct Chain {
+    first: Interned,
+    rest: Vec<Interned>,
+}
+
+impl Chain {
+    fn find_mut(&mut self, state: &MachineState) -> Option<&mut Interned> {
+        std::iter::once(&mut self.first)
+            .chain(self.rest.iter_mut())
+            .find(|e| *e.state == *state)
+    }
+}
+
+/// The search's pool of saved snapshots and the single source of truth
+/// for [`crate::SearchStats::snapshot_bytes`].
+pub(crate) struct SnapshotStore {
+    cow: bool,
+    /// key → collision chain of distinct resident states with that key.
+    interned: HashMap<u64, Chain, FxBuildHasher>,
+    resident_bytes: usize,
+}
+
+impl SnapshotStore {
+    pub fn new(cow: bool) -> Self {
+        SnapshotStore {
+            cow,
+            interned: HashMap::default(),
+            resident_bytes: 0,
+        }
+    }
+
+    /// Whether saves share structure copy-on-write (`--cow=on`).
+    pub fn cow(&self) -> bool {
+        self.cow
+    }
+
+    /// True deduplicated bytes of all resident snapshots (plus per-save
+    /// cursor metadata). This is what the `max_state_bytes` budget governs.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// *Save* the given state, charging `extra_bytes` of per-save
+    /// metadata (cursors). Returns the handle and whether the save was
+    /// deduplicated against an already-resident identical snapshot.
+    pub fn save(&mut self, state: &MachineState, extra_bytes: usize) -> (SavedState, bool) {
+        if !self.cow {
+            // Pre-COW baseline: eager deep copy, no interning.
+            let bytes = state.approx_bytes() + extra_bytes;
+            self.resident_bytes += bytes;
+            return (
+                SavedState {
+                    state: Rc::new(state.deep_snapshot()),
+                    key: 0,
+                    bytes,
+                },
+                false,
+            );
+        }
+
+        let key = state_key(state);
+        if let Some(hit) = self
+            .interned
+            .get_mut(&key)
+            .and_then(|chain| chain.find_mut(state))
+        {
+            hit.refs += 1;
+            self.resident_bytes += extra_bytes;
+            return (
+                SavedState {
+                    state: Rc::clone(&hit.state),
+                    key,
+                    bytes: extra_bytes,
+                },
+                true,
+            );
+        }
+        let bytes = state.approx_bytes() + extra_bytes;
+        let snap = Rc::new(state.snapshot());
+        let entry = Interned {
+            state: Rc::clone(&snap),
+            refs: 1,
+        };
+        match self.interned.entry(key) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Chain {
+                    first: entry,
+                    rest: Vec::new(),
+                });
+            }
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut().rest.push(entry),
+        }
+        self.resident_bytes += bytes;
+        (
+            SavedState {
+                state: snap,
+                key,
+                bytes,
+            },
+            false,
+        )
+    }
+
+    /// Release one handle, returning its charged bytes to the budget and
+    /// dropping the interning entry with the last reference.
+    pub fn release(&mut self, saved: &SavedState) {
+        debug_assert!(
+            self.resident_bytes >= saved.bytes,
+            "snapshot byte accounting must never wrap (resident {} < released {})",
+            self.resident_bytes,
+            saved.bytes
+        );
+        self.resident_bytes = self.resident_bytes.saturating_sub(saved.bytes);
+        if !self.cow {
+            return;
+        }
+        if let Some(chain) = self.interned.get_mut(&saved.key) {
+            if Rc::ptr_eq(&chain.first.state, &saved.state) {
+                chain.first.refs -= 1;
+                if chain.first.refs == 0 {
+                    match chain.rest.pop() {
+                        Some(promoted) => chain.first = promoted,
+                        None => {
+                            self.interned.remove(&saved.key);
+                        }
+                    }
+                }
+            } else if let Some(pos) = chain
+                .rest
+                .iter()
+                .position(|e| Rc::ptr_eq(&e.state, &saved.state))
+            {
+                chain.rest[pos].refs -= 1;
+                if chain.rest[pos].refs == 0 {
+                    chain.rest.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Rebuild a store from the frames of a resumed checkpoint: re-interns
+    /// every still-held snapshot and re-derives the resident byte total
+    /// (shared bytes still charged once — each handle remembers exactly
+    /// what its save charged).
+    pub fn rebuild<'a>(cow: bool, saved: impl Iterator<Item = &'a SavedState>) -> Self {
+        let mut store = SnapshotStore::new(cow);
+        for s in saved {
+            store.resident_bytes += s.bytes;
+            if !cow {
+                continue;
+            }
+            let entry = Interned {
+                state: Rc::clone(&s.state),
+                refs: 1,
+            };
+            match store.interned.entry(s.key) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(Chain {
+                        first: entry,
+                        rest: Vec::new(),
+                    });
+                }
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let chain = o.into_mut();
+                    if let Some(hit) = std::iter::once(&mut chain.first)
+                        .chain(chain.rest.iter_mut())
+                        .find(|e| Rc::ptr_eq(&e.state, &s.state))
+                    {
+                        hit.refs += 1;
+                    } else {
+                        chain.rest.push(entry);
+                    }
+                }
+            }
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estelle_runtime::{Machine, Value};
+
+    const SPEC: &str = r#"
+        specification s;
+        module M process; end;
+        body MB for M;
+            var n : integer;
+            state S;
+            initialize to S begin n := 0 end;
+        end;
+        end.
+    "#;
+
+    fn some_state() -> MachineState {
+        let m = Machine::from_source(SPEC).unwrap();
+        let mut st = m.initial_state().unwrap();
+        st.heap.alloc(Value::Int(7));
+        st
+    }
+
+    #[test]
+    fn identical_saves_intern_and_charge_once() {
+        let st = some_state();
+        let mut store = SnapshotStore::new(true);
+        let (a, hit_a) = store.save(&st, 16);
+        assert!(!hit_a);
+        let after_first = store.resident_bytes();
+        assert!(after_first >= st.approx_bytes() + 16);
+
+        let (b, hit_b) = store.save(&st, 16);
+        assert!(hit_b, "identical state must dedup");
+        assert_eq!(
+            store.resident_bytes(),
+            after_first + 16,
+            "a dedup hit charges only its cursor metadata"
+        );
+        assert!(Rc::ptr_eq(&a.state, &b.state));
+
+        // LIFO release: the duplicate first, then the original.
+        store.release(&b);
+        assert_eq!(store.resident_bytes(), after_first);
+        store.release(&a);
+        assert_eq!(store.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn distinct_states_do_not_intern() {
+        let st = some_state();
+        let mut other = st.clone();
+        other.globals[0] = Value::Int(99);
+        let mut store = SnapshotStore::new(true);
+        let (_, h1) = store.save(&st, 0);
+        let (_, h2) = store.save(&other, 0);
+        assert!(!h1);
+        assert!(!h2);
+    }
+
+    #[test]
+    fn deep_mode_never_interns_or_shares() {
+        let st = some_state();
+        let mut store = SnapshotStore::new(false);
+        let (a, hit1) = store.save(&st, 0);
+        let (b, hit2) = store.save(&st, 0);
+        assert!(!hit1 && !hit2);
+        assert!(!Rc::ptr_eq(&a.state, &b.state));
+        assert_eq!(store.resident_bytes(), a.bytes + b.bytes);
+        assert_eq!(a.materialize(false).heap.shared_chunks(), 0);
+    }
+
+    #[test]
+    fn take_moves_out_without_copy_after_release() {
+        let st = some_state();
+        let mut store = SnapshotStore::new(true);
+        let (a, _) = store.save(&st, 0);
+        store.release(&a);
+        let restored = a.take(true);
+        assert_eq!(restored, st);
+    }
+
+    #[test]
+    fn release_saturates_instead_of_wrapping() {
+        let st = some_state();
+        let mut fresh = SnapshotStore::new(true);
+        let (handle, _) = {
+            let mut other = SnapshotStore::new(true);
+            other.save(&st, 8)
+        };
+        // Releasing into a store that never charged must not wrap; the
+        // debug assertion flags it in debug builds, release saturates.
+        if !cfg!(debug_assertions) {
+            fresh.release(&handle);
+            assert_eq!(fresh.resident_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn rebuild_restores_dedup_accounting() {
+        let st = some_state();
+        let mut store = SnapshotStore::new(true);
+        let (a, _) = store.save(&st, 4);
+        let (b, _) = store.save(&st, 4);
+        let total = store.resident_bytes();
+
+        let rebuilt = SnapshotStore::rebuild(true, [a.clone(), b.clone()].iter());
+        assert_eq!(rebuilt.resident_bytes(), total);
+
+        // And the rebuilt store still dedups against the adopted entries.
+        let mut rebuilt = rebuilt;
+        let (_, hit) = rebuilt.save(&st, 0);
+        assert!(hit);
+    }
+
+    #[test]
+    fn fx_hasher_separates_streams() {
+        let st = some_state();
+        let mut other = st.clone();
+        other.globals[0] = Value::Int(1);
+        assert_ne!(state_key(&st), state_key(&other));
+        assert_eq!(state_key(&st), state_key(&st.snapshot()));
+        assert_eq!(state_key(&st), state_key(&st.deep_snapshot()));
+    }
+}

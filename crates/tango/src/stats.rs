@@ -37,9 +37,14 @@ pub struct SearchStats {
     /// Paths cut by the consecutive-barren-steps bound (non-progress
     /// cycles, unbounded fabrication on unobserved IPs).
     pub barren_prunes: u64,
+    /// Saves deduplicated by the snapshot-interning cache: the state was
+    /// already resident, so it was shared instead of copied (COW mode
+    /// only; always 0 under `--cow=off`).
+    pub intern_hits: u64,
     /// Approximate bytes of saved state snapshots currently held by the
     /// search (DFS frames, MDFS work + PG nodes) — the quantity the
-    /// `max_state_bytes` budget governs.
+    /// `max_state_bytes` budget governs. Deduplicated: an interned
+    /// snapshot referenced by several frames is charged once.
     pub snapshot_bytes: usize,
     /// High-water mark of `snapshot_bytes` over the run.
     pub peak_snapshot_bytes: usize,
@@ -81,6 +86,7 @@ impl SearchStats {
         self.error_branches += other.error_branches;
         self.hash_prunes += other.hash_prunes;
         self.barren_prunes += other.barren_prunes;
+        self.intern_hits += other.intern_hits;
         self.snapshot_bytes = other.snapshot_bytes;
         self.peak_snapshot_bytes = self.peak_snapshot_bytes.max(other.peak_snapshot_bytes);
     }
