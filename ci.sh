@@ -21,6 +21,29 @@ cargo test -q --workspace
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== crash recovery (SIGKILL + resume) =="
+# Kill -9 the CLI mid-analysis, resume from the atomic autosave, and
+# require the exact verdict and TE/GE/RE/SA totals of an uninterrupted
+# run; plus the library-level disk-resume and corruption-matrix suites.
+cargo test -q -p tango-cli --test crash_recovery
+cargo test -q --test crash_recovery --test checkpoint_codec
+
+echo "== checkpoint-info round-trip smoke =="
+# Stop a real analysis on a transition limit, autosave the checkpoint,
+# verify the file with checkpoint-info, and resume it to the same verdict
+# an unlimited run produces.
+CKPT_DIR=$(mktemp -d)
+trap 'rm -rf "$CKPT_DIR"' EXIT
+printf 'in U.tconreq\nin L.cc_ind\nin U.tdatreq(0)\nin U.tdatreq(1)\nin U.tdatreq(2)\nin U.tdisreq\n' \
+    > "$CKPT_DIR/script.txt"
+cargo run -q --release -p tango-cli -- generate specs/tp0.est "$CKPT_DIR/script.txt" \
+    > "$CKPT_DIR/trace.txt"
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" \
+    --max-transitions 5 --checkpoint-file "$CKPT_DIR/run.ckpt" \
+    && { echo "expected an inconclusive (exit 2) stop"; exit 1; } || [ "$?" -eq 2 ]
+cargo run -q --release -p tango-cli -- checkpoint-info "$CKPT_DIR/run.ckpt"
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est --resume "$CKPT_DIR/run.ckpt"
+
 echo "== snapshot_bench smoke (quick mode) =="
 # A/B the COW and deep-clone snapshot paths on reduced workloads; the
 # binary itself asserts both modes produce identical verdicts and

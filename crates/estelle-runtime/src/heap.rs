@@ -47,6 +47,20 @@ impl fmt::Display for HeapRef {
     }
 }
 
+impl HeapRef {
+    /// The reference's raw (slot index, generation) pair, for the stable
+    /// state codec. Safe to expose: a reconstructed ref is still checked
+    /// against the cell's generation on every access.
+    pub(crate) fn raw_parts(&self) -> (u32, u32) {
+        (self.index, self.generation)
+    }
+
+    /// Rebuild a reference from its codec representation.
+    pub(crate) fn from_raw_parts(index: u32, generation: u32) -> Self {
+        HeapRef { index, generation }
+    }
+}
+
 #[derive(Clone, Debug, Hash, PartialEq)]
 enum Cell {
     Free { generation: u32 },
@@ -265,6 +279,107 @@ impl Heap {
             Some(Cell::Used { generation, value }) if *generation == r.generation => Ok(value),
             _ => Err(RuntimeError::dangling("dereference of a dangling pointer")),
         }
+    }
+
+    /// Encode the heap for the durable-checkpoint codec: cells in slot
+    /// order, then the free list (whose order decides future slot reuse
+    /// and generation bumps, so it must survive exactly). Chunk
+    /// boundaries are implied by [`CHUNK_CELLS`]; `live` and `total` are
+    /// re-derived on decode. Copy-on-write sharing *between* heaps is
+    /// intentionally not represented — whole-state deduplication is the
+    /// enclosing checkpoint format's job.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_u64(self.total as u64);
+        for i in 0..self.total {
+            match self.cell(i as u32).expect("slot within total") {
+                Cell::Free { generation } => {
+                    w.put_u8(0);
+                    w.put_u32(*generation);
+                }
+                Cell::Used { generation, value } => {
+                    w.put_u8(1);
+                    w.put_u32(*generation);
+                    crate::codec::encode_value(w, value);
+                }
+            }
+        }
+        w.put_u32(self.free.len() as u32);
+        for idx in &self.free {
+            w.put_u32(*idx);
+        }
+    }
+
+    /// Decode a heap previously written by [`Heap::encode`]. Structural
+    /// invariants are re-checked (free-list entries must name free,
+    /// in-range slots), so a corrupt buffer yields a typed error instead
+    /// of a heap that panics later.
+    pub fn decode(
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let total = r.get_usize("heap cell count")?;
+        if total.saturating_mul(5) > r.remaining() {
+            return Err(CodecError::Truncated {
+                context: "heap cells",
+            });
+        }
+        let mut heap = Heap::new();
+        let mut free_cells = 0usize;
+        for i in 0..total {
+            if i.is_multiple_of(CHUNK_CELLS) {
+                heap.chunks.push(Chunk::new());
+            }
+            let chunk = heap.chunks.last_mut().expect("chunk just ensured");
+            let cell = match r.get_u8("heap cell tag")? {
+                0 => {
+                    free_cells += 1;
+                    Cell::Free {
+                        generation: r.get_u32("free cell generation")?,
+                    }
+                }
+                1 => Cell::Used {
+                    generation: r.get_u32("used cell generation")?,
+                    value: crate::codec::decode_value(r)?,
+                },
+                other => {
+                    return Err(CodecError::Malformed(format!(
+                        "unknown heap cell tag {}",
+                        other
+                    )))
+                }
+            };
+            chunk.cells_mut().push(cell);
+        }
+        heap.total = total;
+        heap.live = total - free_cells;
+        let free_len = r.get_len(4, "heap free list")?;
+        if free_len != free_cells {
+            return Err(CodecError::Malformed(format!(
+                "free list length {} does not match {} free cell(s)",
+                free_len, free_cells
+            )));
+        }
+        let mut seen = vec![false; total];
+        for _ in 0..free_len {
+            let idx = r.get_u32("free list entry")?;
+            match heap.cell(idx) {
+                Some(Cell::Free { .. }) => {}
+                _ => {
+                    return Err(CodecError::Malformed(format!(
+                        "free list names slot {} which is not a free cell",
+                        idx
+                    )))
+                }
+            }
+            if std::mem::replace(&mut seen[idx as usize], true) {
+                return Err(CodecError::Malformed(format!(
+                    "free list names slot {} twice",
+                    idx
+                )));
+            }
+            heap.free.push(idx);
+        }
+        Ok(heap)
     }
 
     /// Write a cell.

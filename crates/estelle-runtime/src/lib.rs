@@ -31,6 +31,7 @@
 //! # let _ = state;
 //! ```
 
+pub mod codec;
 pub mod compile;
 pub mod env;
 pub mod error;
@@ -43,6 +44,7 @@ pub mod machine;
 pub mod normal_form;
 pub mod value;
 
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use compile::{compile, CompiledModule};
 pub use env::{InputSource, OutputSink, QueueHead};
 pub use error::{RtResult, RuntimeError, RuntimeErrorKind};

@@ -27,13 +27,28 @@
 //!
 //! tango graph <spec.est>
 //!     Emit a Graphviz `dot` rendering of the compiled EFSM.
+//!
+//! tango checkpoint-info <checkpoint.bin>
+//!     Verify a checkpoint file's integrity and print its progress
+//!     summary (depth, pending frames, events, counters) without
+//!     loading any machine state.
 //! ```
+//!
+//! Durable analysis (static mode): `--checkpoint-file PATH` autosaves
+//! the search every `--checkpoint-every N` executed transitions (and on
+//! any limit stop), atomically, so a killed process loses at most one
+//! interval of work; `--resume PATH` continues from such a file with the
+//! counters intact.
 
 use estelle_frontend::parse_specification;
 use estelle_runtime::normal_form::normalize_specification;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
-use tango::{AnalysisOptions, FollowFileSource, OrderOptions, RecoveryPolicy, Tango, Verdict};
+use tango::{
+    AnalysisOptions, AnalysisReport, Checkpoint, FollowFileSource, InconclusiveReason,
+    OrderOptions, RecoveryPolicy, Tango, TraceAnalyzer, Verdict,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +72,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "normalize" => normalize(args.get(1).map(String::as_str).ok_or_else(usage)?),
         "graph" => graph(args.get(1).map(String::as_str).ok_or_else(usage)?),
         "generate" => generate(&args[1..]),
+        "checkpoint-info" => checkpoint_info(args.get(1).map(String::as_str).ok_or_else(usage)?),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -66,11 +82,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn usage() -> String {
-    "usage: tango <check|analyze|online|normalize|graph|generate> <spec.est> \
+    "usage: tango <check|analyze|online|normalize|graph|generate|checkpoint-info> \
+     <spec.est|checkpoint.bin> \
      [trace.txt|script.txt] [--order nr|io|ip|full] [--disable-ip NAME] \
      [--unobserved-ip NAME] [--initial-state-search] [--state-hashing] \
      [--cow=on|off] [--max-seconds F] [--max-mem N[k|m|g][b]] \
-     [--on-truncate restart|fail] [--seed N]"
+     [--max-transitions N] [--checkpoint-file PATH] [--checkpoint-every N] \
+     [--resume PATH] [--on-truncate restart|fail] [--seed N]"
         .to_string()
 }
 
@@ -220,15 +238,57 @@ fn normalize(spec_path: &str) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Durable-analysis flags (static mode only).
+#[derive(Debug, Default)]
+struct CheckpointFlags {
+    /// Where to (auto)save the search when it stops on a limit.
+    file: Option<PathBuf>,
+    /// A previously saved checkpoint to continue from.
+    resume: Option<PathBuf>,
+    /// Autosave interval, in executed transitions.
+    every: Option<u64>,
+}
+
+impl CheckpointFlags {
+    fn any(&self) -> bool {
+        self.file.is_some() || self.resume.is_some() || self.every.is_some()
+    }
+}
+
 fn parse_options(
     args: &[String],
-) -> Result<(AnalysisOptions, RecoveryPolicy, Vec<String>), String> {
+) -> Result<(AnalysisOptions, RecoveryPolicy, CheckpointFlags, Vec<String>), String> {
     let mut options = AnalysisOptions::default();
     let mut recovery = RecoveryPolicy::default();
+    let mut ckpt = CheckpointFlags::default();
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--checkpoint-file" => {
+                let v = it.next().ok_or("--checkpoint-file needs a path")?;
+                ckpt.file = Some(PathBuf::from(v));
+            }
+            "--resume" => {
+                let v = it.next().ok_or("--resume needs a path")?;
+                ckpt.resume = Some(PathBuf::from(v));
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a value")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --checkpoint-every value `{}`", v))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".to_string());
+                }
+                ckpt.every = Some(n);
+            }
+            "--max-transitions" => {
+                let v = it.next().ok_or("--max-transitions needs a value")?;
+                options.limits.max_transitions = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-transitions value `{}`", v))?;
+            }
             "--max-seconds" => {
                 let v = it.next().ok_or("--max-seconds needs a value")?;
                 let secs: f64 = v
@@ -285,13 +345,24 @@ fn parse_options(
             _ => positional.push(a.clone()),
         }
     }
-    Ok((options, recovery, positional))
+    Ok((options, recovery, ckpt, positional))
 }
 
 fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
-    let (options, recovery, positional) = parse_options(args)?;
-    let [spec_path, trace_path] = positional.as_slice() else {
-        return Err(usage());
+    let (options, recovery, ckpt, positional) = parse_options(args)?;
+    if online && ckpt.any() {
+        return Err(
+            "--checkpoint-file/--resume/--checkpoint-every apply to static `analyze` only"
+                .to_string(),
+        );
+    }
+    // With --resume the trace travels inside the checkpoint, so only the
+    // specification is required (it is not serialized — the checkpoint is
+    // validated against it on load instead).
+    let (spec_path, trace_path) = match positional.as_slice() {
+        [s, t] => (s, Some(t)),
+        [s] if ckpt.resume.is_some() => (s, None),
+        _ => return Err(usage()),
     };
     let source = read(spec_path)?;
     let analyzer = match Tango::generate(&source) {
@@ -304,6 +375,7 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
     };
 
     let report = if online {
+        let trace_path = trace_path.ok_or_else(usage)?;
         let mut src = FollowFileSource::new(trace_path, Some(analyzer.module().clone()))
             .with_recovery(recovery);
         let report = analyzer
@@ -320,10 +392,7 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
         }
         report
     } else {
-        let text = read(trace_path)?;
-        analyzer
-            .analyze_text(&text, &options)
-            .map_err(|e| e.to_string())?
+        run_static(&analyzer, trace_path.map(String::as_str), &options, &ckpt)?
     };
 
     println!("{}", report);
@@ -337,16 +406,104 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
         eprintln!("source fault: {}", fault);
     }
     if report.checkpoint.is_some() {
-        eprintln!(
-            "note: search stopped on a resource limit; rerun with higher \
-             --max-seconds/--max-mem limits to continue"
-        );
+        match &ckpt.file {
+            Some(path) => eprintln!(
+                "note: search stopped on a resource limit; checkpoint saved to {}; \
+                 rerun with --resume {} and raised limits to continue",
+                path.display(),
+                path.display()
+            ),
+            None => eprintln!(
+                "note: search stopped on a resource limit; rerun with higher \
+                 --max-seconds/--max-mem limits to continue"
+            ),
+        }
     }
     Ok(match report.verdict {
         Verdict::Valid => ExitCode::SUCCESS,
         Verdict::Invalid => ExitCode::from(1),
         _ => ExitCode::from(2),
     })
+}
+
+/// Static-mode analysis with durable checkpointing: fresh or resumed,
+/// autosaving every `--checkpoint-every` transitions by running the
+/// search in bounded rounds (each round ends on a *synthetic* transition
+/// cap, the frozen checkpoint is written atomically, and the search
+/// resumes in-process — the same stop/resume path a crashed process
+/// recovers through, so the totals are identical either way).
+fn run_static(
+    analyzer: &TraceAnalyzer,
+    trace_path: Option<&str>,
+    options: &AnalysisOptions,
+    ckpt: &CheckpointFlags,
+) -> Result<AnalysisReport, String> {
+    let user_cap = options.limits.max_transitions;
+    // One search round: cap TE at the next autosave point, never above
+    // the user's own limit.
+    let round_options = |done: u64| {
+        let mut o = options.clone();
+        if let Some(every) = ckpt.every {
+            o.limits.max_transitions = user_cap.min(done.saturating_add(every));
+        }
+        o
+    };
+
+    let mut report = match &ckpt.resume {
+        Some(path) => {
+            let cp = Checkpoint::read_from(path).map_err(|e| e.to_string())?;
+            let done = cp.stats().transitions_executed;
+            analyzer
+                .analyze_resume(cp, &round_options(done))
+                .map_err(|e| e.to_string())?
+        }
+        None => {
+            let text = read(trace_path.ok_or_else(usage)?)?;
+            analyzer
+                .analyze_text(&text, &round_options(0))
+                .map_err(|e| e.to_string())?
+        }
+    };
+
+    loop {
+        // Autosave on every limit stop, synthetic or genuine.
+        if let (Some(path), Some(cp)) = (&ckpt.file, report.checkpoint.as_deref()) {
+            cp.write_to(path)
+                .map_err(|e| format!("cannot write checkpoint: {}", e))?;
+        }
+        // A synthetic stop is a transition-limit stop below the user's
+        // own cap: continue the next round in-process. Anything else —
+        // conclusive verdict, genuine limit — is the final report.
+        let synthetic = ckpt.every.is_some()
+            && matches!(
+                report.verdict,
+                Verdict::Inconclusive(InconclusiveReason::TransitionLimit)
+            )
+            && report.stats.transitions_executed < user_cap
+            && report.checkpoint.is_some();
+        if !synthetic {
+            return Ok(report);
+        }
+        let cp = *report.checkpoint.take().expect("checked above");
+        let done = cp.stats().transitions_executed;
+        report = analyzer
+            .analyze_resume(cp, &round_options(done))
+            .map_err(|e| e.to_string())?;
+    }
+}
+
+/// Verify a checkpoint file and print its progress summary. Decodes only
+/// the META section: no machine state, trace or search stack is loaded.
+fn checkpoint_info(path: &str) -> Result<ExitCode, String> {
+    let info = Checkpoint::read_info(std::path::Path::new(path))
+        .map_err(|e| format!("{}: {}", path, e))?;
+    println!("checkpoint: {}", path);
+    println!("  format version: {}", info.version);
+    println!("  depth: {}", info.depth);
+    println!("  pending frames: {}", info.pending_frames);
+    println!("  events: {}", info.events_total);
+    println!("  {}", info.stats);
+    Ok(ExitCode::SUCCESS)
 }
 
 #[cfg(test)]
@@ -394,10 +551,10 @@ mod tests {
 
     #[test]
     fn cow_flag_both_spellings() {
-        let (opts, _, _) =
+        let (opts, _, _, _) =
             parse_options(&["--cow=off".to_string(), "x".to_string()]).unwrap();
         assert!(!opts.cow_snapshots);
-        let (opts, _, _) =
+        let (opts, _, _, _) =
             parse_options(&["--cow".to_string(), "on".to_string()]).unwrap();
         assert!(opts.cow_snapshots);
         assert!(parse_options(&["--cow=sideways".to_string()]).is_err());

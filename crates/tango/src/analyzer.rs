@@ -142,6 +142,9 @@ impl TraceAnalyzer {
         options: &AnalysisOptions,
     ) -> Result<AnalysisReport, TangoError> {
         let machine = self.machine.policy_view(options.policy);
+        checkpoint
+            .validate_against(self.module(), self.machine.module.transition_count())
+            .map_err(|m| TangoError::Env(crate::env::EnvError(format!("resume: {}", m))))?;
         let Checkpoint { dfs, trace, stats } = checkpoint;
         let mut stats = stats;
         let mut env = TraceEnv::new(self.module(), trace.clone(), options, false)?;

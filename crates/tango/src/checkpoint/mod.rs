@@ -1,0 +1,129 @@
+//! Stop/resume checkpoints for static-mode analysis.
+//!
+//! When a static DFS stops on a resource limit (transition count, depth,
+//! wall-clock deadline or snapshot-memory budget), the report carries a
+//! [`Checkpoint`]: the frozen search state plus the resolved trace and the
+//! counters accumulated so far. [`crate::TraceAnalyzer::analyze_resume`]
+//! continues the search exactly where it stopped — no work is repeated,
+//! and the final TE/GE/RE/SA totals across stop + resume equal those of an
+//! uninterrupted run, so figures assembled from budgeted batch runs stay
+//! comparable with the paper's tables.
+
+pub mod codec;
+
+pub use codec::{CheckpointError, CheckpointInfo, FORMAT_VERSION, MAGIC};
+
+use crate::search::dfs::DfsCheckpoint;
+use crate::stats::SearchStats;
+use crate::trace::ResolvedTrace;
+
+/// A resumable, stopped static analysis. Opaque except for the progress
+/// accessors; produce with a limited [`crate::TraceAnalyzer::analyze`]
+/// (or `analyze_resume`) call, consume with
+/// [`crate::TraceAnalyzer::analyze_resume`].
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    pub(crate) dfs: DfsCheckpoint,
+    pub(crate) trace: ResolvedTrace,
+    pub(crate) stats: SearchStats,
+}
+
+impl Checkpoint {
+    /// Depth of the search path at the stop point.
+    pub fn depth(&self) -> usize {
+        self.dfs.depth()
+    }
+
+    /// Saved backtracking frames awaiting exploration.
+    pub fn pending_frames(&self) -> usize {
+        self.dfs.pending_frames()
+    }
+
+    /// Checkable events in the trace under analysis.
+    pub fn events_total(&self) -> usize {
+        self.dfs.events_total()
+    }
+
+    /// Counters accumulated up to the stop; resuming continues them.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// Structural cross-check against the analyzer about to resume this
+    /// checkpoint. A file that decodes cleanly may still belong to a
+    /// *different* specification (or a different trace); resuming it
+    /// verbatim would index out of range deep inside the search. This
+    /// turns every such mismatch into an error up front.
+    pub(crate) fn validate_against(
+        &self,
+        module: &estelle_frontend::sema::model::AnalyzedModule,
+        transition_count: usize,
+    ) -> Result<(), String> {
+        let ip_count = module.ips.len();
+        if self.trace.inputs.len() != ip_count || self.trace.outputs.len() != ip_count {
+            return Err(format!(
+                "checkpoint trace has {} IP stream(s), specification has {}",
+                self.trace.inputs.len(),
+                ip_count
+            ));
+        }
+        for e in &self.trace.events {
+            let info = module.ip(estelle_frontend::sema::model::IpId(e.ip as u32));
+            let sigs = match e.dir {
+                crate::trace::Dir::In => &info.inputs,
+                crate::trace::Dir::Out => &info.outputs,
+            };
+            if e.interaction >= sigs.len() {
+                return Err(format!(
+                    "trace event {} names interaction {} of {} at IP `{}`",
+                    e.index,
+                    e.interaction,
+                    sigs.len(),
+                    info.name
+                ));
+            }
+        }
+        let state_count = module.states.len() as u32;
+        if self.dfs.state.control.0 >= state_count {
+            return Err(format!(
+                "checkpoint control state {} out of range ({} states)",
+                self.dfs.state.control.0, state_count
+            ));
+        }
+        let check_cursors = |c: &crate::env::Cursors, what: &str| -> Result<(), String> {
+            if c.input.len() != ip_count || c.output.len() != ip_count {
+                return Err(format!(
+                    "{} cursors cover {} IP(s), specification has {}",
+                    what,
+                    c.input.len(),
+                    ip_count
+                ));
+            }
+            for ip in 0..ip_count {
+                if c.input[ip] > self.trace.inputs[ip].len()
+                    || c.output[ip] > self.trace.outputs[ip].len()
+                {
+                    return Err(format!("{} cursors point past the trace streams", what));
+                }
+            }
+            Ok(())
+        };
+        check_cursors(&self.dfs.cursors, "checkpoint")?;
+        for (i, f) in self.dfs.stack.iter().enumerate() {
+            check_cursors(&f.cursors, "frame")?;
+            let (state, _, _) = f.state.raw_parts();
+            if state.control.0 >= state_count {
+                return Err(format!("frame {} control state out of range", i));
+            }
+            for fireable in &f.fireable {
+                if fireable.trans >= transition_count {
+                    return Err(format!(
+                        "frame {} references transition {} of {}",
+                        i, fireable.trans, transition_count
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

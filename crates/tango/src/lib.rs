@@ -59,7 +59,7 @@ pub mod trace;
 pub mod verdict;
 
 pub use analyzer::{Tango, TraceAnalyzer};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointInfo};
 pub use error::TangoError;
 pub use genimpl::{ChoicePolicy, ScriptedInput};
 pub use options::{AnalysisOptions, OrderOptions, SearchLimits};

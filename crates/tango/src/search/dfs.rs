@@ -58,13 +58,13 @@ pub struct DfsOutcome {
 pub(crate) struct Frame {
     /// The saved state, held through the interning snapshot store: an
     /// identical state saved twice is resident (and charged) once.
-    state: SavedState,
-    cursors: crate::env::Cursors,
-    fireable: Vec<Fireable>,
-    next: usize,
-    path_len: usize,
+    pub(crate) state: SavedState,
+    pub(crate) cursors: crate::env::Cursors,
+    pub(crate) fireable: Vec<Fireable>,
+    pub(crate) next: usize,
+    pub(crate) path_len: usize,
     /// Consecutive barren steps on the path up to this node.
-    barren: usize,
+    pub(crate) barren: usize,
 }
 
 /// The complete mutable state of a stopped [`search`], captured before
@@ -72,17 +72,17 @@ pub(crate) struct Frame {
 /// carried by [`crate::checkpoint::Checkpoint`].
 #[derive(Clone, Debug)]
 pub struct DfsCheckpoint {
-    state: MachineState,
-    cursors: crate::env::Cursors,
-    path: Vec<String>,
-    stack: Vec<Frame>,
-    visited: HashSet<u64, FxBuildHasher>,
-    spec_errors: Vec<RuntimeError>,
-    best: (usize, Vec<String>),
-    best_pending_len: Option<usize>,
-    total_events: usize,
-    barren: usize,
-    at_node: bool,
+    pub(crate) state: MachineState,
+    pub(crate) cursors: crate::env::Cursors,
+    pub(crate) path: Vec<String>,
+    pub(crate) stack: Vec<Frame>,
+    pub(crate) visited: HashSet<u64, FxBuildHasher>,
+    pub(crate) spec_errors: Vec<RuntimeError>,
+    pub(crate) best: (usize, Vec<String>),
+    pub(crate) best_pending_len: Option<usize>,
+    pub(crate) total_events: usize,
+    pub(crate) barren: usize,
+    pub(crate) at_node: bool,
 }
 
 impl DfsCheckpoint {

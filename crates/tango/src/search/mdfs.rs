@@ -84,8 +84,14 @@ impl Node {
     }
 }
 
-/// How long the analyzer sleeps between polls when idle.
-const POLL_INTERVAL: Duration = Duration::from_millis(1);
+/// First idle-poll sleep. Doubles on every empty poll up to
+/// [`POLL_INTERVAL_MAX`] and resets as soon as the source produces data,
+/// so a busy feed is picked up within a millisecond while a long-idle
+/// monitor stops burning CPU on a tight poll loop.
+const POLL_INTERVAL_MIN: Duration = Duration::from_millis(1);
+
+/// Idle-poll backoff ceiling.
+const POLL_INTERVAL_MAX: Duration = Duration::from_millis(16);
 
 /// Copy a node's state for expansion. With COW snapshots (the default)
 /// this is O(globals + chunk table); with `--cow=off` it eagerly
@@ -380,7 +386,11 @@ pub fn run_mdfs(
         }
 
         // Block until the source has more to say — but never past the
-        // deadline: a stalled source must not wedge the monitor.
+        // deadline: a stalled source must not wedge the monitor. Polls
+        // back off exponentially while the source stays silent; entering
+        // this loop anew (i.e. after data arrived) starts over at the
+        // minimum interval.
+        let mut idle_sleep = POLL_INTERVAL_MIN;
         loop {
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 return Ok(finish(
@@ -402,7 +412,14 @@ pub fn run_mdfs(
                 revive(&mut work, &mut pg_list, options.mdfs_reorder);
                 break;
             }
-            std::thread::sleep(POLL_INTERVAL);
+            // Never sleep past the deadline — the expiry check above
+            // stays exact to within scheduler latency.
+            let sleep = match deadline {
+                Some(d) => idle_sleep.min(d.saturating_duration_since(Instant::now())),
+                None => idle_sleep,
+            };
+            std::thread::sleep(sleep);
+            idle_sleep = (idle_sleep * 2).min(POLL_INTERVAL_MAX);
         }
     }
 }

@@ -65,6 +65,20 @@ pub(crate) struct SavedState {
 }
 
 impl SavedState {
+    /// The handle's raw (snapshot, intern key, charged bytes) triple, for
+    /// the durable-checkpoint codec.
+    pub(crate) fn raw_parts(&self) -> (&Rc<MachineState>, u64, usize) {
+        (&self.state, self.key, self.bytes)
+    }
+
+    /// Rebuild a handle decoded from a checkpoint file. Handles sharing a
+    /// snapshot must share `state`'s `Rc` so [`SnapshotStore::rebuild`]
+    /// re-derives the same deduplicated byte accounting the saving search
+    /// had.
+    pub(crate) fn from_raw_parts(state: Rc<MachineState>, key: u64, bytes: usize) -> Self {
+        SavedState { state, key, bytes }
+    }
+
     /// *Restore* into a working state without consuming the handle (the
     /// frame may have more children). COW: O(chunk table). Deep baseline:
     /// a full copy, as the pre-COW search paid on every backtrack.

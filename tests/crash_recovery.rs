@@ -1,0 +1,178 @@
+//! Durable stop/resume: library-level recovery tests.
+//!
+//! PR 1 established that an in-memory checkpoint resumes to the exact
+//! totals of an uninterrupted run. These tests push the same equivalence
+//! through the on-disk codec: stop, serialize, *forget everything*,
+//! deserialize in what may as well be a different process, resume — and
+//! the verdict and TE/GE/RE/SA totals must still match, including across
+//! `--cow=off`-save/`--cow=on`-resume mode changes and over multiple
+//! rounds of accumulated CPU time. (The actual SIGKILL harness lives in
+//! `crates/tango-cli/tests/crash_recovery.rs`, next to the binary it
+//! kills.)
+
+use protocols::tp0;
+use std::path::PathBuf;
+use tango::{AnalysisOptions, Checkpoint, SearchStats, Trace, Verdict};
+
+fn counters(s: &SearchStats) -> (u64, u64, u64, u64) {
+    (s.transitions_executed, s.generates, s.restores, s.saves)
+}
+
+fn with_cow(cow: bool) -> AnalysisOptions {
+    AnalysisOptions {
+        cow_snapshots: cow,
+        ..AnalysisOptions::default()
+    }
+}
+
+fn invalid_tp0_trace() -> Trace {
+    tp0::invalidate_last_data(&tp0::complete_valid_trace(3, 3, 1))
+        .expect("complete trace has a data output to corrupt")
+}
+
+fn temp_file(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tango-crash-recovery-{}-{}",
+        tag,
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("checkpoint.bin")
+}
+
+/// Stop a third of the way in, write the checkpoint to disk, read it
+/// back, resume with raised limits: identical verdict and totals.
+#[test]
+fn resume_from_disk_with_raised_limits_matches_uninterrupted_run() {
+    let a = tp0::analyzer();
+    let bad = invalid_tp0_trace();
+    let opts = AnalysisOptions::default();
+    let baseline = a.analyze(&bad, &opts).unwrap();
+    assert_eq!(baseline.verdict, Verdict::Invalid);
+
+    let mut limited = opts.clone();
+    limited.limits.max_transitions = (baseline.stats.transitions_executed / 3).max(1);
+    let stopped = a.analyze(&bad, &limited).unwrap();
+    let cp = stopped.checkpoint.expect("limit stop must be resumable");
+
+    let path = temp_file("raised-limits");
+    cp.write_to(&path).expect("checkpoint writes");
+    drop(cp); // everything the resume uses comes from the file
+
+    let cp = Checkpoint::read_from(&path).expect("checkpoint reads");
+    let resumed = a.analyze_resume(cp, &opts).unwrap();
+    assert_eq!(resumed.verdict, Verdict::Invalid);
+    assert_eq!(counters(&resumed.stats), counters(&baseline.stats));
+}
+
+/// The checkpoint carries each frame's intern key and charged bytes, so
+/// a file saved under `--cow=off` resumes correctly under `--cow=on` and
+/// vice versa — the search totals are mode-independent.
+#[test]
+fn cross_mode_save_and_resume_through_disk() {
+    let a = tp0::analyzer();
+    let bad = invalid_tp0_trace();
+    let baseline = a.analyze(&bad, &with_cow(true)).unwrap();
+    assert_eq!(baseline.verdict, Verdict::Invalid);
+
+    for (save_cow, resume_cow) in [(false, true), (true, false)] {
+        let mut limited = with_cow(save_cow);
+        limited.limits.max_transitions = (baseline.stats.transitions_executed / 3).max(1);
+        let stopped = a.analyze(&bad, &limited).unwrap();
+        let cp = stopped.checkpoint.expect("limit stop must be resumable");
+
+        let path = temp_file(if save_cow { "cow-to-deep" } else { "deep-to-cow" });
+        cp.write_to(&path).expect("checkpoint writes");
+        let cp = Checkpoint::read_from(&path).expect("checkpoint reads");
+
+        let resumed = a.analyze_resume(cp, &with_cow(resume_cow)).unwrap();
+        assert_eq!(
+            resumed.verdict,
+            Verdict::Invalid,
+            "save cow={} resume cow={}",
+            save_cow,
+            resume_cow
+        );
+        assert_eq!(
+            counters(&resumed.stats),
+            counters(&baseline.stats),
+            "save cow={} resume cow={}",
+            save_cow,
+            resume_cow
+        );
+    }
+}
+
+/// `SearchStats::cpu_time` must accumulate across stop/resume rounds —
+/// each round adds its own elapsed time to the total carried by the
+/// checkpoint (in memory and through the file's nanosecond encoding)
+/// instead of restarting the clock.
+#[test]
+fn cpu_time_accumulates_across_disk_resume_rounds() {
+    let a = tp0::analyzer();
+    let bad = invalid_tp0_trace();
+    let opts = AnalysisOptions::default();
+    let baseline = a.analyze(&bad, &opts).unwrap();
+
+    let step = (baseline.stats.transitions_executed / 4).max(1);
+    let mut cap = step;
+    let mut limited = opts.clone();
+    limited.limits.max_transitions = cap;
+    let mut report = a.analyze(&bad, &limited).unwrap();
+    let path = temp_file("cpu-time");
+    let mut rounds = 0;
+    let mut last_cpu = report.stats.cpu_time;
+    while let Verdict::Inconclusive(_) = report.verdict {
+        rounds += 1;
+        assert!(rounds < 100, "stop/resume chain must converge");
+        let cp = report.checkpoint.take().expect("resumable");
+
+        // Round-trip through disk: the file stores cpu_time at
+        // nanosecond resolution, so the carried total survives exactly.
+        cp.write_to(&path).expect("checkpoint writes");
+        let cp = Checkpoint::read_from(&path).expect("checkpoint reads");
+        assert_eq!(cp.stats().cpu_time, report.stats.cpu_time);
+
+        cap += step;
+        let mut next = opts.clone();
+        next.limits.max_transitions = cap;
+        report = a.analyze_resume(cp, &next).unwrap();
+        assert!(
+            report.stats.cpu_time >= last_cpu,
+            "cpu_time went backwards across a resume: {:?} -> {:?}",
+            last_cpu,
+            report.stats.cpu_time
+        );
+        last_cpu = report.stats.cpu_time;
+    }
+    assert!(rounds >= 2, "the cap steps must actually interrupt the run");
+    assert_eq!(report.verdict, Verdict::Invalid);
+    assert_eq!(counters(&report.stats), counters(&baseline.stats));
+}
+
+/// Saving the same stop twice and resuming each copy independently is
+/// safe: reading a checkpoint does not consume or mutate the file.
+#[test]
+fn checkpoint_file_is_reusable() {
+    let a = tp0::analyzer();
+    let bad = invalid_tp0_trace();
+    let opts = AnalysisOptions::default();
+    let baseline = a.analyze(&bad, &opts).unwrap();
+
+    let mut limited = opts.clone();
+    limited.limits.max_transitions = (baseline.stats.transitions_executed / 2).max(1);
+    let stopped = a.analyze(&bad, &limited).unwrap();
+    let cp = stopped.checkpoint.expect("resumable");
+    let path = temp_file("reusable");
+    cp.write_to(&path).unwrap();
+
+    let first = a
+        .analyze_resume(Checkpoint::read_from(&path).unwrap(), &opts)
+        .unwrap();
+    let second = a
+        .analyze_resume(Checkpoint::read_from(&path).unwrap(), &opts)
+        .unwrap();
+    assert_eq!(first.verdict, second.verdict);
+    assert_eq!(counters(&first.stats), counters(&second.stats));
+    assert_eq!(counters(&first.stats), counters(&baseline.stats));
+}
