@@ -44,6 +44,20 @@ cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.tx
 cargo run -q --release -p tango-cli -- checkpoint-info "$CKPT_DIR/run.ckpt"
 cargo run -q --release -p tango-cli -- analyze specs/tp0.est --resume "$CKPT_DIR/run.ckpt"
 
+echo "== telemetry smoke (trace/metrics/progress) =="
+# Run a short analysis with the full telemetry surface on: the JSONL
+# event stream and the metrics document must both validate with the
+# dependency-free checker, and the live reporter must print at least the
+# forced final heartbeat on stderr.
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" \
+    --trace-out "$CKPT_DIR/events.jsonl" --metrics-out "$CKPT_DIR/metrics.json" \
+    --progress 1 2> "$CKPT_DIR/progress.txt"
+cargo run -q --release -p bench --bin json_check -- --jsonl "$CKPT_DIR/events.jsonl"
+cargo run -q --release -p bench --bin json_check -- "$CKPT_DIR/metrics.json"
+grep -q "progress: TE=" "$CKPT_DIR/progress.txt"
+grep -q '"ev":"verdict"' "$CKPT_DIR/events.jsonl"
+grep -q '"schema": "tango-metrics"' "$CKPT_DIR/metrics.json"
+
 echo "== snapshot_bench smoke (quick mode) =="
 # A/B the COW and deep-clone snapshot paths on reduced workloads; the
 # binary itself asserts both modes produce identical verdicts and

@@ -34,7 +34,7 @@ fn main() {
                 format!("{}+{}", up, down),
                 r.stats.transitions_executed,
                 r.stats.saves,
-                r.stats.cpu_time.as_secs_f64()
+                r.stats.wall_time.as_secs_f64()
             );
         }
     }

@@ -35,6 +35,9 @@ struct ModeResult {
     re: u64,
     sa: u64,
     verdict: String,
+    /// Full `tango-metrics` document for this run, embedded in the record
+    /// so downstream tooling gets the same schema `--metrics-out` writes.
+    metrics: String,
 }
 
 fn run_mode(
@@ -49,7 +52,7 @@ fn run_mode(
     options.limits.max_transitions = max_transitions;
     let r = analyzer.analyze(trace, &options).expect("analysis runs");
     ModeResult {
-        cpu_seconds: r.stats.cpu_time.as_secs_f64(),
+        cpu_seconds: r.stats.wall_time.as_secs_f64(),
         nodes_per_sec: r.stats.transitions_per_second(),
         peak_snapshot_bytes: r.stats.peak_snapshot_bytes,
         intern_hits: r.stats.intern_hits,
@@ -58,13 +61,15 @@ fn run_mode(
         re: r.stats.restores,
         sa: r.stats.saves,
         verdict: r.verdict.to_string(),
+        metrics: bench::metrics_json(&r),
     }
 }
 
 fn mode_json(m: &ModeResult) -> String {
     format!(
         "{{\"cpu_seconds\": {}, \"nodes_per_sec\": {}, \"peak_snapshot_bytes\": {}, \
-         \"intern_hits\": {}, \"te\": {}, \"ge\": {}, \"re\": {}, \"sa\": {}, \"verdict\": \"{}\"}}",
+         \"intern_hits\": {}, \"te\": {}, \"ge\": {}, \"re\": {}, \"sa\": {}, \"verdict\": \"{}\", \
+         \"metrics\": {}}}",
         json::number(m.cpu_seconds),
         json::number(m.nodes_per_sec),
         m.peak_snapshot_bytes,
@@ -73,7 +78,8 @@ fn mode_json(m: &ModeResult) -> String {
         m.ge,
         m.re,
         m.sa,
-        json::escape(&m.verdict)
+        json::escape(&m.verdict),
+        m.metrics.trim_end()
     )
 }
 

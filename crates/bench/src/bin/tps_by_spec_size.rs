@@ -38,7 +38,7 @@ fn main() {
             "synthetic",
             decls,
             report.stats.transitions_executed,
-            report.stats.cpu_time.as_secs_f64(),
+            report.stats.wall_time.as_secs_f64(),
             report.stats.transitions_per_second()
         );
     }
@@ -55,7 +55,7 @@ fn main() {
             "tp0",
             analyzer.module().declared_transition_count(),
             report.stats.transitions_executed,
-            report.stats.cpu_time.as_secs_f64(),
+            report.stats.wall_time.as_secs_f64(),
             report.stats.transitions_per_second()
         );
     }
@@ -70,7 +70,7 @@ fn main() {
             "lapd",
             analyzer.module().declared_transition_count(),
             report.stats.transitions_executed,
-            report.stats.cpu_time.as_secs_f64(),
+            report.stats.wall_time.as_secs_f64(),
             report.stats.transitions_per_second()
         );
     }
@@ -86,7 +86,7 @@ fn main() {
             "lapd-800",
             analyzer.machine.module.transition_count(),
             report.stats.transitions_executed,
-            report.stats.cpu_time.as_secs_f64(),
+            report.stats.wall_time.as_secs_f64(),
             report.stats.transitions_per_second()
         );
     }

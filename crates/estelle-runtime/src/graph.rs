@@ -17,6 +17,25 @@ use std::fmt::Write;
 
 /// Render the module as Graphviz `dot` text.
 pub fn to_dot(module: &CompiledModule) -> String {
+    render(module, None)
+}
+
+/// Render the module with a per-transition heat overlay: `weights` maps
+/// each compiled transition id to a hotness in `[0, 1]` (edge color
+/// interpolates gray → red and the pen widens with heat), and
+/// `annotations` adds one extra label line per transition (empty strings
+/// are skipped). Both slices are indexed by compiled transition id;
+/// missing entries render unheated. This is the profile overlay behind
+/// `tango analyze --profile-dot`.
+pub fn to_dot_with_heat(
+    module: &CompiledModule,
+    weights: &[f64],
+    annotations: &[String],
+) -> String {
+    render(module, Some((weights, annotations)))
+}
+
+fn render(module: &CompiledModule, heat: Option<(&[f64], &[String])>) -> String {
     let m = &module.analyzed;
     let mut out = String::new();
     writeln!(out, "digraph {} {{", sanitize(&m.module_name)).unwrap();
@@ -33,7 +52,7 @@ pub fn to_dot(module: &CompiledModule) -> String {
         writeln!(out, "  s{} [label=\"{}\", shape={}];", i, name, shape).unwrap();
     }
 
-    for t in &module.transitions {
+    for (idx, t) in module.transitions.iter().enumerate() {
         let mut label = t.name.clone();
         if let Some((ip, interaction, _)) = t.when {
             write!(
@@ -55,14 +74,31 @@ pub fn to_dot(module: &CompiledModule) -> String {
             )
             .unwrap();
         }
+        let mut extra = String::new();
+        if let Some((weights, annotations)) = heat {
+            if let Some(a) = annotations.get(idx) {
+                if !a.is_empty() {
+                    write!(label, "\\n{}", a).unwrap();
+                }
+            }
+            let w = weights.get(idx).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+            write!(
+                extra,
+                ", color=\"{}\", penwidth={:.2}",
+                heat_color(w),
+                1.0 + 3.0 * w
+            )
+            .unwrap();
+        }
         for &from in &t.from {
             let to = t.to.unwrap_or(from);
             writeln!(
                 out,
-                "  s{} -> s{} [label=\"{}\"];",
+                "  s{} -> s{} [label=\"{}\"{}];",
                 from.0,
                 to.0,
-                label.replace('"', "\\\"")
+                label.replace('"', "\\\""),
+                extra
             )
             .unwrap();
         }
@@ -70,6 +106,17 @@ pub fn to_dot(module: &CompiledModule) -> String {
 
     out.push_str("}\n");
     out
+}
+
+/// Linear gray → red ramp for heat weight `w` in `[0, 1]`.
+fn heat_color(w: f64) -> String {
+    let lerp = |a: u8, b: u8| (a as f64 + w * (b as f64 - a as f64)).round() as u8;
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        lerp(0xb0, 0xd6),
+        lerp(0xb0, 0x27),
+        lerp(0xb0, 0x28)
+    )
 }
 
 /// `ip.interaction` pairs an IR block may emit, in stable order.
@@ -181,6 +228,38 @@ mod tests {
         .unwrap();
         let dot = to_dot(&m.module);
         assert!(dot.contains("/ P.pong"));
+    }
+
+    #[test]
+    fn heat_overlay_colors_and_annotates_edges() {
+        let m = Machine::from_source(
+            r#"
+            specification g;
+            channel C(env, m); by env: ping; by m: pong; end;
+            module M process; ip P : C(m); end;
+            body MB for M;
+                state Idle, Busy;
+                initialize to Idle begin end;
+                trans
+                from Idle to Busy when P.ping name Go: begin output P.pong end;
+                from Busy to Idle name Back: begin end;
+            end;
+            end.
+            "#,
+        )
+        .unwrap();
+        let dot = to_dot_with_heat(
+            &m.module,
+            &[1.0, 0.0],
+            &["9 fired, 1 failed, 3.0ms".to_string(), String::new()],
+        );
+        // Hottest edge: full red, widest pen, annotated label line.
+        assert!(dot.contains("color=\"#d62728\", penwidth=4.00"), "{}", dot);
+        assert!(dot.contains("9 fired, 1 failed, 3.0ms"), "{}", dot);
+        // Cold edge: base gray, base pen, no annotation.
+        assert!(dot.contains("color=\"#b0b0b0\", penwidth=1.00"), "{}", dot);
+        // The plain exporter is unchanged by the overlay machinery.
+        assert!(!to_dot(&m.module).contains("penwidth"));
     }
 
     #[test]

@@ -355,6 +355,27 @@ impl Machine {
     pub fn transition_name(&self, index: usize) -> &str {
         &self.module.transitions[index].name
     }
+
+    /// A transition's when-clause observable as `(IP name, interaction
+    /// name)`; `None` for spontaneous transitions. Used by the telemetry
+    /// event stream to tag fire events with the trace event they consume.
+    pub fn transition_observable(&self, index: usize) -> Option<(&str, &str)> {
+        let m = &self.module.analyzed;
+        self.module.transitions[index]
+            .when
+            .map(|(ip, interaction, _)| {
+                (
+                    m.ips[ip].name.as_str(),
+                    m.ips[ip].inputs[interaction].name.as_str(),
+                )
+            })
+    }
+
+    /// Number of compiled transitions (sizes telemetry's per-transition
+    /// profile).
+    pub fn transition_count(&self) -> usize {
+        self.module.transitions.len()
+    }
 }
 
 /// Reify an ordinal as a value of the given scalar type.

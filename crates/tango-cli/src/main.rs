@@ -47,7 +47,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 use tango::{
     AnalysisOptions, AnalysisReport, Checkpoint, FollowFileSource, InconclusiveReason,
-    OrderOptions, RecoveryPolicy, Tango, TraceAnalyzer, Verdict,
+    JsonlSink, OrderOptions, ProgressMode, ProgressReporter, RecoveryPolicy, Tango, Telemetry,
+    TraceAnalyzer, Verdict,
 };
 
 fn main() -> ExitCode {
@@ -88,7 +89,9 @@ fn usage() -> String {
      [--unobserved-ip NAME] [--initial-state-search] [--state-hashing] \
      [--cow=on|off] [--max-seconds F] [--max-mem N[k|m|g][b]] \
      [--max-transitions N] [--checkpoint-file PATH] [--checkpoint-every N] \
-     [--resume PATH] [--on-truncate restart|fail] [--seed N]"
+     [--resume PATH] [--on-truncate restart|fail] [--seed N] \
+     [--trace-out PATH] [--metrics-out PATH] [--progress SECS|jsonl[:SECS]] \
+     [--profile] [--profile-dot PATH]"
         .to_string()
 }
 
@@ -255,12 +258,78 @@ impl CheckpointFlags {
     }
 }
 
+/// Telemetry flags (both modes): structured event stream, metrics
+/// export, live progress heartbeats, per-transition profile.
+#[derive(Debug, Default)]
+struct TelemetryFlags {
+    /// Write the JSONL search-event stream here.
+    trace_out: Option<PathBuf>,
+    /// Write the metrics-registry JSON document here after the run.
+    metrics_out: Option<PathBuf>,
+    /// Heartbeat mode and interval (`--progress SECS` or `jsonl[:SECS]`).
+    progress: Option<(ProgressMode, Duration)>,
+    /// Print the hot-transition table after the report.
+    profile: bool,
+    /// Write the Graphviz heat overlay here.
+    profile_dot: Option<PathBuf>,
+}
+
+impl TelemetryFlags {
+    /// Build the analysis telemetry handle these flags ask for.
+    fn build(&self, transition_count: usize) -> Result<Telemetry, String> {
+        let mut tel = Telemetry::off();
+        if let Some(path) = &self.trace_out {
+            let f = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create {}: {}", path.display(), e))?;
+            tel = tel.with_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(f))));
+        }
+        if self.metrics_out.is_some() {
+            tel = tel.with_metrics();
+        }
+        if self.profile || self.profile_dot.is_some() {
+            tel = tel.with_profile(transition_count);
+        }
+        if let Some((mode, every)) = self.progress {
+            tel = tel.with_progress(ProgressReporter::stderr(mode, every));
+        }
+        Ok(tel)
+    }
+}
+
+/// Parse a `--progress` spec: `SECS` (human heartbeats) or `jsonl`
+/// (machine-readable, default interval) or `jsonl:SECS`.
+fn parse_progress(v: &str) -> Result<(ProgressMode, Duration), String> {
+    let bad = || format!("bad --progress value `{}` (expected SECS or jsonl[:SECS])", v);
+    let lower = v.to_ascii_lowercase();
+    let (mode, secs_str) = match lower.strip_prefix("jsonl") {
+        Some("") => return Ok((ProgressMode::Jsonl, Duration::from_secs(2))),
+        Some(rest) => (ProgressMode::Jsonl, rest.strip_prefix(':').ok_or_else(bad)?),
+        None => (ProgressMode::Human, lower.as_str()),
+    };
+    let secs: f64 = secs_str.parse().map_err(|_| bad())?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(bad());
+    }
+    Ok((mode, Duration::from_secs_f64(secs)))
+}
+
+#[allow(clippy::type_complexity)]
 fn parse_options(
     args: &[String],
-) -> Result<(AnalysisOptions, RecoveryPolicy, CheckpointFlags, Vec<String>), String> {
+) -> Result<
+    (
+        AnalysisOptions,
+        RecoveryPolicy,
+        CheckpointFlags,
+        TelemetryFlags,
+        Vec<String>,
+    ),
+    String,
+> {
     let mut options = AnalysisOptions::default();
     let mut recovery = RecoveryPolicy::default();
     let mut ckpt = CheckpointFlags::default();
+    let mut tflags = TelemetryFlags::default();
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -330,6 +399,23 @@ fn parse_options(
                 options.unobserved_ips.insert(v.to_ascii_lowercase());
                 options.policy = estelle_runtime::UndefinedPolicy::Propagate;
             }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                tflags.trace_out = Some(PathBuf::from(v));
+            }
+            "--metrics-out" => {
+                let v = it.next().ok_or("--metrics-out needs a path")?;
+                tflags.metrics_out = Some(PathBuf::from(v));
+            }
+            "--progress" => {
+                let v = it.next().ok_or("--progress needs SECS or jsonl[:SECS]")?;
+                tflags.progress = Some(parse_progress(v)?);
+            }
+            "--profile" => tflags.profile = true,
+            "--profile-dot" => {
+                let v = it.next().ok_or("--profile-dot needs a path")?;
+                tflags.profile_dot = Some(PathBuf::from(v));
+            }
             "--initial-state-search" => options.initial_state_search = true,
             "--state-hashing" => options.state_hashing = true,
             "--cow" => {
@@ -345,11 +431,11 @@ fn parse_options(
             _ => positional.push(a.clone()),
         }
     }
-    Ok((options, recovery, ckpt, positional))
+    Ok((options, recovery, ckpt, tflags, positional))
 }
 
 fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
-    let (options, recovery, ckpt, positional) = parse_options(args)?;
+    let (options, recovery, ckpt, tflags, positional) = parse_options(args)?;
     if online && ckpt.any() {
         return Err(
             "--checkpoint-file/--resume/--checkpoint-every apply to static `analyze` only"
@@ -374,15 +460,22 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
         Err(e) => return Err(e.to_string()),
     };
 
+    let mut tel = tflags.build(analyzer.machine.module.transition_count())?;
+
     let report = if online {
         let trace_path = trace_path.ok_or_else(usage)?;
         let mut src = FollowFileSource::new(trace_path, Some(analyzer.module().clone()))
             .with_recovery(recovery);
         let report = analyzer
-            .analyze_online(&mut src, &options, &mut |v| {
-                println!("interim: {}", v);
-                true
-            })
+            .analyze_online_with(
+                &mut src,
+                &options,
+                &mut |v| {
+                    println!("interim: {}", v);
+                    true
+                },
+                &mut tel,
+            )
             .map_err(|e| e.to_string())?;
         if src.skipped_lines() > 0 {
             eprintln!(
@@ -392,10 +485,42 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
         }
         report
     } else {
-        run_static(&analyzer, trace_path.map(String::as_str), &options, &ckpt)?
+        run_static(
+            &analyzer,
+            trace_path.map(String::as_str),
+            &options,
+            &ckpt,
+            &mut tel,
+        )?
     };
 
+    // Fold the cumulative counters into the metrics registry and flush
+    // the event stream, then write the requested artifacts.
+    tel.finalize(&report.stats);
+    if let Some(path) = &tflags.metrics_out {
+        let doc = tel.metrics().expect("metrics enabled by flag").to_json();
+        std::fs::write(path, doc)
+            .map_err(|e| format!("cannot write {}: {}", path.display(), e))?;
+    }
+    if let Some(path) = &tflags.profile_dot {
+        let p = tel.profile().expect("profile enabled by flag");
+        let dot = estelle_runtime::graph::to_dot_with_heat(
+            &analyzer.machine.module,
+            &p.heat_weights(),
+            &p.heat_labels(),
+        );
+        std::fs::write(path, dot)
+            .map_err(|e| format!("cannot write {}: {}", path.display(), e))?;
+    }
+
     println!("{}", report);
+    if tflags.profile {
+        let p = tel.profile().expect("profile enabled by flag");
+        print!(
+            "{}",
+            p.render_table(&|i| analyzer.machine.transition_name(i).to_string())
+        );
+    }
     if let Some(w) = &report.witness {
         println!("witness: {}", w.join(" -> "));
     }
@@ -437,6 +562,7 @@ fn run_static(
     trace_path: Option<&str>,
     options: &AnalysisOptions,
     ckpt: &CheckpointFlags,
+    tel: &mut Telemetry,
 ) -> Result<AnalysisReport, String> {
     let user_cap = options.limits.max_transitions;
     // One search round: cap TE at the next autosave point, never above
@@ -454,13 +580,13 @@ fn run_static(
             let cp = Checkpoint::read_from(path).map_err(|e| e.to_string())?;
             let done = cp.stats().transitions_executed;
             analyzer
-                .analyze_resume(cp, &round_options(done))
+                .analyze_resume_with(cp, &round_options(done), tel)
                 .map_err(|e| e.to_string())?
         }
         None => {
             let text = read(trace_path.ok_or_else(usage)?)?;
             analyzer
-                .analyze_text(&text, &round_options(0))
+                .analyze_text_with(&text, &round_options(0), tel)
                 .map_err(|e| e.to_string())?
         }
     };
@@ -470,6 +596,10 @@ fn run_static(
         if let (Some(path), Some(cp)) = (&ckpt.file, report.checkpoint.as_deref()) {
             cp.write_to(path)
                 .map_err(|e| format!("cannot write checkpoint: {}", e))?;
+            tel.on_checkpoint(
+                cp.stats().transitions_executed,
+                &path.display().to_string(),
+            );
         }
         // A synthetic stop is a transition-limit stop below the user's
         // own cap: continue the next round in-process. Anything else —
@@ -487,7 +617,7 @@ fn run_static(
         let cp = *report.checkpoint.take().expect("checked above");
         let done = cp.stats().transitions_executed;
         report = analyzer
-            .analyze_resume(cp, &round_options(done))
+            .analyze_resume_with(cp, &round_options(done), tel)
             .map_err(|e| e.to_string())?;
     }
 }
@@ -551,10 +681,10 @@ mod tests {
 
     #[test]
     fn cow_flag_both_spellings() {
-        let (opts, _, _, _) =
+        let (opts, _, _, _, _) =
             parse_options(&["--cow=off".to_string(), "x".to_string()]).unwrap();
         assert!(!opts.cow_snapshots);
-        let (opts, _, _, _) =
+        let (opts, _, _, _, _) =
             parse_options(&["--cow".to_string(), "on".to_string()]).unwrap();
         assert!(opts.cow_snapshots);
         assert!(parse_options(&["--cow=sideways".to_string()]).is_err());

@@ -14,6 +14,7 @@ use crate::options::AnalysisOptions;
 use crate::search::dfs::{resume_dfs, run_dfs, DfsOutcome};
 use crate::search::mdfs::run_mdfs;
 use crate::stats::SearchStats;
+use crate::telemetry::Telemetry;
 use crate::trace::format::parse_trace;
 use crate::trace::source::TraceSource;
 use crate::trace::{ResolvedTrace, Trace};
@@ -63,8 +64,18 @@ impl TraceAnalyzer {
         trace_text: &str,
         options: &AnalysisOptions,
     ) -> Result<AnalysisReport, TangoError> {
+        self.analyze_text_with(trace_text, options, &mut Telemetry::off())
+    }
+
+    /// [`TraceAnalyzer::analyze_text`] with a telemetry handle.
+    pub fn analyze_text_with(
+        &self,
+        trace_text: &str,
+        options: &AnalysisOptions,
+        tel: &mut Telemetry,
+    ) -> Result<AnalysisReport, TangoError> {
         let trace = parse_trace(trace_text, Some(self.module()))?;
-        self.analyze(&trace, options)
+        self.analyze_with(&trace, options, tel)
     }
 
     /// Analyze a complete trace (static mode).
@@ -73,8 +84,20 @@ impl TraceAnalyzer {
         trace: &Trace,
         options: &AnalysisOptions,
     ) -> Result<AnalysisReport, TangoError> {
+        self.analyze_with(trace, options, &mut Telemetry::off())
+    }
+
+    /// [`TraceAnalyzer::analyze`] with a telemetry handle receiving the
+    /// search-event stream, metrics, progress heartbeats and the
+    /// per-transition profile (whichever facilities the handle enables).
+    pub fn analyze_with(
+        &self,
+        trace: &Trace,
+        options: &AnalysisOptions,
+        tel: &mut Telemetry,
+    ) -> Result<AnalysisReport, TangoError> {
         let resolved = ResolvedTrace::resolve(trace, self.module())?;
-        self.analyze_resolved(resolved, options)
+        self.analyze_resolved_with(resolved, options, tel)
     }
 
     /// Analyze an already resolved trace (static mode), applying the
@@ -84,14 +107,28 @@ impl TraceAnalyzer {
         trace: ResolvedTrace,
         options: &AnalysisOptions,
     ) -> Result<AnalysisReport, TangoError> {
+        self.analyze_resolved_with(trace, options, &mut Telemetry::off())
+    }
+
+    /// [`TraceAnalyzer::analyze_resolved`] with a telemetry handle. One
+    /// handle covers the whole analysis: initial-state-search rounds
+    /// continue the same event stream (one `meta` line, monotone
+    /// sequence numbers).
+    pub fn analyze_resolved_with(
+        &self,
+        trace: ResolvedTrace,
+        options: &AnalysisOptions,
+        tel: &mut Telemetry,
+    ) -> Result<AnalysisReport, TangoError> {
         let machine = self
             .machine
             .policy_view(options.policy);
         let mut stats = SearchStats::default();
+        tel.begin("dfs", &self.module().module_name);
 
         let mut env = TraceEnv::new(self.module(), trace.clone(), options, false)?;
         let start = machine.initial_state()?;
-        let outcome = run_dfs(&machine, &mut env, start, options, &mut stats)?;
+        let outcome = run_dfs(&machine, &mut env, start, options, &mut stats, tel)?;
         let mut report = report_from_outcome(outcome, stats, &trace);
 
         // §2.4.1: on failure, "backtrack to the point right after the
@@ -107,7 +144,7 @@ impl TraceAnalyzer {
                 let mut env = TraceEnv::new(self.module(), trace.clone(), options, false)?;
                 let start = machine.initial_state_at(sid)?;
                 let mut stats = SearchStats::default();
-                let outcome = run_dfs(&machine, &mut env, start, options, &mut stats)?;
+                let outcome = run_dfs(&machine, &mut env, start, options, &mut stats, tel)?;
                 report.stats.absorb(&stats);
                 report.spec_errors.extend(outcome.spec_errors);
                 if outcome.verdict == Verdict::Valid {
@@ -141,14 +178,27 @@ impl TraceAnalyzer {
         checkpoint: Checkpoint,
         options: &AnalysisOptions,
     ) -> Result<AnalysisReport, TangoError> {
+        self.analyze_resume_with(checkpoint, options, &mut Telemetry::off())
+    }
+
+    /// [`TraceAnalyzer::analyze_resume`] with a telemetry handle. Reusing
+    /// one handle across stop/resume rounds produces one continuous event
+    /// stream for the whole logical analysis.
+    pub fn analyze_resume_with(
+        &self,
+        checkpoint: Checkpoint,
+        options: &AnalysisOptions,
+        tel: &mut Telemetry,
+    ) -> Result<AnalysisReport, TangoError> {
         let machine = self.machine.policy_view(options.policy);
         checkpoint
             .validate_against(self.module(), self.machine.module.transition_count())
             .map_err(|m| TangoError::Env(crate::env::EnvError(format!("resume: {}", m))))?;
         let Checkpoint { dfs, trace, stats } = checkpoint;
         let mut stats = stats;
+        tel.begin("dfs", &self.module().module_name);
         let mut env = TraceEnv::new(self.module(), trace.clone(), options, false)?;
-        let outcome = resume_dfs(&machine, &mut env, dfs, options, &mut stats)?;
+        let outcome = resume_dfs(&machine, &mut env, dfs, options, &mut stats, tel)?;
         Ok(report_from_outcome(outcome, stats, &trace))
     }
 
@@ -164,7 +214,19 @@ impl TraceAnalyzer {
         options: &AnalysisOptions,
         on_status: &mut dyn FnMut(&Verdict) -> bool,
     ) -> Result<AnalysisReport, TangoError> {
-        run_mdfs(&self.machine, self.module(), source, options, on_status)
+        self.analyze_online_with(source, options, on_status, &mut Telemetry::off())
+    }
+
+    /// [`TraceAnalyzer::analyze_online`] with a telemetry handle.
+    pub fn analyze_online_with(
+        &self,
+        source: &mut dyn TraceSource,
+        options: &AnalysisOptions,
+        on_status: &mut dyn FnMut(&Verdict) -> bool,
+        tel: &mut Telemetry,
+    ) -> Result<AnalysisReport, TangoError> {
+        tel.begin("mdfs", &self.module().module_name);
+        run_mdfs(&self.machine, self.module(), source, options, on_status, tel)
     }
 
     /// Implementation-generation mode (§4.1 methodology): execute the

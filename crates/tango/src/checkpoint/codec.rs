@@ -263,8 +263,8 @@ fn encode_stats(w: &mut ByteWriter, s: &SearchStats) {
     w.put_u64(s.generates);
     w.put_u64(s.restores);
     w.put_u64(s.saves);
-    // Nanosecond resolution in a u64 covers ~584 years of CPU time.
-    w.put_u64(s.cpu_time.as_nanos() as u64);
+    // Nanosecond resolution in a u64 covers ~584 years of wall time.
+    w.put_u64(s.wall_time.as_nanos() as u64);
     w.put_usize(s.max_depth);
     w.put_u64(s.fanout_sum);
     w.put_u64(s.fanout_samples);
@@ -589,7 +589,7 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<SearchStats, CodecError> {
         generates: r.get_u64("GE")?,
         restores: r.get_u64("RE")?,
         saves: r.get_u64("SA")?,
-        cpu_time: Duration::from_nanos(r.get_u64("cpu time")?),
+        wall_time: Duration::from_nanos(r.get_u64("wall time")?),
         max_depth: r.get_usize("max depth")?,
         fanout_sum: r.get_u64("fanout sum")?,
         fanout_samples: r.get_u64("fanout samples")?,
@@ -867,7 +867,7 @@ mod tests {
             generates: 678,
             restores: 90,
             saves: 91,
-            cpu_time: Duration::from_micros(987_654),
+            wall_time: Duration::from_micros(987_654),
             max_depth: 42,
             fanout_sum: 100,
             fanout_samples: 40,
@@ -886,7 +886,7 @@ mod tests {
         let back = decode_stats(&mut r).expect("decodes");
         assert!(r.is_done());
         assert_eq!(back.transitions_executed, s.transitions_executed);
-        assert_eq!(back.cpu_time, s.cpu_time);
+        assert_eq!(back.wall_time, s.wall_time);
         assert_eq!(back.peak_snapshot_bytes, s.peak_snapshot_bytes);
     }
 

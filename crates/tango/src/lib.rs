@@ -55,6 +55,7 @@ pub mod options;
 pub mod rng;
 pub mod search;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod verdict;
 
@@ -64,6 +65,10 @@ pub use error::TangoError;
 pub use genimpl::{ChoicePolicy, ScriptedInput};
 pub use options::{AnalysisOptions, OrderOptions, SearchLimits};
 pub use stats::SearchStats;
+pub use telemetry::{
+    EventSink, JsonlSink, MetricsRegistry, ProgressMode, ProgressReporter, RingBufferSink,
+    SearchEvent, Telemetry, TransitionProfile,
+};
 pub use trace::format::{parse_trace, render_trace};
 pub use trace::source::{
     ChannelSource, FaultPlan, FaultySource, Feed, FollowFileSource, RecoveryPolicy,

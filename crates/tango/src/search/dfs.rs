@@ -30,6 +30,7 @@ use crate::env::TraceEnv;
 use crate::error::TangoError;
 use crate::options::AnalysisOptions;
 use crate::stats::SearchStats;
+use crate::telemetry::{PruneKind, Telemetry};
 use crate::verdict::{InconclusiveReason, Verdict};
 use estelle_runtime::{FireOutcome, Fireable, Machine, MachineState, RuntimeError};
 use std::collections::HashSet;
@@ -114,10 +115,14 @@ pub fn run_dfs(
     start: MachineState,
     options: &AnalysisOptions,
     stats: &mut SearchStats,
+    tel: &mut Telemetry,
 ) -> Result<DfsOutcome, TangoError> {
     let t0 = Instant::now();
-    let result = search(machine, env, Init::Fresh(start), options, stats);
-    stats.cpu_time += t0.elapsed();
+    let result = search(machine, env, Init::Fresh(start), options, stats, tel);
+    stats.wall_time += t0.elapsed();
+    if let Ok(o) = &result {
+        tel.on_verdict(&o.verdict, stats, options.limits.max_transitions);
+    }
     result
 }
 
@@ -133,6 +138,7 @@ pub fn resume_dfs(
     checkpoint: DfsCheckpoint,
     options: &AnalysisOptions,
     stats: &mut SearchStats,
+    tel: &mut Telemetry,
 ) -> Result<DfsOutcome, TangoError> {
     let t0 = Instant::now();
     let result = search(
@@ -141,8 +147,12 @@ pub fn resume_dfs(
         Init::Resume(Box::new(checkpoint)),
         options,
         stats,
+        tel,
     );
-    stats.cpu_time += t0.elapsed();
+    stats.wall_time += t0.elapsed();
+    if let Ok(o) = &result {
+        tel.on_verdict(&o.verdict, stats, options.limits.max_transitions);
+    }
     result
 }
 
@@ -152,6 +162,7 @@ fn search(
     init: Init,
     options: &AnalysisOptions,
     stats: &mut SearchStats,
+    tel: &mut Telemetry,
 ) -> Result<DfsOutcome, TangoError> {
     let mut state;
     let mut path: Vec<String>;
@@ -221,6 +232,7 @@ fn search(
     let deadline = options.limits.max_wall_time.map(|d| Instant::now() + d);
 
     let reason = loop {
+        tel.tick(stats, options.limits.max_transitions);
         // Governance, checked before the next step mutates anything: a
         // `break` here freezes the loop variables into an exactly
         // resumable checkpoint.
@@ -266,6 +278,7 @@ fn search(
                 let key = fingerprint(&state, &env.cursors);
                 if !visited.insert(key) {
                     stats.hash_prunes += 1;
+                    tel.on_prune(path.len(), PruneKind::Hash);
                     at_node = false;
                     continue;
                 }
@@ -273,15 +286,20 @@ fn search(
             stats.max_depth = stats.max_depth.max(path.len());
 
             stats.generates += 1;
+            let gen_t0 = tel.timer();
             let gen = match guard("generate", || machine.generate(&mut state, env)) {
                 Ok(g) => g,
                 Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
                 Err(e) => {
                     record_error(&mut spec_errors, stats, e);
+                    // Keep the GE == generate-events invariant: the failed
+                    // expansion is an event with zero fanout.
+                    tel.on_generate(path.len(), 0, false, gen_t0);
                     at_node = false;
                     continue;
                 }
             };
+            tel.on_generate(path.len(), gen.fireable.len(), gen.incomplete, gen_t0);
             if gen.fireable.is_empty() {
                 at_node = false;
                 continue;
@@ -295,6 +313,7 @@ fn search(
                 let cursors = env.save();
                 let meta_bytes = (cursors.input.len() + cursors.output.len())
                     * std::mem::size_of::<usize>();
+                let resident_before = stats.snapshot_bytes;
                 let (snapshot, interned) = store.save(&state, meta_bytes);
                 if interned {
                     stats.intern_hits += 1;
@@ -302,6 +321,14 @@ fn search(
                 stats.snapshot_bytes = store.resident_bytes();
                 stats.peak_snapshot_bytes =
                     stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
+                if tel.hot() {
+                    tel.on_save(
+                        path.len(),
+                        stats.snapshot_bytes.saturating_sub(resident_before),
+                        interned,
+                        stats.snapshot_bytes,
+                    );
+                }
                 stack.push(Frame {
                     state: snapshot,
                     cursors,
@@ -312,7 +339,7 @@ fn search(
                 });
             }
             let before = env.outstanding();
-            match try_fire(machine, &mut state, &first, env, stats, &mut spec_errors)? {
+            match try_fire(machine, &mut state, &first, env, stats, &mut spec_errors, tel, path.len())? {
                 true => {
                     if env.outstanding() < before {
                         barren = 0;
@@ -321,6 +348,7 @@ fn search(
                     }
                     if barren > options.limits.max_barren_steps {
                         stats.barren_prunes += 1;
+                        tel.on_prune(path.len(), PruneKind::Barren);
                         at_node = false;
                     } else {
                         path.push(machine.transition_name(first.trans).to_string());
@@ -352,6 +380,7 @@ fn search(
                 continue;
             }
             stats.restores += 1;
+            tel.on_restore(path.len());
             let last_child = top.next == top.fireable.len() - 1;
             let f;
             if last_child {
@@ -372,7 +401,7 @@ fn search(
                 barren = top.barren;
             }
             let before = env.outstanding();
-            match try_fire(machine, &mut state, &f, env, stats, &mut spec_errors)? {
+            match try_fire(machine, &mut state, &f, env, stats, &mut spec_errors, tel, path.len())? {
                 true => {
                     if env.outstanding() < before {
                         barren = 0;
@@ -381,6 +410,7 @@ fn search(
                     }
                     if barren > options.limits.max_barren_steps {
                         stats.barren_prunes += 1;
+                        tel.on_prune(path.len(), PruneKind::Barren);
                         // stay backtracking
                     } else {
                         path.push(machine.transition_name(f.trans).to_string());
@@ -416,6 +446,7 @@ fn search(
 
 /// Fire one candidate; `Ok(true)` when the transition completed and all of
 /// its outputs were matched.
+#[allow(clippy::too_many_arguments)]
 fn try_fire(
     machine: &Machine,
     state: &mut MachineState,
@@ -423,10 +454,13 @@ fn try_fire(
     env: &mut TraceEnv,
     stats: &mut SearchStats,
     spec_errors: &mut Vec<RuntimeError>,
+    tel: &mut Telemetry,
+    depth: usize,
 ) -> Result<bool, TangoError> {
     stats.transitions_executed += 1;
+    let t0 = tel.timer();
     env.begin_fire();
-    match guard("fire", || machine.fire(state, f, env)) {
+    let result = match guard("fire", || machine.fire(state, f, env)) {
         Ok(FireOutcome::Completed) => Ok(env.end_fire()),
         Ok(FireOutcome::OutputRejected) => Ok(false),
         Err(e) if is_fatal(&e) => Err(TangoError::Runtime(e)),
@@ -434,7 +468,24 @@ fn try_fire(
             record_error(spec_errors, stats, e);
             Ok(false)
         }
+    };
+    if tel.hot() {
+        let fired = matches!(result, Ok(true));
+        let observable = if tel.events_on() {
+            machine.transition_observable(f.trans)
+        } else {
+            None
+        };
+        tel.on_fire(
+            depth,
+            f.trans,
+            machine.transition_name(f.trans),
+            observable,
+            fired,
+            t0,
+        );
     }
+    result
 }
 
 /// Hash of (machine state, trace cursors) for the visited-set extension.

@@ -36,6 +36,7 @@ use crate::env::{Cursors, RejectReason, TraceEnv};
 use crate::error::TangoError;
 use crate::options::AnalysisOptions;
 use crate::stats::SearchStats;
+use crate::telemetry::{PruneKind, Telemetry};
 use crate::trace::source::TraceSource;
 use crate::trace::ResolvedTrace;
 use crate::verdict::{AnalysisReport, InconclusiveReason, Verdict};
@@ -104,6 +105,36 @@ fn copy_state(state: &MachineState, options: &AnalysisOptions) -> MachineState {
     }
 }
 
+/// Terminal bookkeeping of one MDFS run: stamp the elapsed time, report
+/// the worker's genuine busy/idle split into the metrics registry (the
+/// idle-poll sleeps are not search time), emit the verdict event and the
+/// final heartbeat, then assemble the report.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    verdict: Verdict,
+    witness: Option<Vec<String>>,
+    mut stats: SearchStats,
+    spec_errors: Vec<RuntimeError>,
+    source_faults: Vec<String>,
+    t0: Instant,
+    slept: Duration,
+    cap: u64,
+    tel: &mut Telemetry,
+) -> AnalysisReport {
+    stats.wall_time = t0.elapsed();
+    if let Some(m) = tel.metrics_mut() {
+        let busy = stats.wall_time.saturating_sub(slept);
+        m.set_gauge("mdfs.worker0.busy_seconds", busy.as_secs_f64());
+        m.set_gauge("mdfs.worker0.idle_seconds", slept.as_secs_f64());
+    }
+    tel.on_verdict(&verdict, &stats, cap);
+    let mut r = AnalysisReport::new(verdict, stats);
+    r.witness = witness;
+    r.spec_errors = spec_errors;
+    r.source_faults = source_faults;
+    r
+}
+
 /// Run MDFS against a dynamic trace source. `on_status` sees every change
 /// of the interim verdict; returning `false` stops the analysis and
 /// reports the interim verdict.
@@ -113,9 +144,14 @@ pub fn run_mdfs(
     source: &mut dyn TraceSource,
     options: &AnalysisOptions,
     on_status: &mut dyn FnMut(&Verdict) -> bool,
+    tel: &mut Telemetry,
 ) -> Result<AnalysisReport, TangoError> {
     let t0 = Instant::now();
     let deadline = options.limits.max_wall_time.map(|d| t0 + d);
+    let cap = options.limits.max_transitions;
+    // Cumulative idle-poll sleep; elapsed minus this is the worker's
+    // genuine busy time.
+    let mut slept = Duration::ZERO;
     let machine = machine.policy_view(options.policy);
     let mut stats = SearchStats::default();
     let mut spec_errors: Vec<RuntimeError> = Vec::new();
@@ -135,6 +171,9 @@ pub fn run_mdfs(
     let root = Node::new(start, env.save(), 0, Vec::new());
     stats.snapshot_bytes = root.bytes;
     stats.peak_snapshot_bytes = stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
+    if tel.hot() {
+        tel.on_save(0, root.bytes, false, stats.snapshot_bytes);
+    }
     work.push(root);
 
     /// Revive parked PG-nodes: fresh data may unblock output-blocked
@@ -155,19 +194,6 @@ pub fn run_mdfs(
         }
     }
 
-    let finish = |verdict: Verdict,
-                      witness: Option<Vec<String>>,
-                      mut stats: SearchStats,
-                      spec_errors: Vec<RuntimeError>,
-                      source_faults: Vec<String>| {
-        stats.cpu_time = t0.elapsed();
-        let mut r = AnalysisReport::new(verdict, stats);
-        r.witness = witness;
-        r.spec_errors = spec_errors;
-        r.source_faults = source_faults;
-        r
-    };
-
     let mut last_status: Option<Verdict> = None;
 
     loop {
@@ -187,6 +213,7 @@ pub fn run_mdfs(
 
         // DFS burst until the work stack drains.
         while let Some(mut node) = work.pop() {
+            tel.tick(&stats, cap);
             // The counter is rebuilt from per-node charges across
             // park/revive cycles; saturate (and flag in debug builds)
             // rather than ever letting it wrap.
@@ -202,6 +229,10 @@ pub fn run_mdfs(
                     stats,
                     spec_errors,
                     source.diagnostics(),
+                    t0,
+                    slept,
+                    cap,
+                    tel,
                 ));
             }
             if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -211,6 +242,10 @@ pub fn run_mdfs(
                     stats,
                     spec_errors,
                     source.diagnostics(),
+                    t0,
+                    slept,
+                    cap,
+                    tel,
                 ));
             }
             if options
@@ -224,11 +259,16 @@ pub fn run_mdfs(
                     stats,
                     spec_errors,
                     source.diagnostics(),
+                    t0,
+                    slept,
+                    cap,
+                    tel,
                 ));
             }
             stats.max_depth = stats.max_depth.max(node.path.len());
             env.restore(&node.cursors);
             stats.restores += 1;
+            tel.on_restore(node.path.len());
 
             if env.all_done() {
                 if env.eof {
@@ -238,11 +278,16 @@ pub fn run_mdfs(
                         stats,
                         spec_errors,
                         source.diagnostics(),
+                        t0,
+                        slept,
+                        cap,
+                        tel,
                     ));
                 }
                 // PGAV: everything so far is explained; park the node.
                 stats.pg_nodes += 1;
                 stats.snapshot_bytes += node.bytes;
+                tel.on_park(node.path.len(), stats.pg_nodes);
                 pg_list.push(node);
                 continue;
             }
@@ -252,11 +297,15 @@ pub fn run_mdfs(
             // snapshot; guard side effects break sharing lazily.
             let mut st = copy_state(&node.state, options);
             stats.generates += 1;
+            let gen_t0 = tel.timer();
             let gen = match guard("generate", || machine.generate(&mut st, &env)) {
                 Ok(g) => g,
                 Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
                 Err(e) => {
                     record_error(&mut spec_errors, &mut stats, e);
+                    // Keep GE == generate-events: a failed expansion is an
+                    // event with zero fanout.
+                    tel.on_generate(node.path.len(), 0, false, gen_t0);
                     continue;
                 }
             };
@@ -266,6 +315,10 @@ pub fn run_mdfs(
                 .into_iter()
                 .filter(|f| !node.tried.contains(&f.trans) && !node.blocked.contains(&f.trans))
                 .collect();
+            // Fanout as the search sees it: candidates not yet explored
+            // from this node (a re-generate only offers what new input
+            // enabled).
+            tel.on_generate(node.path.len(), untried.len(), is_pg, gen_t0);
             if !untried.is_empty() {
                 stats.fanout_sum += untried.len() as u64;
                 stats.fanout_samples += 1;
@@ -280,10 +333,15 @@ pub fn run_mdfs(
                             stats,
                             spec_errors,
                             source.diagnostics(),
+                            t0,
+                            slept,
+                            cap,
+                            tel,
                         ));
                     }
                     stats.pg_nodes += 1;
                     stats.snapshot_bytes += node.bytes;
+                    tel.on_park(node.path.len(), stats.pg_nodes);
                     pg_list.push(node);
                 }
                 continue;
@@ -295,6 +353,7 @@ pub fn run_mdfs(
             env.restore(&node.cursors);
             let before = env.outstanding();
             stats.transitions_executed += 1;
+            let fire_t0 = tel.timer();
             env.begin_fire();
             let fired = match guard("fire", || machine.fire(&mut child_state, &f, &mut env)) {
                 Ok(FireOutcome::Completed) => env.end_fire(),
@@ -305,6 +364,21 @@ pub fn run_mdfs(
                     false
                 }
             };
+            if tel.hot() {
+                let observable = if tel.events_on() {
+                    machine.transition_observable(f.trans)
+                } else {
+                    None
+                };
+                tel.on_fire(
+                    node.path.len(),
+                    f.trans,
+                    machine.transition_name(f.trans),
+                    observable,
+                    fired,
+                    fire_t0,
+                );
+            }
             if !fired && env.last_reject == Some(RejectReason::MayGrow) {
                 // The failure was "output not in the trace *yet*": park it
                 // as blocked and retry once data arrives.
@@ -327,12 +401,16 @@ pub fn run_mdfs(
                 }
                 if child_barren > options.limits.max_barren_steps {
                     stats.barren_prunes += 1;
+                    tel.on_prune(child_path.len(), PruneKind::Barren);
                 } else {
                     stats.saves += 1;
                     let child = Node::new(child_state, env.save(), child_barren, child_path);
                     stats.snapshot_bytes += child.bytes;
                     stats.peak_snapshot_bytes =
                         stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
+                    if tel.hot() {
+                        tel.on_save(child.path.len(), child.bytes, false, stats.snapshot_bytes);
+                    }
                     work.push(child);
                 }
             } else if has_more {
@@ -350,6 +428,10 @@ pub fn run_mdfs(
                     stats,
                     spec_errors,
                     source.diagnostics(),
+                    t0,
+                    slept,
+                    cap,
+                    tel,
                 ));
             }
             // EOF makes PG-nodes fully generated: process them once more.
@@ -365,6 +447,10 @@ pub fn run_mdfs(
                 stats,
                 spec_errors,
                 source.diagnostics(),
+                t0,
+                slept,
+                cap,
+                tel,
             ));
         }
 
@@ -382,7 +468,17 @@ pub fn run_mdfs(
             last_status = Some(status.clone());
         }
         if !on_status(&status) {
-            return Ok(finish(status, None, stats, spec_errors, source.diagnostics()));
+            return Ok(finish(
+                status,
+                None,
+                stats,
+                spec_errors,
+                source.diagnostics(),
+                t0,
+                slept,
+                cap,
+                tel,
+            ));
         }
 
         // Block until the source has more to say — but never past the
@@ -399,6 +495,10 @@ pub fn run_mdfs(
                     stats,
                     spec_errors,
                     source.diagnostics(),
+                    t0,
+                    slept,
+                    cap,
+                    tel,
                 ));
             }
             let p = source.poll();
@@ -419,6 +519,7 @@ pub fn run_mdfs(
                 None => idle_sleep,
             };
             std::thread::sleep(sleep);
+            slept += sleep;
             idle_sleep = (idle_sleep * 2).min(POLL_INTERVAL_MAX);
         }
     }

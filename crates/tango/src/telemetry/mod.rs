@@ -1,0 +1,349 @@
+//! Telemetry layer: structured search-event tracing, metrics, live
+//! progress and per-transition profiling.
+//!
+//! Four cooperating facilities, all **off by default and zero-cost when
+//! off** (the searches pay a handful of branch checks per step, nothing
+//! else — no clock reads, no allocation, no formatting):
+//!
+//! * **Event stream** ([`event`], [`sink`]) — every Generate / Fire /
+//!   Save / Restore / Prune / Park / Checkpoint / Verdict step as one
+//!   versioned JSONL line through a pluggable [`EventSink`]. The stream
+//!   is complete and deterministic: for a fixed trace and options the
+//!   bytes are identical across runs, and the final [`SearchStats`]
+//!   counters equal the per-kind event counts (TE = fire events, GE =
+//!   generate, RE = restore, SA = save) — `tests/telemetry.rs` pins
+//!   both for DFS and MDFS.
+//! * **Metrics registry** ([`metrics`]) — counters, gauges and
+//!   fixed-bucket histograms (fanout, depth, per-generate latency,
+//!   snapshot-bytes timeline) exported as one JSON document.
+//! * **Progress reporter** ([`progress`]) — periodic heartbeat with
+//!   rate and ETA against the transition cap, human or JSONL.
+//! * **Transition profile** ([`profile`]) — per-transition fire/fail
+//!   counts and cumulative fire time; renders a sorted hot-spot table
+//!   and the Graphviz heat overlay.
+//!
+//! One [`Telemetry`] handle bundles all four and is threaded through
+//! [`crate::TraceAnalyzer`]'s `*_with` methods into both searches. It
+//! stamps every event with a monotonically increasing sequence number
+//! and a worker id, so multi-worker streams stay merge-ordered; it
+//! survives stop/resume rounds, so a CLI autosave run produces one
+//! continuous stream.
+
+pub mod event;
+pub mod metrics;
+pub mod profile;
+pub mod progress;
+pub mod sink;
+
+pub use event::{PruneKind, SearchEvent, TRACE_SCHEMA_VERSION};
+pub use metrics::{Histogram, MetricsRegistry, METRICS_SCHEMA_VERSION};
+pub use profile::{TransitionProfile, TransitionStats};
+pub use progress::{ProgressMode, ProgressReporter};
+pub use sink::{EventSink, JsonlSink, RingBufferSink};
+
+use crate::stats::SearchStats;
+use crate::verdict::Verdict;
+use std::time::Instant;
+
+/// The per-analysis telemetry handle. `Telemetry::off()` (also
+/// `Default`) disables everything; builders switch on the individual
+/// facilities. Pass it to the `*_with` analyzer entry points.
+#[derive(Default)]
+pub struct Telemetry {
+    sink: Option<Box<dyn EventSink>>,
+    metrics: Option<MetricsRegistry>,
+    progress: Option<ProgressReporter>,
+    profile: Option<TransitionProfile>,
+    /// Merge-order sequence number of the next event.
+    seq: u64,
+    /// Worker id stamped on every event (MDFS workers; 0 for DFS).
+    worker: u16,
+    /// Cached: any of sink/metrics/profile is on (progress is checked
+    /// separately — it ticks even when nothing else is enabled).
+    active: bool,
+    /// Cached: fire/generate steps should be timed (profile on, or
+    /// metrics wanting the latency histogram).
+    timing: bool,
+    meta_emitted: bool,
+}
+
+impl Telemetry {
+    /// Everything disabled: the zero-cost default.
+    pub fn off() -> Self {
+        Telemetry::default()
+    }
+
+    /// Attach an event sink; the full search-event stream flows into it.
+    pub fn with_sink(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self.recache();
+        self
+    }
+
+    /// Enable the metrics registry (histograms fill during the run;
+    /// final counters land via [`Telemetry::finalize`]).
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = Some(MetricsRegistry::new());
+        self.recache();
+        self
+    }
+
+    /// Enable the per-transition profile for a machine with
+    /// `transition_count` compiled transitions.
+    pub fn with_profile(mut self, transition_count: usize) -> Self {
+        self.profile = Some(TransitionProfile::new(transition_count));
+        self.recache();
+        self
+    }
+
+    /// Attach a progress reporter.
+    pub fn with_progress(mut self, progress: ProgressReporter) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Set the worker id stamped on subsequent events.
+    pub fn with_worker(mut self, worker: u16) -> Self {
+        self.worker = worker;
+        self
+    }
+
+    fn recache(&mut self) {
+        self.active = self.sink.is_some() || self.metrics.is_some() || self.profile.is_some();
+        self.timing = self.profile.is_some() || self.metrics.is_some();
+    }
+
+    /// Whether any per-step hook would do work. The searches gate their
+    /// hook calls on this so the off path evaluates no arguments.
+    #[inline]
+    pub(crate) fn hot(&self) -> bool {
+        self.active
+    }
+
+    /// Whether the event stream is on (callers avoid name/observable
+    /// lookups otherwise).
+    #[inline]
+    pub(crate) fn events_on(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Start a step timer — `None` (no clock read) unless profiling or
+    /// metrics need durations.
+    #[inline]
+    pub(crate) fn timer(&self) -> Option<Instant> {
+        if self.timing {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, ev: &SearchEvent<'_>) {
+        if let Some(sink) = &mut self.sink {
+            sink.emit(self.seq, self.worker, ev);
+            self.seq += 1;
+        }
+    }
+
+    /// Emit the stream's `meta` header once per handle (a resumed or
+    /// multi-round analysis keeps one continuous stream).
+    pub(crate) fn begin(&mut self, mode: &str, spec: &str) {
+        if self.meta_emitted || self.sink.is_none() {
+            return;
+        }
+        self.meta_emitted = true;
+        self.emit(&SearchEvent::Meta { mode, spec });
+    }
+
+    pub(crate) fn on_generate(
+        &mut self,
+        depth: usize,
+        fanout: usize,
+        incomplete: bool,
+        t0: Option<Instant>,
+    ) {
+        if let Some(m) = &mut self.metrics {
+            if let Some(t0) = t0 {
+                m.observe(
+                    "search.generate_latency_us",
+                    metrics::LATENCY_US_BOUNDS,
+                    t0.elapsed().as_secs_f64() * 1e6,
+                );
+            }
+            if fanout > 0 {
+                m.observe("search.fanout", metrics::FANOUT_BOUNDS, fanout as f64);
+            }
+            m.observe("search.depth", metrics::DEPTH_BOUNDS, depth as f64);
+        }
+        self.emit(&SearchEvent::Generate {
+            depth,
+            fanout,
+            incomplete,
+        });
+    }
+
+    pub(crate) fn on_fire(
+        &mut self,
+        depth: usize,
+        trans: usize,
+        name: &str,
+        observable: Option<(&str, &str)>,
+        fired: bool,
+        t0: Option<Instant>,
+    ) {
+        let nanos = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        if let Some(p) = &mut self.profile {
+            p.record(trans, fired, nanos);
+        }
+        self.emit(&SearchEvent::Fire {
+            depth,
+            trans,
+            name,
+            observable,
+            fired,
+        });
+    }
+
+    pub(crate) fn on_save(&mut self, depth: usize, bytes: usize, interned: bool, resident: usize) {
+        if let Some(m) = &mut self.metrics {
+            m.observe(
+                "search.snapshot_bytes_at_save",
+                metrics::SNAPSHOT_BYTES_BOUNDS,
+                resident as f64,
+            );
+        }
+        self.emit(&SearchEvent::Save {
+            depth,
+            bytes,
+            interned,
+            resident,
+        });
+    }
+
+    pub(crate) fn on_restore(&mut self, depth: usize) {
+        self.emit(&SearchEvent::Restore { depth });
+    }
+
+    pub(crate) fn on_prune(&mut self, depth: usize, kind: PruneKind) {
+        self.emit(&SearchEvent::Prune { depth, kind });
+    }
+
+    pub(crate) fn on_park(&mut self, depth: usize, pg_nodes: u64) {
+        self.emit(&SearchEvent::Park { depth, pg_nodes });
+    }
+
+    /// Record a durable checkpoint write into the stream (the CLI calls
+    /// this after each autosave).
+    pub fn on_checkpoint(&mut self, te: u64, path: &str) {
+        self.emit(&SearchEvent::Checkpoint { te, path });
+    }
+
+    /// Terminal hook of one search: verdict event plus the forced final
+    /// heartbeat.
+    pub(crate) fn on_verdict(&mut self, verdict: &Verdict, stats: &SearchStats, cap: u64) {
+        if self.sink.is_some() {
+            let v = verdict.to_string();
+            self.emit(&SearchEvent::Verdict {
+                verdict: &v,
+                te: stats.transitions_executed,
+                ge: stats.generates,
+                re: stats.restores,
+                sa: stats.saves,
+            });
+        }
+        if let Some(p) = &mut self.progress {
+            p.finish(stats, cap);
+        }
+    }
+
+    /// Per-step progress tick (separate from [`Telemetry::hot`] — a
+    /// progress-only configuration still heartbeats).
+    #[inline]
+    pub(crate) fn tick(&mut self, stats: &SearchStats, cap: u64) {
+        if let Some(p) = &mut self.progress {
+            p.tick(stats, cap);
+        }
+    }
+
+    /// Fold the analysis's final counters into the metrics registry and
+    /// flush the sink. Call once, with `AnalysisReport::stats` (which is
+    /// cumulative across initial-state-search rounds and stop/resume).
+    pub fn finalize(&mut self, stats: &SearchStats) {
+        if let Some(m) = &mut self.metrics {
+            m.record_stats(stats);
+        }
+        self.flush();
+    }
+
+    /// Flush any buffered sink output.
+    pub fn flush(&mut self) {
+        if let Some(s) = &mut self.sink {
+            s.flush();
+        }
+    }
+
+    /// The metrics registry, if enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    pub fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.metrics.as_mut()
+    }
+
+    /// The transition profile, if enabled.
+    pub fn profile(&self) -> Option<&TransitionProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Events emitted so far (the next sequence number).
+    pub fn events_emitted(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_reports_inactive_everywhere() {
+        let t = Telemetry::off();
+        assert!(!t.hot());
+        assert!(!t.events_on());
+        assert!(t.timer().is_none());
+        assert!(t.metrics().is_none());
+        assert!(t.profile().is_none());
+    }
+
+    #[test]
+    fn meta_emitted_once_per_handle() {
+        let mut t = Telemetry::off().with_sink(Box::new(RingBufferSink::new(16)));
+        t.begin("dfs", "tp0");
+        t.begin("dfs", "tp0");
+        assert_eq!(t.events_emitted(), 1);
+    }
+
+    #[test]
+    fn seq_numbers_are_contiguous_merge_order() {
+        let mut t = Telemetry::off().with_sink(Box::new(RingBufferSink::new(16)));
+        t.begin("dfs", "s");
+        t.on_restore(1);
+        t.on_prune(2, PruneKind::Barren);
+        assert_eq!(t.events_emitted(), 3);
+    }
+
+    #[test]
+    fn timing_enabled_by_profile_or_metrics() {
+        assert!(Telemetry::off().with_profile(4).timer().is_some());
+        assert!(Telemetry::off().with_metrics().timer().is_some());
+        assert!(
+            Telemetry::off()
+                .with_sink(Box::new(RingBufferSink::new(4)))
+                .timer()
+                .is_none(),
+            "the event stream alone must not read clocks"
+        );
+    }
+}

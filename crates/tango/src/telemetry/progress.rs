@@ -1,0 +1,203 @@
+//! Live progress heartbeats for long-running searches.
+//!
+//! A multi-hour LAPD analysis used to be a silent process; the reporter
+//! prints a periodic heartbeat with the paper's counters, the current
+//! search rate and an ETA against the transition cap, either
+//! human-readable (`progress: TE=… rate=…/s eta=…`) or as JSONL for
+//! machines driving the analyzer (`--progress jsonl`). A final
+//! heartbeat is always emitted when the search ends, so even a short
+//! run leaves one line — CI greps for it.
+
+use crate::stats::SearchStats;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Output format of a heartbeat line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// `progress: TE=… GE=… RE=… SA=… depth=… rate=…/s eta=…s`
+    Human,
+    /// One JSON object per heartbeat:
+    /// `{"ev":"heartbeat","te":…,"ge":…,"re":…,"sa":…,"depth":…,"rate":…,"eta_s":…}`
+    Jsonl,
+}
+
+/// Periodic heartbeat printer. Owned by [`super::Telemetry`]; the
+/// searches call [`Telemetry::tick`](super::Telemetry::tick) once per
+/// loop iteration and the reporter rate-limits itself.
+pub struct ProgressReporter {
+    mode: ProgressMode,
+    every: Duration,
+    out: Box<dyn Write + Send>,
+    started: Instant,
+    last_beat: Instant,
+    last_te: u64,
+}
+
+impl ProgressReporter {
+    /// A reporter writing to `out` every `every` (heartbeats are also
+    /// forced on search end regardless of the interval).
+    pub fn new(mode: ProgressMode, every: Duration, out: Box<dyn Write + Send>) -> Self {
+        let now = Instant::now();
+        ProgressReporter {
+            mode,
+            every,
+            out,
+            started: now,
+            last_beat: now,
+            last_te: 0,
+        }
+    }
+
+    /// A reporter on standard error — where the CLI points `--progress`
+    /// so heartbeats never corrupt the report on stdout.
+    pub fn stderr(mode: ProgressMode, every: Duration) -> Self {
+        ProgressReporter::new(mode, every, Box::new(std::io::stderr()))
+    }
+
+    /// Called on every search step; prints when the interval elapsed.
+    pub(crate) fn tick(&mut self, stats: &SearchStats, max_transitions: u64) {
+        let now = Instant::now();
+        if now.duration_since(self.last_beat) < self.every {
+            return;
+        }
+        self.beat(now, stats, max_transitions, false);
+    }
+
+    /// Forced final heartbeat at search end.
+    pub(crate) fn finish(&mut self, stats: &SearchStats, max_transitions: u64) {
+        self.beat(Instant::now(), stats, max_transitions, true);
+    }
+
+    fn beat(&mut self, now: Instant, stats: &SearchStats, max_transitions: u64, done: bool) {
+        let dt = now.duration_since(self.last_beat).as_secs_f64();
+        let te = stats.transitions_executed;
+        // Interval rate when the window is meaningful, lifetime average
+        // otherwise (first beat, or the forced final one right after a
+        // periodic beat).
+        let rate = if dt > 1e-3 && te >= self.last_te {
+            (te - self.last_te) as f64 / dt
+        } else {
+            let total = now.duration_since(self.started).as_secs_f64();
+            if total > 0.0 {
+                te as f64 / total
+            } else {
+                0.0
+            }
+        };
+        let eta_s = if done || rate <= 0.0 || te >= max_transitions {
+            0.0
+        } else {
+            (max_transitions - te) as f64 / rate
+        };
+        self.last_beat = now;
+        self.last_te = te;
+        let line = match self.mode {
+            ProgressMode::Human => format!(
+                "progress: TE={} GE={} RE={} SA={} depth={} rate={:.0}/s eta={:.1}s{}\n",
+                te,
+                stats.generates,
+                stats.restores,
+                stats.saves,
+                stats.max_depth,
+                rate,
+                eta_s,
+                if done { " (done)" } else { "" }
+            ),
+            ProgressMode::Jsonl => format!(
+                "{{\"ev\":\"heartbeat\",\"te\":{},\"ge\":{},\"re\":{},\"sa\":{},\
+                 \"depth\":{},\"rate\":{:.1},\"eta_s\":{:.1},\"done\":{}}}\n",
+                te,
+                stats.generates,
+                stats.restores,
+                stats.saves,
+                stats.max_depth,
+                rate,
+                eta_s,
+                done
+            ),
+        };
+        let _ = self.out.write_all(line.as_bytes());
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A `Write` handle the test can read back out of the reporter.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn stats(te: u64) -> SearchStats {
+        SearchStats {
+            transitions_executed: te,
+            generates: te / 2,
+            max_depth: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn interval_gates_periodic_beats_but_not_finish() {
+        let buf = Shared::default();
+        let mut p = ProgressReporter::new(
+            ProgressMode::Human,
+            Duration::from_secs(3600),
+            Box::new(buf.clone()),
+        );
+        for te in 0..50 {
+            p.tick(&stats(te), 1000);
+        }
+        assert!(buf.0.lock().unwrap().is_empty(), "interval not elapsed");
+        p.finish(&stats(50), 1000);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("progress: TE=50"), "{}", text);
+        assert!(text.contains("(done)"));
+    }
+
+    #[test]
+    fn jsonl_mode_emits_machine_readable_lines() {
+        let buf = Shared::default();
+        let mut p = ProgressReporter::new(
+            ProgressMode::Jsonl,
+            Duration::ZERO,
+            Box::new(buf.clone()),
+        );
+        p.tick(&stats(10), 100);
+        p.finish(&stats(20), 100);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ev\":\"heartbeat\",\"te\":10,"));
+        assert!(lines[1].contains("\"done\":true"));
+    }
+
+    #[test]
+    fn eta_counts_down_toward_the_cap() {
+        let buf = Shared::default();
+        let mut p = ProgressReporter::new(
+            ProgressMode::Jsonl,
+            Duration::ZERO,
+            Box::new(buf.clone()),
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        p.tick(&stats(500), 100_000_000);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        // 500 TE over ~5ms against a distant cap leaves a clearly
+        // positive ETA at one-decimal rendering.
+        assert!(text.contains("\"eta_s\":"), "{}", text);
+        assert!(!text.contains("\"eta_s\":0.0"), "{}", text);
+    }
+}

@@ -1,0 +1,170 @@
+//! Pluggable event sinks.
+//!
+//! A sink receives every [`SearchEvent`] the searches emit, already
+//! stamped with a monotonically increasing sequence number and a worker
+//! id — sinks see events in merge order and never reorder them. Two
+//! implementations ship: [`JsonlSink`] streams rendered lines into any
+//! writer (a file for `--trace-out`, a `Vec<u8>` in tests), and
+//! [`RingBufferSink`] keeps the last N rendered lines in memory — the
+//! "flight recorder" for long searches where only the tail explains a
+//! verdict.
+
+use super::event::SearchEvent;
+use std::collections::VecDeque;
+use std::io::Write;
+
+/// Receives the stamped event stream. Implementations must be cheap per
+/// call: the searches emit on their hot path.
+pub trait EventSink {
+    /// One event, in merge order.
+    fn emit(&mut self, seq: u64, worker: u16, event: &SearchEvent<'_>);
+
+    /// Push any buffered output to its destination. Called when a search
+    /// ends and by [`super::Telemetry::flush`].
+    fn flush(&mut self) {}
+}
+
+/// Streams rendered JSONL lines into a writer (buffered by the caller's
+/// writer choice; `--trace-out` wraps a `BufWriter<File>`).
+pub struct JsonlSink<W: Write> {
+    out: W,
+    buf: String,
+    /// First write error, reported once on flush-by-drop paths instead
+    /// of panicking the search.
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            buf: String::with_capacity(128),
+            error: None,
+        }
+    }
+
+    /// The first I/O error the sink swallowed, if any.
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flush and hand back the writer (tests read the bytes out).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn emit(&mut self, seq: u64, worker: u16, event: &SearchEvent<'_>) {
+        if self.error.is_some() {
+            return;
+        }
+        self.buf.clear();
+        event.render(seq, worker, &mut self.buf);
+        self.buf.push('\n');
+        if let Err(e) = self.out.write_all(self.buf.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Err(e) = self.out.flush() {
+            self.error.get_or_insert(e);
+        }
+    }
+}
+
+/// Keeps the last `capacity` rendered lines in memory, dropping the
+/// oldest — bounded no matter how long the search runs.
+pub struct RingBufferSink {
+    lines: VecDeque<String>,
+    capacity: usize,
+    /// Total events seen (including those already evicted).
+    emitted: u64,
+}
+
+impl RingBufferSink {
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            lines: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            emitted: 0,
+        }
+    }
+
+    /// The retained tail of the stream, oldest first.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.lines.iter().map(String::as_str)
+    }
+
+    /// Total events emitted into the sink over its lifetime.
+    pub fn total_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    pub fn into_lines(self) -> Vec<String> {
+        self.lines.into()
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn emit(&mut self, seq: u64, worker: u16, event: &SearchEvent<'_>) {
+        self.emitted += 1;
+        if self.lines.len() == self.capacity {
+            self.lines.pop_front();
+        }
+        self.lines.push_back(event.to_jsonl(seq, worker));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(depth: usize) -> SearchEvent<'static> {
+        SearchEvent::Restore { depth }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(0, 0, &ev(1));
+        sink.emit(1, 0, &ev(2));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"seq\":0"));
+        assert!(lines[1].contains("\"depth\":2"));
+    }
+
+    #[test]
+    fn ring_buffer_keeps_only_the_tail() {
+        let mut sink = RingBufferSink::new(3);
+        for i in 0..10 {
+            sink.emit(i, 0, &ev(i as usize));
+        }
+        assert_eq!(sink.total_emitted(), 10);
+        let lines: Vec<_> = sink.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"seq\":7"));
+        assert!(lines[2].contains("\"seq\":9"));
+    }
+
+    #[test]
+    fn jsonl_sink_swallows_io_errors_once() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Broken);
+        sink.emit(0, 0, &ev(0));
+        sink.emit(1, 0, &ev(1));
+        assert!(sink.io_error().is_some());
+    }
+}

@@ -55,7 +55,7 @@ fn roundtrip_preserves_progress_and_stats() {
         cp.stats().transitions_executed
     );
     assert_eq!(back.stats().saves, cp.stats().saves);
-    assert_eq!(back.stats().cpu_time, cp.stats().cpu_time);
+    assert_eq!(back.stats().wall_time, cp.stats().wall_time);
     assert_eq!(back.stats().snapshot_bytes, cp.stats().snapshot_bytes);
 
     let info = Checkpoint::read_info(&path).expect("info reads");

@@ -12,7 +12,7 @@ use tango::{
     AnalysisOptions, ChoicePolicy, ScriptedInput, SearchStats, Tango, Trace, Verdict,
 };
 
-/// The counters the paper's tables report; `cpu_time` is excluded since
+/// The counters the paper's tables report; `wall_time` is excluded since
 /// the two modes differ precisely in how long the same work takes.
 fn counters(s: &SearchStats) -> (u64, u64, u64, u64) {
     (s.transitions_executed, s.generates, s.restores, s.saves)

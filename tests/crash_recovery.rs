@@ -103,12 +103,12 @@ fn cross_mode_save_and_resume_through_disk() {
     }
 }
 
-/// `SearchStats::cpu_time` must accumulate across stop/resume rounds —
+/// `SearchStats::wall_time` must accumulate across stop/resume rounds —
 /// each round adds its own elapsed time to the total carried by the
 /// checkpoint (in memory and through the file's nanosecond encoding)
 /// instead of restarting the clock.
 #[test]
-fn cpu_time_accumulates_across_disk_resume_rounds() {
+fn wall_time_accumulates_across_disk_resume_rounds() {
     let a = tp0::analyzer();
     let bad = invalid_tp0_trace();
     let opts = AnalysisOptions::default();
@@ -121,29 +121,29 @@ fn cpu_time_accumulates_across_disk_resume_rounds() {
     let mut report = a.analyze(&bad, &limited).unwrap();
     let path = temp_file("cpu-time");
     let mut rounds = 0;
-    let mut last_cpu = report.stats.cpu_time;
+    let mut last_cpu = report.stats.wall_time;
     while let Verdict::Inconclusive(_) = report.verdict {
         rounds += 1;
         assert!(rounds < 100, "stop/resume chain must converge");
         let cp = report.checkpoint.take().expect("resumable");
 
-        // Round-trip through disk: the file stores cpu_time at
+        // Round-trip through disk: the file stores wall_time at
         // nanosecond resolution, so the carried total survives exactly.
         cp.write_to(&path).expect("checkpoint writes");
         let cp = Checkpoint::read_from(&path).expect("checkpoint reads");
-        assert_eq!(cp.stats().cpu_time, report.stats.cpu_time);
+        assert_eq!(cp.stats().wall_time, report.stats.wall_time);
 
         cap += step;
         let mut next = opts.clone();
         next.limits.max_transitions = cap;
         report = a.analyze_resume(cp, &next).unwrap();
         assert!(
-            report.stats.cpu_time >= last_cpu,
-            "cpu_time went backwards across a resume: {:?} -> {:?}",
+            report.stats.wall_time >= last_cpu,
+            "wall_time went backwards across a resume: {:?} -> {:?}",
             last_cpu,
-            report.stats.cpu_time
+            report.stats.wall_time
         );
-        last_cpu = report.stats.cpu_time;
+        last_cpu = report.stats.wall_time;
     }
     assert!(rounds >= 2, "the cap steps must actually interrupt the run");
     assert_eq!(report.verdict, Verdict::Invalid);

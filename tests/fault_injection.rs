@@ -14,7 +14,7 @@ use tango::{
     RecoveryPolicy, SearchStats, Trace, Verdict,
 };
 
-/// The counters the paper's tables report; `cpu_time` is excluded since
+/// The counters the paper's tables report; `wall_time` is excluded since
 /// wall-clock obviously differs between interrupted and straight runs.
 fn counters(s: &SearchStats) -> (u64, u64, u64, u64) {
     (s.transitions_executed, s.generates, s.restores, s.saves)
