@@ -58,6 +58,33 @@ grep -q "progress: TE=" "$CKPT_DIR/progress.txt"
 grep -q '"ev":"verdict"' "$CKPT_DIR/events.jsonl"
 grep -q '"schema": "tango-metrics"' "$CKPT_DIR/metrics.json"
 
+echo "== exec A/B differential smoke =="
+# Compiled VM vs. tree-walking interpreter must agree everywhere; the
+# dedicated suite checks fireable sets, verdicts, counters, telemetry
+# streams and profiler attribution across both executors, and the CLI
+# must accept the flag end to end.
+cargo test -q --test compiled_exec
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" --exec=interp
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" --exec=compiled
+
+echo "== generate_exec smoke (quick mode) =="
+# A/B the bytecode VM against the reference interpreter on reduced
+# workloads; the binary asserts identical verdicts and TE/GE/RE/SA per
+# row, then overwrites BENCH_generate.json. Keep the committed
+# full-size record; validate the quick one, then restore.
+cp BENCH_generate.json BENCH_generate.json.orig
+cargo run -q --release -p bench --bin generate_exec -- --quick
+cargo run -q --release -p bench --bin generate_exec -- --check BENCH_generate.json
+mv BENCH_generate.json.orig BENCH_generate.json
+cargo run -q --release -p bench --bin generate_exec -- --check BENCH_generate.json
+
+echo "== tps_by_spec_size smoke (quick mode) =="
+cp BENCH_tps.json BENCH_tps.json.orig
+cargo run -q --release -p bench --bin tps_by_spec_size -- --quick
+cargo run -q --release -p bench --bin tps_by_spec_size -- --check BENCH_tps.json
+mv BENCH_tps.json.orig BENCH_tps.json
+cargo run -q --release -p bench --bin tps_by_spec_size -- --check BENCH_tps.json
+
 echo "== snapshot_bench smoke (quick mode) =="
 # A/B the COW and deep-clone snapshot paths on reduced workloads; the
 # binary itself asserts both modes produce identical verdicts and

@@ -1,0 +1,316 @@
+//! Bytecode VM + dispatch index vs. the tree-walking interpreter.
+//!
+//! The paper's §4 throughput numbers are dominated by *Generate* and
+//! *Update*: every search node scans the transition declarations,
+//! re-evaluates `provided` clauses and walks action-block trees. This
+//! benchmark runs the same TP0, LAPD and synthetic workloads under
+//! `exec_mode = Compiled` (register bytecode executed by a non-recursive
+//! VM, transitions pre-bucketed by from-control-state) and
+//! `exec_mode = Interp` (the original tree walker with its linear
+//! transition scan), checks that the verdicts and the TE/GE/RE/SA
+//! counters are identical in both modes, and records throughput
+//! (nodes/sec) and the `search.generate_latency_us` histogram for each
+//! mode in `BENCH_generate.json` at the repo root.
+//!
+//! ```sh
+//! cargo run -p bench --bin generate_exec --release            # full record
+//! cargo run -p bench --bin generate_exec --release -- --quick # CI smoke (<5 s)
+//! cargo run -p bench --bin generate_exec -- --check FILE      # validate JSON
+//! ```
+
+use bench::json;
+use estelle_runtime::ExecMode;
+use protocols::synthetic::SyntheticSpec;
+use protocols::{lapd, tp0};
+use tango::{AnalysisOptions, ChoicePolicy, OrderOptions, Telemetry, Trace, TraceAnalyzer};
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_generate.json");
+
+/// One analysis run under one executor.
+struct ModeResult {
+    cpu_seconds: f64,
+    nodes_per_sec: f64,
+    te: u64,
+    ge: u64,
+    re: u64,
+    sa: u64,
+    verdict: String,
+    /// `search.generate_latency_us` histogram: sample count and mean.
+    gen_count: u64,
+    gen_mean_us: f64,
+}
+
+fn run_mode(
+    analyzer: &TraceAnalyzer,
+    trace: &Trace,
+    order: OrderOptions,
+    exec: ExecMode,
+    max_transitions: u64,
+    reps: u32,
+) -> ModeResult {
+    let mut options = AnalysisOptions::with_order(order);
+    options.exec_mode = exec;
+    options.limits.max_transitions = max_transitions;
+    // Short workloads repeat the identical analysis `reps` times and
+    // report totals, so the throughput column is not at the mercy of a
+    // sub-millisecond timer. The counters are per-run (every repetition
+    // does the same search).
+    let mut total_seconds = 0.0;
+    let mut total_te = 0u64;
+    let mut last: Option<ModeResult> = None;
+    for _ in 0..reps.max(1) {
+        // Metrics stay on in both modes so the timing overhead cancels
+        // in the A/B comparison and the latency histogram is always
+        // present.
+        let mut tel = Telemetry::off().with_metrics();
+        let r = analyzer
+            .analyze_with(trace, &options, &mut tel)
+            .expect("analysis runs");
+        tel.finalize(&r.stats);
+        let h = tel
+            .metrics()
+            .and_then(|m| m.histogram("search.generate_latency_us"));
+        total_seconds += r.stats.wall_time.as_secs_f64();
+        total_te += r.stats.transitions_executed;
+        last = Some(ModeResult {
+            cpu_seconds: r.stats.wall_time.as_secs_f64(),
+            nodes_per_sec: 0.0,
+            te: r.stats.transitions_executed,
+            ge: r.stats.generates,
+            re: r.stats.restores,
+            sa: r.stats.saves,
+            verdict: r.verdict.to_string(),
+            gen_count: h.map_or(0, |h| h.count()),
+            gen_mean_us: h.map_or(0.0, |h| h.mean()),
+        });
+    }
+    let mut m = last.expect("at least one repetition");
+    m.cpu_seconds = total_seconds;
+    m.nodes_per_sec = if total_seconds > 0.0 {
+        total_te as f64 / total_seconds
+    } else {
+        0.0
+    };
+    m
+}
+
+fn mode_json(m: &ModeResult) -> String {
+    format!(
+        "{{\"cpu_seconds\": {}, \"nodes_per_sec\": {}, \"te\": {}, \"ge\": {}, \
+         \"re\": {}, \"sa\": {}, \"verdict\": \"{}\", \
+         \"generate_latency_us\": {{\"count\": {}, \"mean\": {}}}}}",
+        json::number(m.cpu_seconds),
+        json::number(m.nodes_per_sec),
+        m.te,
+        m.ge,
+        m.re,
+        m.sa,
+        json::escape(&m.verdict),
+        m.gen_count,
+        json::number(m.gen_mean_us)
+    )
+}
+
+struct Workload {
+    name: String,
+    analyzer: TraceAnalyzer,
+    order: OrderOptions,
+    trace: Trace,
+    /// Transition cap: rows that hit it measure a fixed amount of search
+    /// work (identical TE in both modes), rows that finish under it
+    /// measure the complete analysis.
+    cap: u64,
+    /// Counts toward the ≥2× LAPD acceptance gate.
+    gate: bool,
+    /// Repetitions of the identical analysis (totals reported), so short
+    /// rows measure above timer noise.
+    reps: u32,
+}
+
+fn workloads(quick: bool) -> Vec<Workload> {
+    let mut w = Vec::new();
+    // TP0: one valid linear run and one invalid backtracking run — the
+    // paper's Figure 4 regime, where Generate runs once per node and the
+    // declaration count is small (19), so the dispatch index matters
+    // less than raw action-block execution speed.
+    let (up, cap) = if quick { (2, 2_000_000) } else { (4, 50_000_000) };
+    w.push(Workload {
+        name: format!("tp0-valid-{0}+{0}-FULL", if quick { 20 } else { 200 }),
+        analyzer: tp0::analyzer(),
+        order: OrderOptions::full(),
+        trace: tp0::valid_trace(
+            if quick { 20 } else { 200 },
+            if quick { 20 } else { 200 },
+            7,
+        ),
+        cap: 50_000_000,
+        gate: false,
+        reps: if quick { 1 } else { 10 },
+    });
+    w.push(Workload {
+        name: format!("tp0-invalid-{0}+{0}-NR", up),
+        analyzer: tp0::analyzer(),
+        order: OrderOptions::none(),
+        trace: tp0::invalidate_last_data(&tp0::complete_valid_trace(up, up, 13))
+            .expect("complete trace ends in DATA"),
+        cap,
+        gate: false,
+        reps: 1,
+    });
+    // LAPD: the paper's heavyweight spec. The compact form has the
+    // paper's FSM; the expanded form multiplies the declarations past
+    // 800 compiled transitions, which is exactly where the per-node
+    // linear scan hurts and the by-state dispatch index pays off. These
+    // are the acceptance-gate rows.
+    let di = 100;
+    w.push(Workload {
+        name: format!("lapd-valid-DI{}-FULL", di),
+        analyzer: lapd::analyzer(),
+        order: OrderOptions::full(),
+        trace: lapd::valid_trace(di, di, di as u64),
+        cap: 50_000_000,
+        gate: !quick,
+        reps: if quick { 1 } else { 30 },
+    });
+    w.push(Workload {
+        name: format!("lapd-800-valid-DI{}-FULL", di),
+        analyzer: lapd::analyzer_expanded(),
+        order: OrderOptions::full(),
+        trace: lapd::valid_trace(di, di, di as u64),
+        cap: 50_000_000,
+        gate: !quick,
+        reps: if quick { 1 } else { 30 },
+    });
+    // Synthetic declaration-count sweep: fixed workload, growing spec.
+    let sweep: &[usize] = if quick { &[50] } else { &[50, 200, 800] };
+    for &decls in sweep {
+        let spec = SyntheticSpec::new(4, decls);
+        let analyzer = spec.analyzer();
+        let steps = if quick { 50 } else { 400 };
+        let trace = analyzer
+            .generate_trace(&spec.workload(steps), ChoicePolicy::First, 100_000)
+            .expect("workload runs");
+        w.push(Workload {
+            name: format!("synthetic-{}decl-NR", decls),
+            analyzer,
+            order: OrderOptions::none(),
+            trace,
+            cap: 50_000_000,
+            gate: false,
+            reps: if quick { 1 } else { 10 },
+        });
+    }
+    w
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or(OUT_PATH);
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("generate_exec --check: cannot read {}: {}", path, e);
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = json::validate(&text) {
+            eprintln!("generate_exec --check: {}: {}", path, e);
+            std::process::exit(1);
+        }
+        if !text.contains("\"benchmark\": \"generate_exec\"") {
+            eprintln!("generate_exec --check: {}: not a generate_exec record", path);
+            std::process::exit(1);
+        }
+        println!("{}: well-formed generate_exec record", path);
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let mut rows = Vec::new();
+    let mut gate_speedups: Vec<(String, f64)> = Vec::new();
+    println!(
+        "{:>24} {:>9} {:>12} {:>12} {:>10} {:>12}",
+        "workload", "exec", "CPUT(s)", "nodes/s", "GE", "gen-mean(us)"
+    );
+    for w in workloads(quick) {
+        let compiled =
+            run_mode(&w.analyzer, &w.trace, w.order, ExecMode::Compiled, w.cap, w.reps);
+        let interp = run_mode(&w.analyzer, &w.trace, w.order, ExecMode::Interp, w.cap, w.reps);
+        for (label, m) in [("compiled", &compiled), ("interp", &interp)] {
+            println!(
+                "{:>24} {:>9} {:>12.3} {:>12.0} {:>10} {:>12.2}",
+                w.name, label, m.cpu_seconds, m.nodes_per_sec, m.ge, m.gen_mean_us
+            );
+        }
+        let same = compiled.verdict == interp.verdict
+            && (compiled.te, compiled.ge, compiled.re, compiled.sa)
+                == (interp.te, interp.ge, interp.re, interp.sa)
+            && compiled.gen_count == compiled.ge
+            && interp.gen_count == interp.ge;
+        assert!(
+            same,
+            "{}: executors disagree (verdict {} vs {}, TE/GE/RE/SA \
+             {}/{}/{}/{} vs {}/{}/{}/{})",
+            w.name,
+            compiled.verdict,
+            interp.verdict,
+            compiled.te,
+            compiled.ge,
+            compiled.re,
+            compiled.sa,
+            interp.te,
+            interp.ge,
+            interp.re,
+            interp.sa
+        );
+        let speedup = if interp.nodes_per_sec > 0.0 && compiled.nodes_per_sec > 0.0 {
+            compiled.nodes_per_sec / interp.nodes_per_sec
+        } else {
+            0.0
+        };
+        let latency_ratio = if compiled.gen_mean_us > 0.0 {
+            interp.gen_mean_us / compiled.gen_mean_us
+        } else {
+            0.0
+        };
+        if w.gate {
+            gate_speedups.push((w.name.clone(), speedup));
+        }
+        rows.push(format!(
+            "    {{\"name\": \"{}\", \"order\": \"{}\", \"trace_len\": {}, \
+             \"max_transitions\": {},\n     \"compiled\": {},\n     \
+             \"interp\": {},\n     \"speedup_nodes_per_sec\": {}, \
+             \"generate_latency_ratio\": {}, \"counters_match\": true}}",
+            w.name,
+            w.order.label(),
+            w.trace.len(),
+            w.cap,
+            mode_json(&compiled),
+            mode_json(&interp),
+            json::number(speedup),
+            json::number(latency_ratio)
+        ));
+    }
+
+    let doc = format!(
+        "{{\n  \"benchmark\": \"generate_exec\",\n  \"quick\": {},\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        quick,
+        rows.join(",\n")
+    );
+    json::validate(&doc).expect("emitted record is well-formed JSON");
+    std::fs::write(OUT_PATH, &doc).expect("write BENCH_generate.json");
+    println!("\nwrote {}", OUT_PATH);
+
+    for (name, speedup) in &gate_speedups {
+        println!("{}: compiled {:.2}x interp throughput", name, speedup);
+    }
+    if !quick {
+        assert!(
+            gate_speedups.iter().any(|(_, s)| *s >= 2.0),
+            "acceptance gate: expected >=2x compiled speedup on a LAPD workload, got {:?}",
+            gate_speedups
+        );
+    }
+}

@@ -8,86 +8,212 @@
 //! The absolute numbers belong to a 1995 SUN 4; the *inverse relation*
 //! between declaration count and throughput is the claim to reproduce.
 //! Synthetic ring specifications give a controlled declaration-count
-//! sweep; TP0 and LAPD are measured alongside for reference.
+//! sweep; TP0 and LAPD are measured alongside for reference. Every row
+//! is measured under both executors (`--exec` A/B): the bytecode VM
+//! with its by-control-state dispatch index, and the tree-walking
+//! reference interpreter — the relation must hold in both columns, and
+//! the search totals must be identical across them. The rows are
+//! recorded in `BENCH_tps.json` at the repo root.
 //!
 //! ```sh
-//! cargo run -p bench --bin tps_by_spec_size --release
+//! cargo run -p bench --bin tps_by_spec_size --release            # full record
+//! cargo run -p bench --bin tps_by_spec_size --release -- --quick # CI smoke
+//! cargo run -p bench --bin tps_by_spec_size -- --check FILE      # validate JSON
 //! ```
 
+use bench::json;
+use estelle_runtime::ExecMode;
 use protocols::synthetic::SyntheticSpec;
 use protocols::{lapd, tp0};
-use tango::{AnalysisOptions, ChoicePolicy, OrderOptions};
+use tango::{AnalysisOptions, ChoicePolicy, OrderOptions, Trace, TraceAnalyzer};
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tps.json");
+
+struct Row {
+    spec: String,
+    decls: usize,
+    trace_len: usize,
+}
+
+struct ExecResult {
+    te: u64,
+    cpu_seconds: f64,
+    tps: f64,
+    verdict: String,
+}
+
+fn run_exec(analyzer: &TraceAnalyzer, trace: &Trace, exec: ExecMode) -> ExecResult {
+    let mut options = AnalysisOptions::with_order(OrderOptions::none());
+    options.exec_mode = exec;
+    let report = analyzer.analyze(trace, &options).expect("analysis runs");
+    ExecResult {
+        te: report.stats.transitions_executed,
+        cpu_seconds: report.stats.wall_time.as_secs_f64(),
+        tps: report.stats.transitions_per_second(),
+        verdict: report.verdict.to_string(),
+    }
+}
+
+fn exec_json(r: &ExecResult) -> String {
+    format!(
+        "{{\"te\": {}, \"cpu_seconds\": {}, \"trans_per_sec\": {}, \"verdict\": \"{}\"}}",
+        r.te,
+        json::number(r.cpu_seconds),
+        json::number(r.tps),
+        json::escape(&r.verdict)
+    )
+}
+
+fn measure(row: Row, analyzer: &TraceAnalyzer, trace: &Trace, rows: &mut Vec<String>) {
+    let compiled = run_exec(analyzer, trace, ExecMode::Compiled);
+    let interp = run_exec(analyzer, trace, ExecMode::Interp);
+    assert_eq!(
+        (compiled.te, &compiled.verdict),
+        (interp.te, &interp.verdict),
+        "{}: executors must do identical search work",
+        row.spec
+    );
+    for (label, r) in [("compiled", &compiled), ("interp", &interp)] {
+        println!(
+            "{:>14} {:>8} {:>9} {:>12} {:>12.3} {:>14.0}",
+            row.spec, row.decls, label, r.te, r.cpu_seconds, r.tps
+        );
+    }
+    rows.push(format!(
+        "    {{\"spec\": \"{}\", \"decls\": {}, \"trace_len\": {},\n     \
+         \"compiled\": {},\n     \"interp\": {},\n     \
+         \"speedup_trans_per_sec\": {}}}",
+        json::escape(&row.spec),
+        row.decls,
+        row.trace_len,
+        exec_json(&compiled),
+        exec_json(&interp),
+        json::number(if interp.tps > 0.0 {
+            compiled.tps / interp.tps
+        } else {
+            0.0
+        })
+    ));
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or(OUT_PATH);
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tps_by_spec_size --check: cannot read {}: {}", path, e);
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = json::validate(&text) {
+            eprintln!("tps_by_spec_size --check: {}: {}", path, e);
+            std::process::exit(1);
+        }
+        // Row schema: every row carries both executor columns.
+        for key in [
+            "\"benchmark\": \"tps_by_spec_size\"",
+            "\"compiled\":",
+            "\"interp\":",
+            "\"speedup_trans_per_sec\":",
+        ] {
+            if !text.contains(key) {
+                eprintln!(
+                    "tps_by_spec_size --check: {}: missing {} in record",
+                    path, key
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("{}: well-formed tps_by_spec_size record", path);
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+
     println!(
-        "{:>14} {:>8} {:>12} {:>12} {:>14}",
-        "spec", "decls", "TE", "CPUT(s)", "trans/sec"
+        "{:>14} {:>8} {:>9} {:>12} {:>12} {:>14}",
+        "spec", "decls", "exec", "TE", "CPUT(s)", "trans/sec"
     );
 
-    for decls in [5usize, 19, 50, 100, 200, 400, 800] {
+    let mut rows = Vec::new();
+    let sweep: &[usize] = if quick {
+        &[5, 50]
+    } else {
+        &[5, 19, 50, 100, 200, 400, 800]
+    };
+    let steps = if quick { 50 } else { 400 };
+    for &decls in sweep {
         let spec = SyntheticSpec::new(4, decls);
         let analyzer = spec.analyzer();
         let trace = analyzer
-            .generate_trace(&spec.workload(400), ChoicePolicy::First, 100_000)
+            .generate_trace(&spec.workload(steps), ChoicePolicy::First, 100_000)
             .expect("workload runs");
-        let report = analyzer
-            .analyze(&trace, &AnalysisOptions::with_order(OrderOptions::none()))
-            .expect("analysis runs");
-        println!(
-            "{:>14} {:>8} {:>12} {:>12.3} {:>14.0}",
-            "synthetic",
-            decls,
-            report.stats.transitions_executed,
-            report.stats.wall_time.as_secs_f64(),
-            report.stats.transitions_per_second()
+        measure(
+            Row {
+                spec: "synthetic".to_string(),
+                decls,
+                trace_len: trace.len(),
+            },
+            &analyzer,
+            &trace,
+            &mut rows,
         );
     }
 
     // Reference points: the paper's two protocols.
+    let di = if quick { 10 } else { 60 };
     {
         let analyzer = tp0::analyzer();
-        let trace = tp0::valid_trace(60, 60, 4);
-        let report = analyzer
-            .analyze(&trace, &AnalysisOptions::with_order(OrderOptions::none()))
-            .unwrap();
-        println!(
-            "{:>14} {:>8} {:>12} {:>12.3} {:>14.0}",
-            "tp0",
-            analyzer.module().declared_transition_count(),
-            report.stats.transitions_executed,
-            report.stats.wall_time.as_secs_f64(),
-            report.stats.transitions_per_second()
+        let trace = tp0::valid_trace(di, di, 4);
+        measure(
+            Row {
+                spec: "tp0".to_string(),
+                decls: analyzer.module().declared_transition_count(),
+                trace_len: trace.len(),
+            },
+            &analyzer,
+            &trace,
+            &mut rows,
         );
     }
     {
         let analyzer = lapd::analyzer();
-        let trace = lapd::valid_trace(60, 0, 4);
-        let report = analyzer
-            .analyze(&trace, &AnalysisOptions::with_order(OrderOptions::none()))
-            .unwrap();
-        println!(
-            "{:>14} {:>8} {:>12} {:>12.3} {:>14.0}",
-            "lapd",
-            analyzer.module().declared_transition_count(),
-            report.stats.transitions_executed,
-            report.stats.wall_time.as_secs_f64(),
-            report.stats.transitions_per_second()
+        let trace = lapd::valid_trace(di, 0, 4);
+        measure(
+            Row {
+                spec: "lapd".to_string(),
+                decls: analyzer.module().declared_transition_count(),
+                trace_len: trace.len(),
+            },
+            &analyzer,
+            &trace,
+            &mut rows,
         );
     }
     {
         // The paper's LAPD size class: 800+ compiled transitions.
         let analyzer = lapd::analyzer_expanded();
-        let trace = lapd::valid_trace(60, 0, 4);
-        let report = analyzer
-            .analyze(&trace, &AnalysisOptions::with_order(OrderOptions::none()))
-            .unwrap();
-        println!(
-            "{:>14} {:>8} {:>12} {:>12.3} {:>14.0}",
-            "lapd-800",
-            analyzer.machine.module.transition_count(),
-            report.stats.transitions_executed,
-            report.stats.wall_time.as_secs_f64(),
-            report.stats.transitions_per_second()
+        let trace = lapd::valid_trace(di, 0, 4);
+        measure(
+            Row {
+                spec: "lapd-800".to_string(),
+                decls: analyzer.machine.module.transition_count(),
+                trace_len: trace.len(),
+            },
+            &analyzer,
+            &trace,
+            &mut rows,
         );
     }
+
+    let doc = format!(
+        "{{\n  \"benchmark\": \"tps_by_spec_size\",\n  \"quick\": {},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        quick,
+        rows.join(",\n")
+    );
+    json::validate(&doc).expect("emitted record is well-formed JSON");
+    std::fs::write(OUT_PATH, &doc).expect("write BENCH_tps.json");
+    println!("\nwrote {}", OUT_PATH);
 }

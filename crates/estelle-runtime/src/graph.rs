@@ -25,21 +25,32 @@ pub fn to_dot(module: &CompiledModule) -> String {
 /// interpolates gray → red and the pen widens with heat), and
 /// `annotations` adds one extra label line per transition (empty strings
 /// are skipped). Both slices are indexed by compiled transition id;
-/// missing entries render unheated. This is the profile overlay behind
-/// `tango analyze --profile-dot`.
+/// missing entries render unheated. `exec_mode` names the executor that
+/// produced the profile (`"compiled"` or `"interp"`) and is stamped into
+/// the graph caption so A/B overlays are never confused for one another.
+/// This is the profile overlay behind `tango analyze --profile-dot`.
 pub fn to_dot_with_heat(
     module: &CompiledModule,
     weights: &[f64],
     annotations: &[String],
+    exec_mode: &str,
 ) -> String {
-    render(module, Some((weights, annotations)))
+    render(module, Some((weights, annotations, exec_mode)))
 }
 
-fn render(module: &CompiledModule, heat: Option<(&[f64], &[String])>) -> String {
+fn render(module: &CompiledModule, heat: Option<(&[f64], &[String], &str)>) -> String {
     let m = &module.analyzed;
     let mut out = String::new();
     writeln!(out, "digraph {} {{", sanitize(&m.module_name)).unwrap();
     writeln!(out, "  rankdir=LR;").unwrap();
+    if let Some((_, _, exec_mode)) = heat {
+        writeln!(
+            out,
+            "  label=\"transition profile (exec={})\"; labelloc=t;",
+            exec_mode.replace('"', "\\\"")
+        )
+        .unwrap();
+    }
     writeln!(out, "  node [shape=circle, fontname=\"monospace\"];").unwrap();
     writeln!(out, "  edge [fontname=\"monospace\", fontsize=10];").unwrap();
 
@@ -75,7 +86,7 @@ fn render(module: &CompiledModule, heat: Option<(&[f64], &[String])>) -> String 
             .unwrap();
         }
         let mut extra = String::new();
-        if let Some((weights, annotations)) = heat {
+        if let Some((weights, annotations, _)) = heat {
             if let Some(a) = annotations.get(idx) {
                 if !a.is_empty() {
                     write!(label, "\\n{}", a).unwrap();
@@ -252,14 +263,22 @@ mod tests {
             &m.module,
             &[1.0, 0.0],
             &["9 fired, 1 failed, 3.0ms".to_string(), String::new()],
+            "compiled",
         );
         // Hottest edge: full red, widest pen, annotated label line.
         assert!(dot.contains("color=\"#d62728\", penwidth=4.00"), "{}", dot);
         assert!(dot.contains("9 fired, 1 failed, 3.0ms"), "{}", dot);
         // Cold edge: base gray, base pen, no annotation.
         assert!(dot.contains("color=\"#b0b0b0\", penwidth=1.00"), "{}", dot);
+        // The caption names the executor that produced the profile.
+        assert!(
+            dot.contains("transition profile (exec=compiled)"),
+            "{}",
+            dot
+        );
         // The plain exporter is unchanged by the overlay machinery.
         assert!(!to_dot(&m.module).contains("penwidth"));
+        assert!(!to_dot(&m.module).contains("labelloc"));
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Expression evaluation.
+//!
+//! Operator and coercion semantics live in [`super::scalar`], shared with
+//! the bytecode VM; this module owns only the tree traversal.
 
-use super::{Interp, Store, UndefinedPolicy};
+use super::{scalar, Interp, Store};
 use crate::env::{NullEnv, OutputSink};
 use crate::error::{RtResult, RuntimeError, RuntimeErrorKind};
 use crate::heap::Heap;
@@ -79,7 +82,8 @@ impl<'m> Interp<'m> {
                     Value::Pointer(None) => {
                         Err(RuntimeError::dangling("dereference of nil"))
                     }
-                    Value::Undefined => self.undefined_or(
+                    Value::Undefined => scalar::undefined_or(
+                        self.policy,
                         "dereference of an undefined pointer",
                         RuntimeErrorKind::UndefinedValue,
                     ),
@@ -132,25 +136,7 @@ impl<'m> Interp<'m> {
     }
 
     fn eval_unary(&self, op: UnOp, v: Value, span: Span) -> RtResult<Value> {
-        if matches!(v, Value::Undefined) {
-            return self.undefined_or(
-                "operand of a unary operator is undefined",
-                RuntimeErrorKind::UndefinedValue,
-            );
-        }
-        match (op, v) {
-            (UnOp::Neg, Value::Int(i)) => i
-                .checked_neg()
-                .map(Value::Int)
-                .ok_or_else(|| RuntimeError::new(RuntimeErrorKind::Overflow, "negation overflow")),
-            (UnOp::Plus, Value::Int(i)) => Ok(Value::Int(i)),
-            (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-            (op, v) => Err(RuntimeError::internal(format!(
-                "unary {} on {}",
-                op, v
-            ))
-            .with_span(span)),
-        }
+        scalar::apply_unary(self.policy, op, v, span)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -168,186 +154,22 @@ impl<'m> Interp<'m> {
         // Boolean operators get Kleene logic under the propagate policy and
         // short-circuiting under both policies.
         if matches!(op, BinOp::And | BinOp::Or) {
-            return self.eval_logic(op, l, r, span, store, frame, sink, depth);
+            let and = op == BinOp::And;
+            let lv = self.eval(l, store, frame, sink, depth)?;
+            if let Some(decided) = scalar::logic_short(self.policy, and, &lv, span)? {
+                return Ok(Value::Bool(decided));
+            }
+            let rv = self.eval(r, store, frame, sink, depth)?;
+            return scalar::logic_join(self.policy, and, &lv, &rv, span);
         }
         let lv = self.eval(l, store, frame, sink, depth)?;
         let rv = self.eval(r, store, frame, sink, depth)?;
-        if matches!(lv, Value::Undefined) || matches!(rv, Value::Undefined) {
-            return self.undefined_or(
-                "operand of a binary operator is undefined",
-                RuntimeErrorKind::UndefinedValue,
-            );
-        }
-        match op {
-            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-                let (Value::Int(a), Value::Int(b)) = (&lv, &rv) else {
-                    return Err(RuntimeError::internal(format!(
-                        "arithmetic on {} and {}",
-                        lv, rv
-                    ))
-                    .with_span(span));
-                };
-                let (a, b) = (*a, *b);
-                let out = match op {
-                    BinOp::Add => a.checked_add(b),
-                    BinOp::Sub => a.checked_sub(b),
-                    BinOp::Mul => a.checked_mul(b),
-                    BinOp::Div => {
-                        if b == 0 {
-                            return Err(RuntimeError::new(
-                                RuntimeErrorKind::DivisionByZero,
-                                "div by zero",
-                            )
-                            .with_span(span));
-                        }
-                        // Pascal `div` truncates toward zero.
-                        Some(a.wrapping_div(b))
-                    }
-                    BinOp::Mod => {
-                        if b == 0 {
-                            return Err(RuntimeError::new(
-                                RuntimeErrorKind::DivisionByZero,
-                                "mod by zero",
-                            )
-                            .with_span(span));
-                        }
-                        Some(a.wrapping_rem(b))
-                    }
-                    _ => unreachable!(),
-                };
-                out.map(Value::Int).ok_or_else(|| {
-                    RuntimeError::new(RuntimeErrorKind::Overflow, "arithmetic overflow")
-                        .with_span(span)
-                })
-            }
-            BinOp::Eq => Ok(Value::Bool(values_equal(&lv, &rv))),
-            BinOp::Ne => Ok(Value::Bool(!values_equal(&lv, &rv))),
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                let (Some(a), Some(b)) = (lv.ordinal(), rv.ordinal()) else {
-                    return Err(RuntimeError::internal(format!(
-                        "ordering comparison on {} and {}",
-                        lv, rv
-                    ))
-                    .with_span(span));
-                };
-                Ok(Value::Bool(match op {
-                    BinOp::Lt => a < b,
-                    BinOp::Le => a <= b,
-                    BinOp::Gt => a > b,
-                    BinOp::Ge => a >= b,
-                    _ => unreachable!(),
-                }))
-            }
-            BinOp::In => {
-                let Some(a) = lv.ordinal() else {
-                    return Err(RuntimeError::internal(format!(
-                        "`in` with non-ordinal {}",
-                        lv
-                    ))
-                    .with_span(span));
-                };
-                let Value::Set(s) = &rv else {
-                    return Err(RuntimeError::internal(format!(
-                        "`in` with non-set {}",
-                        rv
-                    ))
-                    .with_span(span));
-                };
-                Ok(Value::Bool(s.contains(a)))
-            }
-            BinOp::And | BinOp::Or => unreachable!("handled above"),
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn eval_logic(
-        &self,
-        op: BinOp,
-        l: &CExpr,
-        r: &CExpr,
-        span: Span,
-        store: &mut Store<'_>,
-        frame: &mut Vec<Value>,
-        sink: &mut dyn OutputSink,
-        depth: usize,
-    ) -> RtResult<Value> {
-        let lv = self.eval(l, store, frame, sink, depth)?;
-        let lb = self.as_tribool(&lv, span)?;
-        // Short-circuit on the decisive value.
-        match (op, lb) {
-            (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
-            (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
-            _ => {}
-        }
-        let rv = self.eval(r, store, frame, sink, depth)?;
-        let rb = self.as_tribool(&rv, span)?;
-        let out = match (op, lb, rb) {
-            (BinOp::And, Some(a), Some(b)) => Some(a && b),
-            (BinOp::Or, Some(a), Some(b)) => Some(a || b),
-            // Kleene: `? and false` is false, `? or true` is true.
-            (BinOp::And, None, Some(false)) | (BinOp::And, Some(false), None) => Some(false),
-            (BinOp::Or, None, Some(true)) | (BinOp::Or, Some(true), None) => Some(true),
-            _ => None,
-        };
-        Ok(match out {
-            Some(b) => Value::Bool(b),
-            None => Value::Undefined,
-        })
-    }
-
-    /// Interpret a value as a three-valued boolean. Under the error policy
-    /// an undefined value is rejected outright.
-    fn as_tribool(&self, v: &Value, span: Span) -> RtResult<Option<bool>> {
-        match v {
-            Value::Bool(b) => Ok(Some(*b)),
-            Value::Undefined => match self.policy {
-                UndefinedPolicy::Propagate => Ok(None),
-                UndefinedPolicy::Error => Err(RuntimeError::undefined(
-                    "boolean operand is undefined",
-                )
-                .with_span(span)),
-            },
-            other => Err(RuntimeError::internal(format!(
-                "boolean operator on {}",
-                other
-            ))
-            .with_span(span)),
-        }
+        scalar::apply_binary(self.policy, op, &lv, &rv, span)
     }
 
     pub(super) fn require_ordinal(&self, v: &Value, span: Span) -> RtResult<i64> {
-        match v {
-            Value::Undefined => Err(match self.policy {
-                UndefinedPolicy::Error => {
-                    RuntimeError::undefined("undefined value where an ordinal is required")
-                        .with_span(span)
-                }
-                UndefinedPolicy::Propagate => RuntimeError::undefined_control(
-                    "an undefined value reached an index or range position; \
-                     apply the normal-form transformation for partial traces",
-                )
-                .with_span(span),
-            }),
-            other => other.ordinal().ok_or_else(|| {
-                RuntimeError::internal(format!("expected ordinal, found {}", other)).with_span(span)
-            }),
-        }
+        scalar::require_ordinal(self.policy, v, span)
     }
-
-    /// Build `Undefined` under the propagate policy, or an error of `kind`
-    /// under the error policy.
-    fn undefined_or(&self, msg: &str, kind: RuntimeErrorKind) -> RtResult<Value> {
-        match self.policy {
-            UndefinedPolicy::Propagate => Ok(Value::Undefined),
-            UndefinedPolicy::Error => Err(RuntimeError::new(kind, msg)),
-        }
-    }
-}
-
-/// Structural equality for the `=` operator. Pointer equality is by
-/// reference; sets by membership; composites elementwise.
-pub(super) fn values_equal(a: &Value, b: &Value) -> bool {
-    a == b
 }
 
 /// Evaluate a closed constant expression with no state (used by tests and
@@ -361,6 +183,6 @@ pub fn eval_const_expr(module: &crate::compile::CompiledModule, e: &CExpr) -> Rt
     };
     let mut frame = Vec::new();
     let mut sink = NullEnv::default();
-    let interp = Interp::new(module, UndefinedPolicy::Error);
+    let interp = Interp::new(module, super::UndefinedPolicy::Error);
     interp.eval(e, &mut store, &mut frame, &mut sink, 0)
 }

@@ -1,7 +1,7 @@
 //! Statement execution.
 
 use super::place::{read_resolved, write_resolved};
-use super::{Interp, Store, UndefinedPolicy};
+use super::{scalar, Interp, Store, UndefinedPolicy};
 use crate::env::OutputSink;
 use crate::error::{RtResult, RuntimeError, RuntimeErrorKind};
 use crate::ir::{CArg, CCall, CStmt};
@@ -132,24 +132,7 @@ impl<'m> Interp<'m> {
                 span,
             } => {
                 let v = self.eval(scrutinee, store, frame, sink, depth)?;
-                let ord = match &v {
-                    Value::Undefined => {
-                        return Err(match self.policy {
-                            UndefinedPolicy::Error => RuntimeError::undefined(
-                                "case scrutinee is undefined",
-                            )
-                            .with_span(*span),
-                            UndefinedPolicy::Propagate => RuntimeError::undefined_control(
-                                "case on an undefined value; partial-trace analysis \
-                                 requires the §5.3 normal-form transformation",
-                            )
-                            .with_span(*span),
-                        })
-                    }
-                    other => other.ordinal().ok_or_else(|| {
-                        RuntimeError::internal("case scrutinee not ordinal").with_span(*span)
-                    })?,
-                };
+                let ord = scalar::case_ordinal(self.policy, &v, *span)?;
                 for (labels, body) in arms {
                     if labels.contains(&ord) {
                         return self.exec_block(body, store, frame, sink, depth);
@@ -285,22 +268,6 @@ impl<'m> Interp<'m> {
     /// A control-statement condition: strictly boolean; undefined raises
     /// `UndefinedControl` in partial mode (§5.3).
     fn control_bool(&self, v: &Value, span: estelle_ast::Span) -> RtResult<bool> {
-        match v {
-            Value::Bool(b) => Ok(*b),
-            Value::Undefined => Err(match self.policy {
-                UndefinedPolicy::Error => {
-                    RuntimeError::undefined("condition is undefined").with_span(span)
-                }
-                UndefinedPolicy::Propagate => RuntimeError::undefined_control(
-                    "condition on an undefined value; partial-trace analysis \
-                     requires the §5.3 normal-form transformation",
-                )
-                .with_span(span),
-            }),
-            other => {
-                Err(RuntimeError::internal(format!("non-boolean condition {}", other))
-                    .with_span(span))
-            }
-        }
+        scalar::control_bool(self.policy, v, span)
     }
 }

@@ -18,13 +18,14 @@
 
 mod eval;
 mod exec;
-mod place;
+pub(crate) mod place;
+pub(crate) mod scalar;
 
 pub use eval::eval_const_expr;
 
 use crate::compile::CompiledModule;
 use crate::env::OutputSink;
-use crate::error::{RtResult, RuntimeError};
+use crate::error::RtResult;
 use crate::heap::Heap;
 use crate::ir::CExpr;
 use crate::value::Value;
@@ -91,19 +92,7 @@ impl<'m> Interp<'m> {
         sink: &mut dyn OutputSink,
     ) -> RtResult<bool> {
         let v = self.eval(guard, store, frame, sink, 0)?;
-        match v {
-            Value::Bool(b) => Ok(b),
-            Value::Undefined => match self.policy {
-                UndefinedPolicy::Propagate => Ok(true),
-                UndefinedPolicy::Error => Err(RuntimeError::undefined(
-                    "provided clause evaluated an undefined value",
-                )),
-            },
-            other => Err(RuntimeError::internal(format!(
-                "guard evaluated to non-boolean {}",
-                other
-            ))),
-        }
+        scalar::guard_bool(self.policy, v)
     }
 }
 

@@ -14,7 +14,7 @@ use crate::value::Value;
 
 /// Where a resolved place lives.
 #[derive(Clone, Debug)]
-pub(super) enum Root {
+pub(crate) enum Root {
     Global(usize),
     Local(usize),
     Heap(HeapRef),
@@ -22,7 +22,7 @@ pub(super) enum Root {
 
 /// A fully resolved place: root storage plus element positions.
 #[derive(Clone, Debug)]
-pub(super) struct ResolvedPlace {
+pub(crate) struct ResolvedPlace {
     pub root: Root,
     pub path: Vec<usize>,
 }
@@ -130,7 +130,7 @@ impl<'m> Interp<'m> {
 }
 
 /// Navigate to the value a resolved place denotes.
-pub(super) fn read_resolved<'v>(
+pub(crate) fn read_resolved<'v>(
     r: &ResolvedPlace,
     store: &'v Store<'_>,
     frame: &'v [Value],
@@ -167,7 +167,7 @@ pub(super) fn read_resolved<'v>(
 }
 
 /// Navigate to the mutable value a resolved place denotes.
-pub(super) fn write_resolved<'v>(
+pub(crate) fn write_resolved<'v>(
     r: &ResolvedPlace,
     store: &'v mut Store<'_>,
     frame: &'v mut [Value],

@@ -31,6 +31,7 @@
 //! # let _ = state;
 //! ```
 
+pub mod bytecode;
 pub mod codec;
 pub mod compile;
 pub mod env;
@@ -43,7 +44,9 @@ pub mod ir;
 pub mod machine;
 pub mod normal_form;
 pub mod value;
+pub mod vm;
 
+pub use bytecode::{DispatchIndex, ExecProgram};
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use compile::{compile, CompiledModule};
 pub use env::{InputSource, OutputSink, QueueHead};
@@ -51,5 +54,7 @@ pub use error::{RtResult, RuntimeError, RuntimeErrorKind};
 pub use fxhash::FxHasher;
 pub use heap::{Heap, HeapRef, CHUNK_CELLS};
 pub use interp::UndefinedPolicy;
-pub use machine::{BuildError, FireOutcome, Fireable, Generated, Machine, MachineState};
+pub use machine::{
+    BuildError, ExecMode, FireOutcome, Fireable, Generated, Machine, MachineState,
+};
 pub use value::Value;

@@ -7,11 +7,13 @@
 //! dynamic memory); queue cursors live with the trace analyzer that owns
 //! the trace.
 
+use crate::bytecode::{compile_program, ExecProgram};
 use crate::compile::{compile, CompiledModule};
 use crate::env::{InputSource, NullEnv, OutputSink, QueueHead};
 use crate::error::{RtResult, RuntimeError, RuntimeErrorKind};
 use crate::interp::{expr_has_calls, Interp, Store, UndefinedPolicy};
 use crate::value::{default_value, Value};
+use crate::vm::{self, Vm};
 use estelle_frontend::sema::model::StateId;
 use estelle_frontend::sema::types::{Type, TypeId};
 use estelle_frontend::{analyze, FrontendError};
@@ -121,18 +123,70 @@ pub enum FireOutcome {
     OutputRejected,
 }
 
+/// Which executor runs guards, transition bodies and initialize blocks.
+///
+/// Both modes are bit-identical in every observable: fireable sets and
+/// their order, state updates, emitted outputs, verdicts and errors
+/// (`tests/compiled_exec.rs` enforces this differentially). They differ
+/// only in speed: `Compiled` lowers the tree IR to register bytecode once
+/// at machine construction and dispatches *Generate* through a
+/// by-control-state transition index, while `Interp` walks the tree IR and
+/// linearly scans every transition declaration — kept as the reference
+/// executor and A/B baseline (`--exec=interp`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Bytecode VM + dispatch index (the default).
+    #[default]
+    Compiled,
+    /// Tree-walking reference interpreter with linear transition scan.
+    Interp,
+}
+
+impl ExecMode {
+    /// Stable lowercase name used by CLI flags and benchmark records.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Compiled => "compiled",
+            ExecMode::Interp => "interp",
+        }
+    }
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "compiled" => Ok(ExecMode::Compiled),
+            "interp" => Ok(ExecMode::Interp),
+            other => Err(format!(
+                "unknown exec mode `{}` (expected `compiled` or `interp`)",
+                other
+            )),
+        }
+    }
+}
+
 /// An executable single-module Estelle specification. The compiled module
-/// is shared (`Arc`), so policy-adjusted views are cheap to create.
+/// and bytecode program are shared (`Arc`), so policy- and exec-adjusted
+/// views are cheap to create.
 pub struct Machine {
     pub module: Arc<CompiledModule>,
     pub policy: UndefinedPolicy,
+    pub exec: ExecMode,
+    /// Bytecode + dispatch index, built once per underlying module and
+    /// shared by every view (an interp-mode view keeps the `Arc` so
+    /// switching modes never recompiles).
+    pub program: Arc<ExecProgram>,
 }
 
 impl Machine {
     pub fn new(module: CompiledModule) -> Self {
+        let program = Arc::new(compile_program(&module));
         Machine {
             module: Arc::new(module),
             policy: UndefinedPolicy::Error,
+            exec: ExecMode::default(),
+            program,
         }
     }
 
@@ -142,6 +196,19 @@ impl Machine {
         Machine {
             module: Arc::clone(&self.module),
             policy,
+            exec: self.exec,
+            program: Arc::clone(&self.program),
+        }
+    }
+
+    /// A second handle onto the same compiled module with a different
+    /// executor (`--exec` A/B testing).
+    pub fn exec_view(&self, exec: ExecMode) -> Machine {
+        Machine {
+            module: Arc::clone(&self.module),
+            policy: self.policy,
+            exec,
+            program: Arc::clone(&self.program),
         }
     }
 
@@ -172,14 +239,29 @@ impl Machine {
             .map(|t| default_value(&self.module.analyzed.types, *t))
             .collect();
         let mut heap = crate::heap::Heap::new();
-        let mut frame = Vec::new();
         {
             let mut store = Store {
                 globals: &mut globals,
                 heap: &mut heap,
             };
-            self.interp()
-                .exec_block(&self.module.init_block, &mut store, &mut frame, sink, 0)?;
+            match self.exec {
+                ExecMode::Interp => {
+                    let mut frame = Vec::new();
+                    self.interp().exec_block(
+                        &self.module.init_block,
+                        &mut store,
+                        &mut frame,
+                        sink,
+                        0,
+                    )?;
+                }
+                ExecMode::Compiled => {
+                    let v = Vm::new(&self.program, self.policy);
+                    vm::with_scratch(|s| {
+                        v.run(self.program.init, Vec::new(), &mut store, sink, s)
+                    })?;
+                }
+            }
         }
         Ok(MachineState {
             control: self.module.init_to,
@@ -213,6 +295,56 @@ impl Machine {
         input: &dyn InputSource,
     ) -> RtResult<Generated> {
         let mut out = Generated::default();
+        self.generate_into(st, input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-friendly *Generate*: clears and refills `out` so a
+    /// search loop can reuse one `Generated` (and the `Vec` capacity
+    /// inside it) across every expansion instead of allocating per call.
+    pub fn generate_into(
+        &self,
+        st: &mut MachineState,
+        input: &dyn InputSource,
+        out: &mut Generated,
+    ) -> RtResult<()> {
+        out.fireable.clear();
+        out.incomplete = false;
+        match self.exec {
+            ExecMode::Interp => self.generate_interp(st, input, out)?,
+            ExecMode::Compiled => self.generate_compiled(st, input, out)?,
+        }
+
+        // Priority filtering: keep only the smallest priority value.
+        if let Some(best) = out
+            .fireable
+            .iter()
+            .map(|f| self.module.transitions[f.trans].priority)
+            .min()
+        {
+            out.fireable
+                .retain(|f| self.module.transitions[f.trans].priority == best);
+        }
+        // Stable order with fabricated inputs last: depth-first searches
+        // try transitions explained by *observed* events before inventing
+        // interactions on unobserved IPs, which keeps partial-trace
+        // analysis (§5) from diving into unbounded fabrication chains.
+        // (Sorting a run with no fabricated entries is the common case;
+        // skip the pass entirely then.)
+        if out.fireable.iter().any(|f| f.fabricated) {
+            out.fireable.sort_by_key(|f| f.fabricated);
+        }
+        Ok(())
+    }
+
+    /// Reference *Generate*: tree-walking guards over a linear scan of
+    /// every transition declaration.
+    fn generate_interp(
+        &self,
+        st: &mut MachineState,
+        input: &dyn InputSource,
+        out: &mut Generated,
+    ) -> RtResult<()> {
         let interp = self.interp();
 
         for (i, t) in self.module.transitions.iter().enumerate() {
@@ -270,23 +402,146 @@ impl Machine {
                 fabricated,
             });
         }
+        Ok(())
+    }
 
-        // Priority filtering: keep only the smallest priority value.
-        if let Some(best) = out
-            .fireable
-            .iter()
-            .map(|f| self.module.transitions[f.trans].priority)
-            .min()
-        {
-            out.fireable
-                .retain(|f| self.module.transitions[f.trans].priority == best);
-        }
-        // Stable order with fabricated inputs last: depth-first searches
-        // try transitions explained by *observed* events before inventing
-        // interactions on unobserved IPs, which keeps partial-trace
-        // analysis (§5) from diving into unbounded fabrication chains.
-        out.fireable.sort_by_key(|f| f.fabricated);
-        Ok(out)
+    /// Compiled *Generate*: walk only the dispatch-index bucket for the
+    /// current control state (declaration order is preserved inside a
+    /// bucket, so the fireable list is element-for-element identical to
+    /// the linear scan's), cache one queue head per IP for the whole
+    /// call, and evaluate guards on the bytecode VM.
+    fn generate_compiled(
+        &self,
+        st: &mut MachineState,
+        input: &dyn InputSource,
+        out: &mut Generated,
+    ) -> RtResult<()> {
+        let program = &self.program;
+        let v = Vm::new(program, self.policy);
+        vm::with_scratch(|s| {
+            let mut heads = std::mem::take(&mut s.heads);
+            heads.clear();
+            heads.resize(self.module.analyzed.ips.len(), None);
+            let result = (|| {
+                for e in program.dispatch.candidates(st.control) {
+                    let i = e.trans as usize;
+                    let (params, fabricated) = match e.when {
+                        None => (Vec::new(), false),
+                        Some((ip, interaction, nparams)) => {
+                            let head = heads[ip as usize]
+                                .get_or_insert_with(|| input.head(ip as usize));
+                            match head {
+                                QueueHead::Message {
+                                    interaction: head_interaction,
+                                    params,
+                                } if *head_interaction == interaction as usize => {
+                                    (params.clone(), false)
+                                }
+                                QueueHead::Message { .. } | QueueHead::Empty => continue,
+                                QueueHead::EmptyMayGrow => {
+                                    out.incomplete = true;
+                                    continue;
+                                }
+                                QueueHead::Unobserved => {
+                                    (vec![Value::Undefined; nparams as usize], true)
+                                }
+                            }
+                        }
+                    };
+
+                    if let Some(g) = &program.guards[i] {
+                        // Trivial guard shapes evaluate against the
+                        // globals directly — no frame, no store, no VM
+                        // loop entry. This is where the dispatch index
+                        // pays off on big tables: the common `v = k`
+                        // clause costs one comparison per candidate.
+                        if let Some(q) = &g.quick {
+                            use crate::bytecode::QuickGuard;
+                            let value = match q {
+                                QuickGuard::Const(v) => v.clone(),
+                                QuickGuard::Global { slot } => st
+                                    .globals
+                                    .get(*slot as usize)
+                                    .cloned()
+                                    .ok_or_else(|| {
+                                        RuntimeError::internal("global slot out of range")
+                                    })?,
+                                QuickGuard::GlobalOpConst {
+                                    slot,
+                                    op,
+                                    k,
+                                    swapped,
+                                    span,
+                                } => {
+                                    let gv = st.globals.get(*slot as usize).ok_or_else(
+                                        || RuntimeError::internal("global slot out of range"),
+                                    )?;
+                                    let (l, r) = if *swapped { (k, gv) } else { (gv, k) };
+                                    crate::interp::scalar::apply_binary(
+                                        self.policy,
+                                        *op,
+                                        l,
+                                        r,
+                                        *span,
+                                    )?
+                                }
+                            };
+                            if !crate::interp::scalar::guard_bool(self.policy, value)? {
+                                continue;
+                            }
+                            out.fireable.push(Fireable {
+                                trans: i,
+                                params,
+                                fabricated,
+                            });
+                            continue;
+                        }
+                        // Frameless guards (frozen `any` bindings folded
+                        // to constants, no surviving slot reads) skip the
+                        // per-candidate frame allocation entirely.
+                        let frame = if g.needs_frame {
+                            self.transition_frame(&self.module.transitions[i], &params)
+                        } else {
+                            Vec::new()
+                        };
+                        let mut sink = NullEnv::default();
+                        let value = if g.has_calls {
+                            // Guards containing function calls may have
+                            // side effects; evaluate against a scratch
+                            // copy (same rule as the tree-walker).
+                            let mut globals = st.globals.clone();
+                            let mut heap = st.heap.clone();
+                            let mut store = Store {
+                                globals: &mut globals,
+                                heap: &mut heap,
+                            };
+                            v.run(g.chunk, frame, &mut store, &mut sink, s)?
+                        } else {
+                            let mut store = Store {
+                                globals: &mut st.globals,
+                                heap: &mut st.heap,
+                            };
+                            v.run(g.chunk, frame, &mut store, &mut sink, s)?
+                        };
+                        let value = value.ok_or_else(|| {
+                            RuntimeError::internal("guard chunk produced no result")
+                        })?;
+                        if !crate::interp::scalar::guard_bool(self.policy, value)? {
+                            continue;
+                        }
+                    }
+
+                    out.fireable.push(Fireable {
+                        trans: i,
+                        params,
+                        fabricated,
+                    });
+                }
+                Ok(())
+            })();
+            s.heads = heads;
+            result
+        })
     }
 
     /// *Update*: fire `f`, consuming its input, executing the block and
@@ -311,8 +566,19 @@ impl Machine {
                 globals: &mut st.globals,
                 heap: &mut st.heap,
             };
-            self.interp()
-                .exec_block(&t.body, &mut store, &mut frame, env, 0)
+            match self.exec {
+                ExecMode::Interp => {
+                    self.interp()
+                        .exec_block(&t.body, &mut store, &mut frame, env, 0)
+                }
+                ExecMode::Compiled => {
+                    let v = Vm::new(&self.program, self.policy);
+                    vm::with_scratch(|s| {
+                        v.run(self.program.bodies[f.trans], frame, &mut store, env, s)
+                    })
+                    .map(|_| ())
+                }
+            }
         };
         match result {
             Ok(()) => {

@@ -87,7 +87,7 @@ fn usage() -> String {
      <spec.est|checkpoint.bin> \
      [trace.txt|script.txt] [--order nr|io|ip|full] [--disable-ip NAME] \
      [--unobserved-ip NAME] [--initial-state-search] [--state-hashing] \
-     [--cow=on|off] [--max-seconds F] [--max-mem N[k|m|g][b]] \
+     [--cow=on|off] [--exec=compiled|interp] [--max-seconds F] [--max-mem N[k|m|g][b]] \
      [--max-transitions N] [--checkpoint-file PATH] [--checkpoint-every N] \
      [--resume PATH] [--on-truncate restart|fail] [--seed N] \
      [--trace-out PATH] [--metrics-out PATH] [--progress SECS|jsonl[:SECS]] \
@@ -425,6 +425,13 @@ fn parse_options(
             flag if flag.starts_with("--cow=") => {
                 options.cow_snapshots = parse_cow(&flag["--cow=".len()..])?;
             }
+            "--exec" => {
+                let v = it.next().ok_or("--exec needs compiled|interp")?;
+                options.exec_mode = v.parse()?;
+            }
+            flag if flag.starts_with("--exec=") => {
+                options.exec_mode = flag["--exec=".len()..].parse()?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{}`", flag));
             }
@@ -508,6 +515,7 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
             &analyzer.machine.module,
             &p.heat_weights(),
             &p.heat_labels(),
+            options.exec_mode.name(),
         );
         std::fs::write(path, dot)
             .map_err(|e| format!("cannot write {}: {}", path.display(), e))?;
@@ -689,5 +697,20 @@ mod tests {
         assert!(opts.cow_snapshots);
         assert!(parse_options(&["--cow=sideways".to_string()]).is_err());
         assert!(parse_options(&["--cow".to_string()]).is_err());
+    }
+
+    #[test]
+    fn exec_flag_both_spellings() {
+        use estelle_runtime::ExecMode;
+        let (opts, _, _, _, _) = parse_options(&["x".to_string()]).unwrap();
+        assert_eq!(opts.exec_mode, ExecMode::Compiled, "compiled is default");
+        let (opts, _, _, _, _) =
+            parse_options(&["--exec=interp".to_string(), "x".to_string()]).unwrap();
+        assert_eq!(opts.exec_mode, ExecMode::Interp);
+        let (opts, _, _, _, _) =
+            parse_options(&["--exec".to_string(), "compiled".to_string()]).unwrap();
+        assert_eq!(opts.exec_mode, ExecMode::Compiled);
+        assert!(parse_options(&["--exec=jit".to_string()]).is_err());
+        assert!(parse_options(&["--exec".to_string()]).is_err());
     }
 }

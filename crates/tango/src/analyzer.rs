@@ -122,7 +122,8 @@ impl TraceAnalyzer {
     ) -> Result<AnalysisReport, TangoError> {
         let machine = self
             .machine
-            .policy_view(options.policy);
+            .policy_view(options.policy)
+            .exec_view(options.exec_mode);
         let mut stats = SearchStats::default();
         tel.begin("dfs", &self.module().module_name);
 
@@ -190,7 +191,10 @@ impl TraceAnalyzer {
         options: &AnalysisOptions,
         tel: &mut Telemetry,
     ) -> Result<AnalysisReport, TangoError> {
-        let machine = self.machine.policy_view(options.policy);
+        let machine = self
+            .machine
+            .policy_view(options.policy)
+            .exec_view(options.exec_mode);
         checkpoint
             .validate_against(self.module(), self.machine.module.transition_count())
             .map_err(|m| TangoError::Env(crate::env::EnvError(format!("resume: {}", m))))?;

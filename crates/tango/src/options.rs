@@ -5,7 +5,7 @@
 //! [`AnalysisOptions`]. The four preset combinations used in the paper's
 //! tables — NR, IO, IP and FULL — are provided as constructors.
 
-use estelle_runtime::UndefinedPolicy;
+use estelle_runtime::{ExecMode, UndefinedPolicy};
 use std::collections::HashSet;
 use std::time::Duration;
 
@@ -144,6 +144,12 @@ pub struct AnalysisOptions {
     /// deep-clone path (CLI `--cow=off`), kept for A/B measurement; the
     /// verdict and the TE/GE/RE/SA counters are identical either way.
     pub cow_snapshots: bool,
+    /// Which executor runs *Generate*/*Update* (CLI `--exec`): the
+    /// bytecode VM with its by-control-state dispatch index (default), or
+    /// the tree-walking reference interpreter (`--exec=interp`), kept for
+    /// A/B measurement. Verdicts, counters and telemetry event streams
+    /// are identical either way; only transitions-per-second differ.
+    pub exec_mode: ExecMode,
     pub limits: SearchLimits,
 }
 
@@ -158,6 +164,7 @@ impl Default for AnalysisOptions {
             state_hashing: false,
             mdfs_reorder: true,
             cow_snapshots: true,
+            exec_mode: ExecMode::Compiled,
             limits: SearchLimits::default(),
         }
     }
@@ -215,5 +222,10 @@ mod tests {
         assert!(!o.initial_state_search);
         assert!(!o.state_hashing);
         assert!(o.cow_snapshots, "COW Save/Restore is the default path");
+        assert_eq!(
+            o.exec_mode,
+            ExecMode::Compiled,
+            "the bytecode VM is the default executor"
+        );
     }
 }

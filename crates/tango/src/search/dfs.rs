@@ -231,6 +231,13 @@ fn search(
     // A resumed search gets a fresh wall-clock allowance.
     let deadline = options.limits.max_wall_time.map(|d| Instant::now() + d);
 
+    // Per-search *Generate* scratch, refilled in place by `generate_into`:
+    // single-child expansions (the overwhelmingly common case on valid
+    // traces) reuse the same fireable buffer instead of allocating a fresh
+    // `Generated` per node; only multi-child nodes move the buffer into
+    // their backtracking frame.
+    let mut gen = estelle_runtime::Generated::default();
+
     let reason = loop {
         tel.tick(stats, options.limits.max_transitions);
         // Governance, checked before the next step mutates anything: a
@@ -287,8 +294,10 @@ fn search(
 
             stats.generates += 1;
             let gen_t0 = tel.timer();
-            let gen = match guard("generate", || machine.generate(&mut state, env)) {
-                Ok(g) => g,
+            match guard("generate", || {
+                machine.generate_into(&mut state, env, &mut gen)
+            }) {
+                Ok(()) => {}
                 Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
                 Err(e) => {
                     record_error(&mut spec_errors, stats, e);
@@ -332,7 +341,7 @@ fn search(
                 stack.push(Frame {
                     state: snapshot,
                     cursors,
-                    fireable: gen.fireable,
+                    fireable: std::mem::take(&mut gen.fireable),
                     next: 1,
                     path_len: path.len(),
                     barren,

@@ -152,7 +152,9 @@ pub fn run_mdfs(
     // Cumulative idle-poll sleep; elapsed minus this is the worker's
     // genuine busy time.
     let mut slept = Duration::ZERO;
-    let machine = machine.policy_view(options.policy);
+    let machine = machine
+        .policy_view(options.policy)
+        .exec_view(options.exec_mode);
     let mut stats = SearchStats::default();
     let mut spec_errors: Vec<RuntimeError> = Vec::new();
 
@@ -195,6 +197,11 @@ pub fn run_mdfs(
     }
 
     let mut last_status: Option<Verdict> = None;
+
+    // Per-search *Generate* scratch, refilled in place by `generate_into`
+    // so every node expansion reuses one fireable buffer (the untried list
+    // drains it rather than consuming the whole `Generated`).
+    let mut gen = estelle_runtime::Generated::default();
 
     loop {
         // Absorb anything the source produced.
@@ -298,8 +305,10 @@ pub fn run_mdfs(
             let mut st = copy_state(&node.state, options);
             stats.generates += 1;
             let gen_t0 = tel.timer();
-            let gen = match guard("generate", || machine.generate(&mut st, &env)) {
-                Ok(g) => g,
+            match guard("generate", || {
+                machine.generate_into(&mut st, &env, &mut gen)
+            }) {
+                Ok(()) => {}
                 Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
                 Err(e) => {
                     record_error(&mut spec_errors, &mut stats, e);
@@ -312,7 +321,7 @@ pub fn run_mdfs(
             let is_pg = gen.incomplete;
             let untried: Vec<_> = gen
                 .fireable
-                .into_iter()
+                .drain(..)
                 .filter(|f| !node.tried.contains(&f.trans) && !node.blocked.contains(&f.trans))
                 .collect();
             // Fanout as the search sees it: candidates not yet explored

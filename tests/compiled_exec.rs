@@ -1,0 +1,374 @@
+//! Compiled-vs-interpreted executor equivalence (DESIGN §6.9).
+//!
+//! The bytecode VM with its by-control-state dispatch index
+//! (`exec_mode = Compiled`, the default) and the tree-walking reference
+//! interpreter (`--exec=interp`) must be observationally identical:
+//! same fireable sets in the same order, same verdicts, same TE/GE/RE/SA
+//! counters, byte-identical single-worker telemetry streams, identical
+//! profiler attribution — only transitions-per-second may differ. These
+//! tests pin that equivalence across the TP0, LAPD and synthetic
+//! protocol families, and at the raw `Machine::generate` level where
+//! the dispatch index replaces the linear transition scan.
+
+use estelle_runtime::{
+    ExecMode, FireOutcome, InputSource, Machine, OutputSink, QueueHead, Value,
+};
+use protocols::{lapd, synthetic::SyntheticSpec, tp0};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use tango::{
+    AnalysisOptions, AnalysisReport, ChoicePolicy, JsonlSink, SearchStats, StaticSource,
+    Telemetry, Trace, TraceAnalyzer, Verdict,
+};
+
+/// The counters the paper's tables report; `wall_time` is excluded since
+/// the two executors differ precisely in how long the same work takes.
+fn counters(s: &SearchStats) -> (u64, u64, u64, u64) {
+    (s.transitions_executed, s.generates, s.restores, s.saves)
+}
+
+fn with_exec(exec: ExecMode) -> AnalysisOptions {
+    AnalysisOptions {
+        exec_mode: exec,
+        ..AnalysisOptions::default()
+    }
+}
+
+fn invalid_tp0_trace() -> Trace {
+    tp0::invalidate_last_data(&tp0::complete_valid_trace(3, 3, 1))
+        .expect("complete trace has a data output to corrupt")
+}
+
+/// A `Write` target the test can still read after the sink is boxed away
+/// inside the telemetry handle.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn traced_handle() -> (Telemetry, SharedBuf) {
+    let buf = SharedBuf::default();
+    let tel = Telemetry::off().with_sink(Box::new(JsonlSink::new(buf.clone())));
+    (tel, buf)
+}
+
+fn count_kind(stream: &str, kind: &str) -> u64 {
+    let needle = format!("\"ev\":\"{}\"", kind);
+    stream.lines().filter(|l| l.contains(&needle)).count() as u64
+}
+
+fn assert_counts_match(report: &AnalysisReport, stream: &str) {
+    assert_eq!(count_kind(stream, "fire"), report.stats.transitions_executed);
+    assert_eq!(count_kind(stream, "generate"), report.stats.generates);
+    assert_eq!(count_kind(stream, "restore"), report.stats.restores);
+    assert_eq!(count_kind(stream, "save"), report.stats.saves);
+}
+
+/// The differential matrix: every protocol family the benches use, both
+/// verdict polarities where a corrupter exists.
+fn matrix() -> Vec<(&'static str, TraceAnalyzer, Trace, Option<Verdict>)> {
+    let spec = SyntheticSpec::new(6, 60);
+    let synth = spec.analyzer();
+    let synth_trace = synth
+        .generate_trace(&spec.workload(20), ChoicePolicy::First, 10_000)
+        .expect("synthetic self-trace");
+    vec![
+        (
+            "tp0-valid",
+            tp0::analyzer(),
+            tp0::complete_valid_trace(3, 3, 1),
+            Some(Verdict::Valid),
+        ),
+        (
+            "tp0-invalid",
+            tp0::analyzer(),
+            invalid_tp0_trace(),
+            Some(Verdict::Invalid),
+        ),
+        (
+            "lapd-valid",
+            lapd::analyzer(),
+            lapd::valid_trace(2, 2, 1),
+            Some(Verdict::Valid),
+        ),
+        (
+            "lapd-expanded",
+            lapd::analyzer_expanded(),
+            lapd::valid_trace(2, 2, 1),
+            Some(Verdict::Valid),
+        ),
+        ("synthetic", synth, synth_trace, Some(Verdict::Valid)),
+    ]
+}
+
+#[test]
+fn exec_modes_agree_across_the_protocol_matrix() {
+    for (name, analyzer, trace, want) in matrix() {
+        let compiled = analyzer.analyze(&trace, &with_exec(ExecMode::Compiled)).unwrap();
+        let interp = analyzer.analyze(&trace, &with_exec(ExecMode::Interp)).unwrap();
+        if let Some(want) = want {
+            assert_eq!(compiled.verdict, want, "{}", name);
+        }
+        assert_eq!(compiled.verdict, interp.verdict, "{}", name);
+        assert_eq!(
+            counters(&compiled.stats),
+            counters(&interp.stats),
+            "{}: TE/GE/RE/SA must be identical across executors",
+            name
+        );
+        assert_eq!(compiled.witness, interp.witness, "{}", name);
+    }
+}
+
+#[test]
+fn dfs_streams_are_byte_identical_across_exec_modes() {
+    let analyzer = tp0::analyzer();
+    let trace = invalid_tp0_trace();
+    let mut streams = Vec::new();
+    for exec in [ExecMode::Compiled, ExecMode::Interp] {
+        let (mut tel, buf) = traced_handle();
+        let report = analyzer
+            .analyze_with(&trace, &with_exec(exec), &mut tel)
+            .unwrap();
+        tel.finalize(&report.stats);
+        let stream = buf.contents();
+        assert_eq!(report.verdict, Verdict::Invalid, "{}", exec.name());
+        assert_counts_match(&report, &stream);
+        streams.push(stream);
+    }
+    assert_eq!(
+        streams[0], streams[1],
+        "the event stream must not betray which executor ran"
+    );
+}
+
+#[test]
+fn mdfs_streams_are_byte_identical_across_exec_modes() {
+    let analyzer = tp0::analyzer();
+    let trace = invalid_tp0_trace();
+    let mut streams = Vec::new();
+    for exec in [ExecMode::Compiled, ExecMode::Interp] {
+        let (mut tel, buf) = traced_handle();
+        let mut source = StaticSource::new(trace.clone());
+        let report = analyzer
+            .analyze_online_with(&mut source, &with_exec(exec), &mut |_| true, &mut tel)
+            .unwrap();
+        tel.finalize(&report.stats);
+        let stream = buf.contents();
+        assert_eq!(report.verdict, Verdict::Invalid, "{}", exec.name());
+        assert_counts_match(&report, &stream);
+        streams.push(stream);
+    }
+    assert_eq!(streams[0], streams[1]);
+}
+
+/// Satellite: the scratch-buffer `generate` path must still record one
+/// latency sample per *Generate* in both executors — the histogram that
+/// pins the per-call `Generated::default()` churn fix.
+#[test]
+fn generate_latency_histogram_counts_ge_in_both_modes() {
+    let analyzer = tp0::analyzer();
+    let trace = invalid_tp0_trace();
+    let mut ge = Vec::new();
+    for exec in [ExecMode::Compiled, ExecMode::Interp] {
+        let mut tel = Telemetry::off().with_metrics();
+        let report = analyzer
+            .analyze_with(&trace, &with_exec(exec), &mut tel)
+            .unwrap();
+        tel.finalize(&report.stats);
+        let m = tel.metrics().expect("metrics were requested");
+        let h = m
+            .histogram("search.generate_latency_us")
+            .expect("generate latency is always observed with metrics on");
+        assert_eq!(
+            h.count(),
+            report.stats.generates,
+            "{}: one latency sample per GE",
+            exec.name()
+        );
+        assert!(h.sum() >= 0.0);
+        ge.push(report.stats.generates);
+    }
+    assert_eq!(ge[0], ge[1]);
+}
+
+/// Satellite: the profiler must attribute fire/fail counts identically
+/// under the VM — only the timing column may differ.
+#[test]
+fn profiler_attribution_is_identical_across_exec_modes() {
+    let analyzer = tp0::analyzer();
+    let trace = invalid_tp0_trace();
+    let n = analyzer.machine.module.transition_count();
+    let mut attributions = Vec::new();
+    for exec in [ExecMode::Compiled, ExecMode::Interp] {
+        let mut tel = Telemetry::off().with_profile(n);
+        let report = analyzer
+            .analyze_with(&trace, &with_exec(exec), &mut tel)
+            .unwrap();
+        let p = tel.profile().expect("profile was requested");
+        let counts: Vec<(u64, u64)> = p.entries().iter().map(|e| (e.fires, e.fails)).collect();
+        assert_eq!(
+            counts.iter().map(|(f, x)| f + x).sum::<u64>(),
+            report.stats.transitions_executed,
+            "{}: per-transition attempts must sum to TE",
+            exec.name()
+        );
+        attributions.push(counts);
+    }
+    assert_eq!(
+        attributions[0], attributions[1],
+        "fire/fail attribution must not depend on the executor"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Raw Machine-level equivalence: the dispatch index vs the linear scan.
+// ---------------------------------------------------------------------
+
+/// A single-queue scripted environment (same shape as the runtime's own
+/// language-feature tests).
+struct Env {
+    msgs: Vec<(usize, Vec<Value>)>,
+    pos: usize,
+    outputs: Vec<(usize, usize, Vec<Value>)>,
+}
+
+impl Env {
+    fn new(msgs: Vec<(usize, Vec<Value>)>) -> Self {
+        Env {
+            msgs,
+            pos: 0,
+            outputs: Vec::new(),
+        }
+    }
+}
+
+impl InputSource for Env {
+    fn head(&self, _ip: usize) -> QueueHead {
+        match self.msgs.get(self.pos) {
+            Some((interaction, params)) => QueueHead::Message {
+                interaction: *interaction,
+                params: params.clone(),
+            },
+            None => QueueHead::Empty,
+        }
+    }
+    fn consume(&mut self, _ip: usize) {
+        self.pos += 1;
+    }
+}
+
+impl OutputSink for Env {
+    fn emit(&mut self, ip: usize, interaction: usize, params: Vec<Value>) -> bool {
+        self.outputs.push((ip, interaction, params));
+        true
+    }
+}
+
+/// A spec that exercises every dispatch-index bucket shape: a state with
+/// several `when` transitions, a guard with a side-effecting function
+/// call (the VM's scratch-clone branch), a spontaneous transition, and a
+/// state with no outgoing transitions at all.
+const BUCKETS: &str = r#"
+    specification buckets;
+    channel C(env, m);
+        by env: go(n : integer); kick;
+        by m: out1(v : integer);
+    end;
+    module M process; ip P : C(m); end;
+    body MB for M;
+        var acc : integer;
+        function bump(v : integer) : integer;
+        begin acc := acc + 1; bump := v + 1 end;
+        state A, B, Dead;
+        initialize to A begin acc := 0 end;
+        trans
+        from A to B when P.go provided bump(n) > 3 name HighGo:
+            begin output P.out1(n) end;
+        from A to B when P.go provided n <= 2 name LowGo:
+            begin acc := acc + n end;
+        from A to A when P.kick name Kick: begin end;
+        from B to A provided acc > 10 name Drain: begin acc := 0 end;
+        from B to Dead when P.go name Die: begin end;
+    end;
+    end.
+"#;
+
+fn key(f: &estelle_runtime::Fireable) -> (usize, Vec<Value>, bool) {
+    (f.trans, f.params.clone(), f.fabricated)
+}
+
+#[test]
+fn dispatch_index_matches_linear_scan_step_by_step() {
+    let compiled = Machine::from_source(BUCKETS).unwrap();
+    let interp = compiled.exec_view(ExecMode::Interp);
+    let script = vec![
+        (0, vec![Value::Int(9)]), // HighGo and Die candidates
+        (0, vec![Value::Int(1)]), // LowGo (guard splits the bucket)
+        (1, vec![]),              // Kick self-loop
+        (0, vec![Value::Int(4)]),
+    ];
+
+    let mut st_c = compiled.initial_state().unwrap();
+    let mut st_i = interp.initial_state().unwrap();
+    assert_eq!(st_c, st_i, "initialize must agree before any step");
+
+    let mut env_c = Env::new(script.clone());
+    let mut env_i = Env::new(script);
+    for step in 0..8 {
+        let gc = compiled.generate(&mut st_c, &env_c).unwrap();
+        let gi = interp.generate(&mut st_i, &env_i).unwrap();
+        assert_eq!(
+            gc.fireable.iter().map(key).collect::<Vec<_>>(),
+            gi.fireable.iter().map(key).collect::<Vec<_>>(),
+            "step {}: fireable sets must match element-for-element",
+            step
+        );
+        assert_eq!(gc.incomplete, gi.incomplete, "step {}", step);
+        let Some(first) = gc.fireable.first() else {
+            break;
+        };
+        let oc = compiled.fire(&mut st_c, first, &mut env_c).unwrap();
+        let oi = interp.fire(&mut st_i, first, &mut env_i).unwrap();
+        assert_eq!(oc, FireOutcome::Completed);
+        assert_eq!(oc, oi, "step {}", step);
+        assert_eq!(st_c, st_i, "step {}: post-fire states must agree", step);
+        assert_eq!(env_c.outputs, env_i.outputs, "step {}", step);
+    }
+    assert!(!env_c.outputs.is_empty(), "the script must reach an output");
+}
+
+#[test]
+fn dispatch_index_agrees_on_synthetic_and_lapd_machines() {
+    let mut sources = vec![SyntheticSpec::new(5, 120).source()];
+    sources.push(lapd::source_expanded());
+    for src in sources {
+        let compiled = Machine::from_source(&src).unwrap();
+        let interp = compiled.exec_view(ExecMode::Interp);
+        let mut st = compiled.initial_state().unwrap();
+        // With no inputs queued only spontaneous transitions are
+        // candidates — exactly the bucket walk the index optimises.
+        let env = estelle_runtime::env::NullEnv::default();
+        let gc = compiled.generate(&mut st, &env).unwrap();
+        let gi = interp.generate(&mut st, &env).unwrap();
+        assert_eq!(
+            gc.fireable.iter().map(key).collect::<Vec<_>>(),
+            gi.fireable.iter().map(key).collect::<Vec<_>>()
+        );
+        assert_eq!(gc.incomplete, gi.incomplete);
+    }
+}

@@ -103,6 +103,57 @@ fn cross_mode_save_and_resume_through_disk() {
     }
 }
 
+/// A checkpoint carries search structure, not executor artifacts: a file
+/// saved while running the tree-walking interpreter (`--exec=interp`)
+/// resumes under the bytecode VM (and vice versa) with the verdict and
+/// TE/GE/RE/SA totals of an uninterrupted run in either mode.
+#[test]
+fn cross_exec_mode_save_and_resume_through_disk() {
+    use estelle_runtime::ExecMode;
+    let with_exec = |exec| AnalysisOptions {
+        exec_mode: exec,
+        ..AnalysisOptions::default()
+    };
+    let a = tp0::analyzer();
+    let bad = invalid_tp0_trace();
+    let baseline = a.analyze(&bad, &with_exec(ExecMode::Compiled)).unwrap();
+    assert_eq!(baseline.verdict, Verdict::Invalid);
+
+    for (save_exec, resume_exec) in [
+        (ExecMode::Interp, ExecMode::Compiled),
+        (ExecMode::Compiled, ExecMode::Interp),
+    ] {
+        let mut limited = with_exec(save_exec);
+        limited.limits.max_transitions = (baseline.stats.transitions_executed / 3).max(1);
+        let stopped = a.analyze(&bad, &limited).unwrap();
+        let cp = stopped.checkpoint.expect("limit stop must be resumable");
+
+        let path = temp_file(if save_exec == ExecMode::Interp {
+            "interp-to-compiled"
+        } else {
+            "compiled-to-interp"
+        });
+        cp.write_to(&path).expect("checkpoint writes");
+        let cp = Checkpoint::read_from(&path).expect("checkpoint reads");
+
+        let resumed = a.analyze_resume(cp, &with_exec(resume_exec)).unwrap();
+        assert_eq!(
+            resumed.verdict,
+            Verdict::Invalid,
+            "save exec={} resume exec={}",
+            save_exec.name(),
+            resume_exec.name()
+        );
+        assert_eq!(
+            counters(&resumed.stats),
+            counters(&baseline.stats),
+            "save exec={} resume exec={}",
+            save_exec.name(),
+            resume_exec.name()
+        );
+    }
+}
+
 /// `SearchStats::wall_time` must accumulate across stop/resume rounds —
 /// each round adds its own elapsed time to the total carried by the
 /// checkpoint (in memory and through the file's nanosecond encoding)
