@@ -58,6 +58,32 @@ grep -q "progress: TE=" "$CKPT_DIR/progress.txt"
 grep -q '"ev":"verdict"' "$CKPT_DIR/events.jsonl"
 grep -q '"schema": "tango-metrics"' "$CKPT_DIR/metrics.json"
 
+echo "== spill tiering smoke =="
+# All-RAM vs spilled-to-disk run of the same analysis: the tier changes
+# where bytes live, never what the search decides, so the verdict and
+# the TE/GE/RE/SA counters must come out identical. The library-level
+# equivalence and segment corruption-matrix suites run first.
+cargo test -q --test spill_equivalence --test spill_codec
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" \
+    > "$CKPT_DIR/all-ram.txt"
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" \
+    --max-mem 256 --spill on --spill-dir "$CKPT_DIR/spill" > "$CKPT_DIR/spilled.txt"
+verdict_and_counters() {
+    sed -n 's/.*verdict: \([a-z]*\).*\(TE=[0-9]* GE=[0-9]* RE=[0-9]* SA=[0-9]*\).*/\1 \2/p' "$1"
+}
+[ -n "$(verdict_and_counters "$CKPT_DIR/all-ram.txt")" ]
+[ "$(verdict_and_counters "$CKPT_DIR/all-ram.txt")" = "$(verdict_and_counters "$CKPT_DIR/spilled.txt")" ]
+ls "$CKPT_DIR/spill"/spill-*.seg > /dev/null
+# An unusable spill directory (here: a regular file) must degrade to a
+# typed inconclusive with the fault on stderr — exit 2, never a panic.
+: > "$CKPT_DIR/not-a-dir"
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" \
+    --max-mem 256 --spill on --spill-dir "$CKPT_DIR/not-a-dir" \
+    > "$CKPT_DIR/degraded.txt" 2> "$CKPT_DIR/degraded.err" \
+    && { echo "expected a SpillFailure (exit 2) stop"; exit 1; } || [ "$?" -eq 2 ]
+grep -q "SpillFailure" "$CKPT_DIR/degraded.txt"
+grep -q "spill fault:" "$CKPT_DIR/degraded.err"
+
 echo "== exec A/B differential smoke =="
 # Compiled VM vs. tree-walking interpreter must agree everywhere; the
 # dedicated suite checks fireable sets, verdicts, counters, telemetry
@@ -95,5 +121,17 @@ cargo run -q --release -p bench --bin snapshot_bench -- --quick
 cargo run -q --release -p bench --bin snapshot_bench -- --check BENCH_snapshots.json
 mv BENCH_snapshots.json.orig BENCH_snapshots.json
 cargo run -q --release -p bench --bin snapshot_bench -- --check BENCH_snapshots.json
+
+echo "== spill bench smoke (quick mode) =="
+# Run the memory-tiering ladder on a reduced workload; the binary itself
+# asserts every spilled row reproduces the all-RAM verdict and
+# TE/GE/RE/SA and that the tightest budget without the tier still dies
+# Inconclusive(MemoryLimit). Keep the committed full-size record;
+# validate the quick one, then restore.
+cp BENCH_spill.json BENCH_spill.json.orig
+cargo run -q --release -p bench --bin spill -- --quick
+cargo run -q --release -p bench --bin spill -- --check BENCH_spill.json
+mv BENCH_spill.json.orig BENCH_spill.json
+cargo run -q --release -p bench --bin spill -- --check BENCH_spill.json
 
 echo "CI OK"

@@ -88,6 +88,7 @@ fn usage() -> String {
      [trace.txt|script.txt] [--order nr|io|ip|full] [--disable-ip NAME] \
      [--unobserved-ip NAME] [--initial-state-search] [--state-hashing] \
      [--cow=on|off] [--exec=compiled|interp] [--max-seconds F] [--max-mem N[k|m|g][b]] \
+     [--spill=on|off|auto] [--spill-dir PATH] \
      [--max-transitions N] [--checkpoint-file PATH] [--checkpoint-every N] \
      [--resume PATH] [--on-truncate restart|fail] [--seed N] \
      [--trace-out PATH] [--metrics-out PATH] [--progress SECS|jsonl[:SECS]] \
@@ -372,6 +373,17 @@ fn parse_options(
                 let v = it.next().ok_or("--max-mem needs a value")?;
                 options.limits.max_state_bytes = Some(parse_bytes(v)?);
             }
+            "--spill" => {
+                let v = it.next().ok_or("--spill needs on|off|auto")?;
+                options.spill.mode = v.parse()?;
+            }
+            flag if flag.starts_with("--spill=") => {
+                options.spill.mode = flag["--spill=".len()..].parse()?;
+            }
+            "--spill-dir" => {
+                let v = it.next().ok_or("--spill-dir needs a path")?;
+                options.spill.dir = Some(PathBuf::from(v));
+            }
             "--on-truncate" => {
                 let v = it.next().ok_or("--on-truncate needs a value")?;
                 recovery = match v.to_ascii_lowercase().as_str() {
@@ -436,6 +448,16 @@ fn parse_options(
                 return Err(format!("unknown flag `{}`", flag));
             }
             _ => positional.push(a.clone()),
+        }
+    }
+    if options.spill.mode == tango::SpillMode::On {
+        if options.spill.dir.is_none() {
+            return Err("--spill on requires --spill-dir PATH".to_string());
+        }
+        if options.limits.max_state_bytes.is_none() {
+            return Err(
+                "--spill on requires a --max-mem budget to tier against".to_string(),
+            );
         }
     }
     Ok((options, recovery, ckpt, tflags, positional))
@@ -538,6 +560,9 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
     for fault in &report.source_faults {
         eprintln!("source fault: {}", fault);
     }
+    for fault in &report.spill_faults {
+        eprintln!("spill fault: {}", fault);
+    }
     if report.checkpoint.is_some() {
         match &ckpt.file {
             Some(path) => eprintln!(
@@ -600,14 +625,21 @@ fn run_static(
     };
 
     loop {
-        // Autosave on every limit stop, synthetic or genuine.
+        // Autosave on every limit stop, synthetic or genuine. A write
+        // failure (after the codec's own bounded retries) costs the
+        // durability of this round, not the analysis: warn and carry on.
         if let (Some(path), Some(cp)) = (&ckpt.file, report.checkpoint.as_deref()) {
-            cp.write_to(path)
-                .map_err(|e| format!("cannot write checkpoint: {}", e))?;
-            tel.on_checkpoint(
-                cp.stats().transitions_executed,
-                &path.display().to_string(),
-            );
+            match cp.write_to(path) {
+                Ok(()) => tel.on_checkpoint(
+                    cp.stats().transitions_executed,
+                    &path.display().to_string(),
+                ),
+                Err(e) => eprintln!(
+                    "warning: checkpoint autosave failed: {}; analysis continues \
+                     (rerun will not be resumable past the last good save)",
+                    e
+                ),
+            }
         }
         // A synthetic stop is a transition-limit stop below the user's
         // own cap: continue the next round in-process. Anything else —
@@ -697,6 +729,43 @@ mod tests {
         assert!(opts.cow_snapshots);
         assert!(parse_options(&["--cow=sideways".to_string()]).is_err());
         assert!(parse_options(&["--cow".to_string()]).is_err());
+    }
+
+    #[test]
+    fn spill_flag_both_spellings_and_validation() {
+        use tango::SpillMode;
+        let (opts, _, _, _, _) = parse_options(&["x".to_string()]).unwrap();
+        assert_eq!(opts.spill.mode, SpillMode::Auto, "auto is the default");
+        assert!(opts.spill.dir.is_none());
+
+        let args: Vec<String> = ["--spill=on", "--spill-dir", "/tmp/s", "--max-mem", "1m", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (opts, _, _, _, _) = parse_options(&args).unwrap();
+        assert_eq!(opts.spill.mode, SpillMode::On);
+        assert_eq!(opts.spill.dir.as_deref(), Some(std::path::Path::new("/tmp/s")));
+        assert_eq!(opts.limits.max_state_bytes, Some(1 << 20));
+
+        let args: Vec<String> = ["--spill", "off", "x"].iter().map(|s| s.to_string()).collect();
+        let (opts, _, _, _, _) = parse_options(&args).unwrap();
+        assert_eq!(opts.spill.mode, SpillMode::Off);
+
+        assert!(parse_options(&["--spill=sideways".to_string()]).is_err());
+        assert!(parse_options(&["--spill".to_string()]).is_err());
+        // `on` without a directory or without a budget is rejected up front.
+        let e = parse_options(
+            &["--spill=on".to_string(), "--max-mem".to_string(), "1m".to_string()],
+        )
+        .unwrap_err();
+        assert!(e.contains("--spill-dir"), "{}", e);
+        let e = parse_options(&[
+            "--spill=on".to_string(),
+            "--spill-dir".to_string(),
+            "/tmp/s".to_string(),
+        ])
+        .unwrap_err();
+        assert!(e.contains("--max-mem"), "{}", e);
     }
 
     #[test]

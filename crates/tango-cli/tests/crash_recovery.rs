@@ -93,7 +93,12 @@ fn stdout_of(out: &Output) -> String {
 /// it; returns (verdict line contains `invalid`, counters) of the
 /// resumed run. `save_cow`/`resume_cow` select the snapshot mode of each
 /// phase, proving the file is mode-portable across processes too.
-fn crash_and_resume(tag: &str, save_cow: &str, resume_cow: &str) -> (String, (u64, u64, u64, u64)) {
+fn crash_and_resume(
+    tag: &str,
+    save_cow: &str,
+    resume_cow: &str,
+    extra: &[&str],
+) -> (String, (u64, u64, u64, u64)) {
     let dir = tmpdir(tag);
     let (spec, trace) = write_inputs(&dir);
     let ckpt = dir.join("autosave.bin");
@@ -104,6 +109,7 @@ fn crash_and_resume(tag: &str, save_cow: &str, resume_cow: &str) -> (String, (u6
         .arg(&spec)
         .arg(&trace)
         .args(["--checkpoint-every", "2000", "--cow", save_cow])
+        .args(extra)
         .arg("--checkpoint-file")
         .arg(&ckpt)
         .stdout(Stdio::null())
@@ -160,6 +166,7 @@ fn crash_and_resume(tag: &str, save_cow: &str, resume_cow: &str) -> (String, (u6
         .arg("--resume")
         .arg(&ckpt)
         .args(["--cow", resume_cow])
+        .args(extra)
         .output()
         .expect("run resume");
     let text = stdout_of(&resumed);
@@ -192,7 +199,7 @@ fn sigkill_mid_analysis_then_resume_matches_uninterrupted_run() {
     assert!(base_text.contains("verdict: invalid"), "{}", base_text);
     let base_counters = parse_counters(&base_text);
 
-    let (text, counters) = crash_and_resume("kill-default", "on", "on");
+    let (text, counters) = crash_and_resume("kill-default", "on", "on", &[]);
     assert!(text.contains("verdict: invalid"), "{}", text);
     assert_eq!(
         counters, base_counters,
@@ -202,10 +209,47 @@ fn sigkill_mid_analysis_then_resume_matches_uninterrupted_run() {
     // Cross-mode recovery: crash under the deep-clone baseline, resume
     // under COW. The checkpoint file carries per-frame intern keys and
     // byte charges, so the mode switch changes cost only, not totals.
-    let (text, counters) = crash_and_resume("kill-cross-mode", "off", "on");
+    let (text, counters) = crash_and_resume("kill-cross-mode", "off", "on", &[]);
     assert!(text.contains("verdict: invalid"), "{}", text);
     assert_eq!(
         counters, base_counters,
         "--cow=off save / --cow=on resume must reproduce the same totals"
     );
+}
+
+#[test]
+fn sigkill_mid_spill_then_disk_resume_matches_uninterrupted_run() {
+    let dir = tmpdir("spill-baseline");
+    let (spec, trace) = write_inputs(&dir);
+    let baseline = bin()
+        .arg("analyze")
+        .arg(&spec)
+        .arg(&trace)
+        .output()
+        .expect("run baseline");
+    let base_text = stdout_of(&baseline);
+    assert_eq!(baseline.status.code(), Some(1), "{}", base_text);
+    let base_counters = parse_counters(&base_text);
+
+    // Under a tight budget the analyzer spills snapshots to segment
+    // files as it runs; SIGKILL can strike mid-append, leaving a torn
+    // segment tail. The resumed process reopens the same spill
+    // directory, steps over the tear, adopts the intact records, and
+    // must still reproduce the uninterrupted totals exactly — the tier
+    // changes where bytes live, never what the search decides.
+    let spill_dir = tmpdir("spill-segments");
+    let spill = spill_dir.to_str().unwrap();
+    let extra = ["--max-mem", "256", "--spill", "on", "--spill-dir", spill];
+    let (text, counters) = crash_and_resume("kill-spill", "on", "on", &extra);
+    assert!(text.contains("verdict: invalid"), "{}", text);
+    assert_eq!(
+        counters, base_counters,
+        "kill-9 mid-spill + disk resume must reproduce the uninterrupted totals"
+    );
+    let segments = std::fs::read_dir(&spill_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+        .count();
+    assert!(segments > 0, "the budget must actually have forced spilling");
 }

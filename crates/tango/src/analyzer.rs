@@ -148,6 +148,7 @@ impl TraceAnalyzer {
                 let outcome = run_dfs(&machine, &mut env, start, options, &mut stats, tel)?;
                 report.stats.absorb(&stats);
                 report.spec_errors.extend(outcome.spec_errors);
+                report.spill_faults.extend(outcome.spill_faults);
                 if outcome.verdict == Verdict::Valid {
                     report.verdict = Verdict::Valid;
                     report.witness = outcome.witness;
@@ -255,6 +256,7 @@ fn report_from_outcome(
     let mut report = AnalysisReport::new(outcome.verdict, stats);
     report.witness = outcome.witness;
     report.spec_errors = outcome.spec_errors;
+    report.spill_faults = outcome.spill_faults;
     if report.verdict == Verdict::Invalid {
         report.best_effort = Some(crate::verdict::BestEffort {
             events_explained: outcome.best.0,

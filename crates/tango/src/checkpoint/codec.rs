@@ -47,7 +47,7 @@
 use super::Checkpoint;
 use crate::env::Cursors;
 use crate::search::dfs::{DfsCheckpoint, Frame};
-use crate::search::snapshot::{FxBuildHasher, SavedState};
+use crate::search::snapshot::{FxBuildHasher, SavedState, Slot};
 use crate::stats::SearchStats;
 use crate::trace::{Dir, ResolvedEvent, ResolvedTrace};
 use estelle_ast::Span;
@@ -69,7 +69,9 @@ pub const MAGIC: [u8; 8] = *b"TANGOCKP";
 /// Current format version. Bump on any change to the byte layout; old
 /// readers refuse newer files with
 /// [`CheckpointError::UnsupportedVersion`] instead of misreading them.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the spill counters to the stats block and the
+/// explicit charges-state flag to each DFS frame.
+pub const FORMAT_VERSION: u32 = 2;
 
 const SEC_META: u32 = 1;
 const SEC_TRACE: u32 = 2;
@@ -174,7 +176,7 @@ impl Checkpoint {
     /// On return the file is durable (fsynced); on error the previous
     /// contents of `path`, if any, are untouched.
     pub fn write_to(&self, path: &Path) -> Result<(), CheckpointError> {
-        write_atomic(path, &encode_checkpoint(self))
+        write_atomic(path, &encode_checkpoint(self)?)
     }
 
     /// Load a checkpoint written by [`Checkpoint::write_to`], verifying
@@ -198,8 +200,9 @@ impl Checkpoint {
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the classic
 /// bitwise formulation; checkpoint I/O is nowhere near hot enough to
-/// justify a table.
-fn crc32(bytes: &[u8]) -> u32 {
+/// justify a table. Shared with the spill-segment format, which
+/// checksums each record payload with the same function.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = u32::MAX;
     for &b in bytes {
         crc ^= u32::from(b);
@@ -213,18 +216,26 @@ fn crc32(bytes: &[u8]) -> u32 {
 
 // ------------------------------------------------------------- encoding
 
-fn encode_checkpoint(cp: &Checkpoint) -> Vec<u8> {
-    // Unique-state table: frames whose saves were interned share an
-    // `Rc`, so pointer identity recovers the dedup the snapshot store
-    // established. Each unique snapshot is written once.
-    let mut order: Vec<&Rc<MachineState>> = Vec::new();
-    let mut index: HashMap<*const MachineState, u32> = HashMap::new();
+fn encode_checkpoint(cp: &Checkpoint) -> Result<Vec<u8>, CheckpointError> {
+    // Unique-state table: frames whose saves were interned share a
+    // snapshot slot, so slot identity recovers the dedup the snapshot
+    // store established. Each unique snapshot is written once. The
+    // search makes every frame resident before checkpointing; a spilled
+    // frame here means that read-back failed, which is not encodable.
+    let mut order: Vec<Rc<MachineState>> = Vec::new();
+    let mut index: HashMap<usize, u32> = HashMap::new();
     for f in &cp.dfs.stack {
-        let (rc, _, _) = f.state.raw_parts();
-        index.entry(Rc::as_ptr(rc)).or_insert_with(|| {
+        let slot = f.state.slot_id();
+        if let std::collections::hash_map::Entry::Vacant(e) = index.entry(slot) {
+            let rc = f.state.resident_state().ok_or_else(|| {
+                CheckpointError::Malformed(
+                    "cannot encode a checkpoint while a frame's snapshot is spilled to disk"
+                        .to_string(),
+                )
+            })?;
+            e.insert(order.len() as u32);
             order.push(rc);
-            (order.len() - 1) as u32
-        });
+        }
     }
 
     let sections = [
@@ -246,7 +257,7 @@ fn encode_checkpoint(cp: &Checkpoint) -> Vec<u8> {
     }
     let digest = crc32(&out);
     out.extend_from_slice(&digest.to_le_bytes());
-    out
+    Ok(out)
 }
 
 fn encode_meta(cp: &Checkpoint) -> Vec<u8> {
@@ -275,6 +286,12 @@ fn encode_stats(w: &mut ByteWriter, s: &SearchStats) {
     w.put_u64(s.intern_hits);
     w.put_usize(s.snapshot_bytes);
     w.put_usize(s.peak_snapshot_bytes);
+    w.put_u64(s.spill_writes);
+    w.put_u64(s.spill_reads);
+    w.put_u64(s.spill_retries);
+    w.put_u64(s.spill_evictions);
+    w.put_usize(s.spilled_bytes);
+    w.put_usize(s.peak_spilled_bytes);
 }
 
 fn encode_trace(trace: &ResolvedTrace) -> Vec<u8> {
@@ -298,7 +315,7 @@ fn encode_trace(trace: &ResolvedTrace) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn encode_states(order: &[&Rc<MachineState>]) -> Vec<u8> {
+fn encode_states(order: &[Rc<MachineState>]) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u32(order.len() as u32);
     for st in order {
@@ -385,17 +402,17 @@ fn encode_path(w: &mut ByteWriter, path: &[String]) {
     }
 }
 
-fn encode_dfs(dfs: &DfsCheckpoint, index: &HashMap<*const MachineState, u32>) -> Vec<u8> {
+fn encode_dfs(dfs: &DfsCheckpoint, index: &HashMap<usize, u32>) -> Vec<u8> {
     let mut w = ByteWriter::new();
     encode_state(&mut w, &dfs.state);
     encode_cursors(&mut w, &dfs.cursors);
     encode_path(&mut w, &dfs.path);
     w.put_u32(dfs.stack.len() as u32);
     for f in &dfs.stack {
-        let (rc, key, bytes) = f.state.raw_parts();
-        w.put_u32(index[&Rc::as_ptr(rc)]);
-        w.put_u64(key);
-        w.put_usize(bytes);
+        w.put_u32(index[&f.state.slot_id()]);
+        w.put_u64(f.state.key());
+        w.put_usize(f.state.bytes());
+        w.put_bool(f.state.charges_state());
         encode_cursors(&mut w, &f.cursors);
         w.put_u32(f.fireable.len() as u32);
         for fr in &f.fireable {
@@ -600,6 +617,12 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<SearchStats, CodecError> {
         intern_hits: r.get_u64("intern hits")?,
         snapshot_bytes: r.get_usize("snapshot bytes")?,
         peak_snapshot_bytes: r.get_usize("peak snapshot bytes")?,
+        spill_writes: r.get_u64("spill writes")?,
+        spill_reads: r.get_u64("spill reads")?,
+        spill_retries: r.get_u64("spill retries")?,
+        spill_evictions: r.get_u64("spill evictions")?,
+        spilled_bytes: r.get_usize("spilled bytes")?,
+        peak_spilled_bytes: r.get_usize("peak spilled bytes")?,
     })
 }
 
@@ -732,6 +755,9 @@ fn decode_dfs(
     let path = decode_path(r)?;
     let nframes = r.get_u32("frame count")? as usize;
     let mut stack = Vec::with_capacity(nframes.min(1024));
+    // Frames that shared a snapshot in the saving search must share one
+    // slot again, so the rebuilt store re-derives the same dedup.
+    let mut slots: Vec<Option<Rc<Slot>>> = vec![None; states.len()];
     for i in 0..nframes {
         let state_index = r.get_u32("frame state index")? as usize;
         let rc = states.get(state_index).ok_or_else(|| {
@@ -744,7 +770,16 @@ fn decode_dfs(
         })?;
         let key = r.get_u64("frame intern key")?;
         let bytes = r.get_usize("frame charged bytes")?;
-        let saved = SavedState::from_raw_parts(Rc::clone(rc), key, bytes);
+        let charges_state = r.get_bool("frame charges-state flag")?;
+        let slot = match &slots[state_index] {
+            Some(s) => Rc::clone(s),
+            None => {
+                let s = SavedState::decoded_slot(key, Rc::clone(rc));
+                slots[state_index] = Some(Rc::clone(&s));
+                s
+            }
+        };
+        let saved = SavedState::from_decoded(slot, bytes, charges_state);
         let cursors = decode_cursors(r)?;
         let nf = r.get_u32("frame fireable count")? as usize;
         let mut fireable = Vec::with_capacity(nf.min(64));
@@ -814,10 +849,54 @@ fn decode_dfs(
 
 // --------------------------------------------------------- atomic write
 
-/// Write `bytes` to `path` atomically: temp file in the same directory,
-/// fsync, rename over the destination, fsync the directory. A crash at
-/// any point leaves either the old file or the new one, never a mix.
+/// Transient write failures absorbed per checkpoint write before the
+/// error surfaces (autosave turns it into a warning, a final write into
+/// a hard error).
+const WRITE_RETRIES: u32 = 3;
+
+/// Write `bytes` to `path` atomically, retrying transient failures with
+/// bounded exponential backoff. Each attempt is the full temp + fsync +
+/// rename sequence of [`write_atomic_once`], so a retry never observes a
+/// half-written file.
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    write_atomic_with(
+        path,
+        bytes,
+        WRITE_RETRIES,
+        &mut |d| std::thread::sleep(d),
+        &mut |p, b| write_atomic_once(p, b),
+    )
+}
+
+/// The retry loop, parameterized over the sleep and the attempt so tests
+/// can inject failing writers and observe the backoff schedule.
+#[allow(clippy::type_complexity)]
+fn write_atomic_with(
+    path: &Path,
+    bytes: &[u8],
+    retries: u32,
+    sleep: &mut dyn FnMut(Duration),
+    attempt: &mut dyn FnMut(&Path, &[u8]) -> Result<(), CheckpointError>,
+) -> Result<(), CheckpointError> {
+    let mut tries = 0u32;
+    loop {
+        match attempt(path, bytes) {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                if tries >= retries {
+                    return Err(e);
+                }
+                tries += 1;
+                sleep(Duration::from_millis(2u64 << tries.min(4)));
+            }
+        }
+    }
+}
+
+/// One write attempt: temp file in the same directory, fsync, rename
+/// over the destination, fsync the directory. A crash at any point
+/// leaves either the old file or the new one, never a mix.
+fn write_atomic_once(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
     let mut tmp_name = path.as_os_str().to_owned();
     tmp_name.push(format!(".tmp.{}", std::process::id()));
     let tmp = PathBuf::from(tmp_name);
@@ -878,6 +957,12 @@ mod tests {
             intern_hits: 19,
             snapshot_bytes: 4096,
             peak_snapshot_bytes: 8192,
+            spill_writes: 23,
+            spill_reads: 17,
+            spill_retries: 2,
+            spill_evictions: 25,
+            spilled_bytes: 2048,
+            peak_spilled_bytes: 3072,
         };
         let mut w = ByteWriter::new();
         encode_stats(&mut w, &s);
@@ -888,6 +973,56 @@ mod tests {
         assert_eq!(back.transitions_executed, s.transitions_executed);
         assert_eq!(back.wall_time, s.wall_time);
         assert_eq!(back.peak_snapshot_bytes, s.peak_snapshot_bytes);
+        assert_eq!(back.spill_writes, s.spill_writes);
+        assert_eq!(back.spill_evictions, s.spill_evictions);
+        assert_eq!(back.peak_spilled_bytes, s.peak_spilled_bytes);
+    }
+
+    #[test]
+    fn atomic_write_retries_transient_failures_with_backoff() {
+        let mut attempts = 0u32;
+        let mut slept: Vec<Duration> = Vec::new();
+        let result = write_atomic_with(
+            Path::new("/ignored"),
+            b"payload",
+            3,
+            &mut |d| slept.push(d),
+            &mut |_, _| {
+                attempts += 1;
+                if attempts < 3 {
+                    Err(CheckpointError::Io(std::io::Error::other("transient")))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(result.is_ok(), "two transient failures must be absorbed");
+        assert_eq!(attempts, 3);
+        assert_eq!(
+            slept,
+            vec![Duration::from_millis(4), Duration::from_millis(8)],
+            "backoff must double between attempts"
+        );
+    }
+
+    #[test]
+    fn atomic_write_surfaces_persistent_failure_after_bounded_retries() {
+        let mut attempts = 0u32;
+        let result = write_atomic_with(
+            Path::new("/ignored"),
+            b"payload",
+            3,
+            &mut |_| {},
+            &mut |_, _| {
+                attempts += 1;
+                Err(CheckpointError::Io(std::io::Error::other("dead disk")))
+            },
+        );
+        match result {
+            Err(CheckpointError::Io(e)) => assert!(e.to_string().contains("dead disk")),
+            other => panic!("persistent failure must surface as Io, got {:?}", other),
+        }
+        assert_eq!(attempts, 4, "retries are bounded: 1 try + 3 retries");
     }
 
     #[test]

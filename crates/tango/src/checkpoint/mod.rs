@@ -111,9 +111,12 @@ impl Checkpoint {
         check_cursors(&self.dfs.cursors, "checkpoint")?;
         for (i, f) in self.dfs.stack.iter().enumerate() {
             check_cursors(&f.cursors, "frame")?;
-            let (state, _, _) = f.state.raw_parts();
-            if state.control.0 >= state_count {
-                return Err(format!("frame {} control state out of range", i));
+            // Decoded frames are always resident (spill residency is a
+            // live-search concern; checkpoints carry the bytes inline).
+            if let Some(state) = f.state.resident_state() {
+                if state.control.0 >= state_count {
+                    return Err(format!("frame {} control state out of range", i));
+                }
             }
             for fireable in &f.fireable {
                 if fireable.trans >= transition_count {

@@ -5,6 +5,7 @@
 //! [`AnalysisOptions`]. The four preset combinations used in the paper's
 //! tables — NR, IO, IP and FULL — are provided as constructors.
 
+use crate::search::spill::SpillOptions;
 use estelle_runtime::{ExecMode, UndefinedPolicy};
 use std::collections::HashSet;
 use std::time::Duration;
@@ -95,8 +96,11 @@ pub struct SearchLimits {
     pub max_wall_time: Option<Duration>,
     /// Budget, in approximate bytes, for the saved state snapshots held
     /// by the search (DFS backtracking frames, MDFS work and PG nodes).
-    /// On excess the search stops with `Inconclusive(MemoryLimit)` — the
-    /// static DFS with a resumable checkpoint.
+    /// What happens on excess depends on [`AnalysisOptions::spill`]:
+    /// with spilling off the search stops with
+    /// `Inconclusive(MemoryLimit)` (the static DFS with a resumable
+    /// checkpoint); with spilling on, cold snapshots are evicted to disk
+    /// and the search continues at disk bandwidth.
     pub max_state_bytes: Option<usize>,
 }
 
@@ -150,6 +154,13 @@ pub struct AnalysisOptions {
     /// A/B measurement. Verdicts, counters and telemetry event streams
     /// are identical either way; only transitions-per-second differ.
     pub exec_mode: ExecMode,
+    /// Disk spill tier for the snapshot store (CLI `--spill`,
+    /// `--spill-dir`): under a `max_state_bytes` budget, degrade to disk
+    /// bandwidth instead of stopping `Inconclusive(MemoryLimit)`.
+    /// Verdicts and the TE/GE/RE/SA counters are identical either way.
+    /// The default (`auto` with no directory) leaves spilling off, so
+    /// budget-only runs keep their stop-with-checkpoint behavior.
+    pub spill: SpillOptions,
     pub limits: SearchLimits,
 }
 
@@ -165,6 +176,7 @@ impl Default for AnalysisOptions {
             mdfs_reorder: true,
             cow_snapshots: true,
             exec_mode: ExecMode::Compiled,
+            spill: SpillOptions::default(),
             limits: SearchLimits::default(),
         }
     }
@@ -226,6 +238,15 @@ mod tests {
             o.exec_mode,
             ExecMode::Compiled,
             "the bytecode VM is the default executor"
+        );
+        assert_eq!(
+            o.spill,
+            crate::search::spill::SpillOptions::default(),
+            "spilling defaults to auto with no directory — i.e. off"
+        );
+        assert!(
+            !o.spill.enabled(Some(1 << 20)),
+            "a bare memory budget must keep its kill-switch semantics"
         );
     }
 }

@@ -53,6 +53,9 @@ pub struct DfsOutcome {
     /// Present when the verdict is `Inconclusive`: the frozen search,
     /// resumable via [`resume_dfs`].
     pub checkpoint: Option<DfsCheckpoint>,
+    /// Spill-tier faults: reopen warnings (torn crash tails) and, on
+    /// `Inconclusive(SpillFailure)`, the unrecoverable error.
+    pub spill_faults: Vec<String>,
 }
 
 #[derive(Clone, Debug)]
@@ -187,6 +190,35 @@ fn search(
     // The snapshot pool: owns every saved state on the stack and the
     // deduplicated byte accounting the memory budget governs.
     let mut store: SnapshotStore;
+    // Spill-tier faults accumulated over the run (reopen warnings, and
+    // the terminal error when the run degrades to `SpillFailure`).
+    let mut spill_faults: Vec<String> = Vec::new();
+    // Set when the search broke mid-step on a spill read failure: the
+    // loop variables are no longer a coherent stop point, so no
+    // checkpoint is offered.
+    let mut spill_broke_midstep = false;
+
+    let budget = options.limits.max_state_bytes;
+    let tier = match options.spill.build_tier(budget) {
+        Ok(t) => t,
+        Err(e) => {
+            // The spill directory itself is unusable. Degrade before
+            // touching anything; a resume keeps its checkpoint.
+            let (total_events, checkpoint) = match init {
+                Init::Fresh(_) => (env.outstanding(), None),
+                Init::Resume(cp) => (cp.total_events, Some(*cp)),
+            };
+            return Ok(DfsOutcome {
+                verdict: Verdict::Inconclusive(InconclusiveReason::SpillFailure),
+                witness: None,
+                spec_errors: Vec::new(),
+                best: (0, Vec::new()),
+                total_events,
+                checkpoint,
+                spill_faults: vec![e.to_string()],
+            });
+        }
+    };
 
     match init {
         Init::Fresh(s) => {
@@ -200,7 +232,11 @@ fn search(
             best_pending_len = None;
             barren = 0;
             at_node = true;
-            store = SnapshotStore::new(options.cow_snapshots);
+            store = match tier {
+                Some(t) => SnapshotStore::new(options.cow_snapshots)
+                    .with_spill(budget.unwrap_or(usize::MAX), t),
+                None => SnapshotStore::new(options.cow_snapshots),
+            };
             stats.snapshot_bytes = 0;
         }
         Init::Resume(cp) => {
@@ -222,11 +258,22 @@ fn search(
             store = SnapshotStore::rebuild(
                 options.cow_snapshots,
                 stack.iter().map(|f| &f.state),
+                budget,
+                tier,
             );
             stats.snapshot_bytes = store.resident_bytes();
         }
     }
+    spill_faults.extend(store.take_spill_warnings());
     stats.peak_snapshot_bytes = stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
+    // Spill counters continue across stop/resume rounds: the tier counts
+    // from zero each open, so the stats add onto what the round inherited.
+    let spill_base = (
+        stats.spill_writes,
+        stats.spill_reads,
+        stats.spill_retries,
+        stats.spill_evictions,
+    );
 
     // A resumed search gets a fresh wall-clock allowance.
     let deadline = options.limits.max_wall_time.map(|d| Instant::now() + d);
@@ -239,20 +286,28 @@ fn search(
     let mut gen = estelle_runtime::Generated::default();
 
     let reason = loop {
+        sync_spill_stats(stats, &store, spill_base);
         tel.tick(stats, options.limits.max_transitions);
         // Governance, checked before the next step mutates anything: a
         // `break` here freezes the loop variables into an exactly
         // resumable checkpoint.
+        if let Some(e) = store.take_spill_fault() {
+            spill_faults.push(e.to_string());
+            break InconclusiveReason::SpillFailure;
+        }
         if stats.transitions_executed > options.limits.max_transitions {
             break InconclusiveReason::TransitionLimit;
         }
         if deadline.is_some_and(|d| Instant::now() >= d) {
             break InconclusiveReason::TimeLimit;
         }
-        if options
-            .limits
-            .max_state_bytes
-            .is_some_and(|cap| stats.snapshot_bytes > cap)
+        // With a spill tier attached the budget is a tiering policy, not
+        // a stop condition: eviction holds residency at the budget.
+        if !store.spill_enabled()
+            && options
+                .limits
+                .max_state_bytes
+                .is_some_and(|cap| stats.snapshot_bytes > cap)
         {
             break InconclusiveReason::MemoryLimit;
         }
@@ -269,6 +324,7 @@ fn search(
                 }
             }
             if env.all_done() {
+                sync_spill_stats(stats, &store, spill_base);
                 return Ok(DfsOutcome {
                     verdict: Verdict::Valid,
                     witness: Some(path),
@@ -276,6 +332,7 @@ fn search(
                     best,
                     total_events,
                     checkpoint: None,
+                    spill_faults,
                 });
             }
             if path.len() >= options.limits.max_depth {
@@ -373,6 +430,7 @@ fn search(
             }
             // Backtrack to the nearest frame with untried children.
             let Some(top) = stack.last_mut() else {
+                sync_spill_stats(stats, &store, spill_base);
                 return Ok(DfsOutcome {
                     verdict: Verdict::Invalid,
                     witness: None,
@@ -380,6 +438,7 @@ fn search(
                     best,
                     total_events,
                     checkpoint: None,
+                    spill_faults,
                 });
             };
             if top.next >= top.fireable.len() {
@@ -397,14 +456,31 @@ fn search(
                 store.release(&frame.state);
                 stats.snapshot_bytes = store.resident_bytes();
                 f = frame.fireable[frame.next].clone();
-                state = frame.state.take(store.cow());
+                state = match store.take(frame.state) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        // The snapshot's disk copy is unreadable and its
+                        // RAM copy is gone: the loop variables are no
+                        // longer a coherent stop point.
+                        spill_faults.push(e.to_string());
+                        spill_broke_midstep = true;
+                        break InconclusiveReason::SpillFailure;
+                    }
+                };
                 env.restore(&frame.cursors);
                 path.truncate(frame.path_len);
                 barren = frame.barren;
             } else {
                 f = top.fireable[top.next].clone();
                 top.next += 1;
-                state = top.state.materialize(store.cow());
+                state = match store.materialize(&top.state) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        spill_faults.push(e.to_string());
+                        spill_broke_midstep = true;
+                        break InconclusiveReason::SpillFailure;
+                    }
+                };
                 env.restore(&top.cursors);
                 path.truncate(top.path_len);
                 barren = top.barren;
@@ -431,26 +507,58 @@ fn search(
         }
     };
 
-    Ok(DfsOutcome {
-        verdict: Verdict::Inconclusive(reason),
-        witness: None,
-        spec_errors: spec_errors.clone(),
-        best: best.clone(),
-        total_events,
-        checkpoint: Some(DfsCheckpoint {
+    sync_spill_stats(stats, &store, spill_base);
+    // A checkpoint carries every frame's snapshot bytes inline, so
+    // spilled frames are faulted back in first. A read failure here
+    // costs the checkpoint (reported as a fault), never a panic.
+    let checkpoint = if spill_broke_midstep {
+        None
+    } else if let Err(e) = store.ensure_resident_all(stack.iter().map(|fr| &fr.state)) {
+        spill_faults.push(format!("checkpoint dropped: {}", e));
+        None
+    } else {
+        Some(DfsCheckpoint {
             cursors: env.save(),
             state,
             path,
             stack,
             visited,
-            spec_errors,
-            best,
+            spec_errors: spec_errors.clone(),
+            best: best.clone(),
             best_pending_len,
             total_events,
             barren,
             at_node,
-        }),
+        })
+    };
+    Ok(DfsOutcome {
+        verdict: Verdict::Inconclusive(reason),
+        witness: None,
+        spec_errors,
+        best,
+        total_events,
+        checkpoint,
+        spill_faults,
     })
+}
+
+/// Mirror the spill tier's counters and gauges into the run's stats.
+/// `base` holds the totals inherited from earlier stop/resume rounds —
+/// the tier itself counts from zero each open. No-op without a tier, so
+/// spill-off runs keep their exact pre-spill accounting.
+fn sync_spill_stats(stats: &mut SearchStats, store: &SnapshotStore, base: (u64, u64, u64, u64)) {
+    if !store.spill_enabled() {
+        return;
+    }
+    let c = store.spill_counters();
+    stats.spill_writes = base.0 + c.writes;
+    stats.spill_reads = base.1 + c.reads;
+    stats.spill_retries = base.2 + c.retries;
+    stats.spill_evictions = base.3 + c.evictions;
+    stats.snapshot_bytes = store.resident_bytes();
+    stats.peak_snapshot_bytes = stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
+    stats.spilled_bytes = store.spilled_bytes();
+    stats.peak_spilled_bytes = stats.peak_spilled_bytes.max(stats.spilled_bytes);
 }
 
 /// Fire one candidate; `Ok(true)` when the transition completed and all of

@@ -45,11 +45,20 @@ use estelle_runtime::{FireOutcome, Machine, MachineState, RuntimeError};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
+use super::snapshot::state_key;
+use super::spill::{SpillCounters, SpillError, SpillTicket, SpillTier};
 use super::{guard, is_fatal, record_error};
 
 /// One saved search-tree node ("thread").
 struct Node {
-    state: MachineState,
+    /// The node's snapshot: resident in RAM, or (under memory pressure,
+    /// with a spill tier attached) parked in a segment file with the
+    /// claim check in `ticket`.
+    state: Option<MachineState>,
+    /// Segment record holding this node's snapshot, once written.
+    /// Snapshots are immutable, so re-evicting a ticketed node is
+    /// write-free.
+    ticket: Option<SpillTicket>,
     cursors: Cursors,
     /// Compiled-transition indices already explored from this node.
     tried: HashSet<usize>,
@@ -60,8 +69,10 @@ struct Node {
     /// Consecutive barren steps on the path to this node.
     barren: usize,
     path: Vec<String>,
-    /// Snapshot bytes charged against the memory budget.
-    bytes: usize,
+    /// Snapshot bytes proper — the part that moves between RAM and disk.
+    state_bytes: usize,
+    /// Cursor/bookkeeping bytes — always RAM-resident.
+    meta_bytes: usize,
 }
 
 impl Node {
@@ -71,18 +82,83 @@ impl Node {
         barren: usize,
         path: Vec<String>,
     ) -> Self {
-        let bytes = state.approx_bytes()
-            + (cursors.input.len() + cursors.output.len()) * std::mem::size_of::<usize>();
+        let state_bytes = state.approx_bytes();
+        let meta_bytes =
+            (cursors.input.len() + cursors.output.len()) * std::mem::size_of::<usize>();
         Node {
-            state,
+            state: Some(state),
+            ticket: None,
             cursors,
             tried: HashSet::new(),
             blocked: HashSet::new(),
             barren,
             path,
-            bytes,
+            state_bytes,
+            meta_bytes,
         }
     }
+
+    /// Bytes currently charged against the RAM gauge for this node.
+    fn charged(&self) -> usize {
+        self.meta_bytes + if self.state.is_some() { self.state_bytes } else { 0 }
+    }
+
+    /// Bytes the node charges once resident — what the budget check uses
+    /// for the node about to be expanded.
+    fn resident_footprint(&self) -> usize {
+        self.meta_bytes + self.state_bytes
+    }
+
+    /// The resident snapshot. The search faults a popped node in before
+    /// expanding it, so this never observes a spilled node.
+    fn resident_state(&self) -> &MachineState {
+        self.state
+            .as_ref()
+            .expect("node is faulted in before expansion")
+    }
+}
+
+/// Evict one node's snapshot to the spill tier. `Ok(bytes)` is what
+/// moved from the RAM gauge to the disk gauge (0 when already spilled).
+/// A write failure keeps the node resident, so the search can still
+/// finish or report from it.
+fn spill_node(tier: &mut SpillTier, node: &mut Node) -> Result<usize, SpillError> {
+    let Some(state) = node.state.take() else {
+        return Ok(0);
+    };
+    if node.ticket.is_none() {
+        match tier.write_state(state_key(&state), &state) {
+            Ok(t) => node.ticket = Some(t),
+            Err(e) => {
+                node.state = Some(state);
+                return Err(e);
+            }
+        }
+    }
+    tier.counters_mut().evictions += 1;
+    Ok(node.state_bytes)
+}
+
+/// Fault a spilled node's snapshot back in (checksum-verified on read).
+/// `Ok(bytes)` is what moved from the disk gauge back to RAM.
+fn fault_in(tier: &mut SpillTier, node: &mut Node) -> Result<usize, SpillError> {
+    if node.state.is_some() {
+        return Ok(0);
+    }
+    let ticket = node.ticket.expect("a spilled node holds a ticket");
+    node.state = Some(tier.read_state(&ticket)?);
+    Ok(node.state_bytes)
+}
+
+/// Mirror the spill tier's counters and the disk-residency gauge into
+/// the run's stats.
+fn stamp_spill(stats: &mut SearchStats, c: SpillCounters, disk_bytes: usize) {
+    stats.spill_writes = c.writes;
+    stats.spill_reads = c.reads;
+    stats.spill_retries = c.retries;
+    stats.spill_evictions = c.evictions;
+    stats.spilled_bytes = disk_bytes;
+    stats.peak_spilled_bytes = stats.peak_spilled_bytes.max(disk_bytes);
 }
 
 /// First idle-poll sleep. Doubles on every empty poll up to
@@ -119,6 +195,7 @@ fn finish(
     t0: Instant,
     slept: Duration,
     cap: u64,
+    spill_faults: Vec<String>,
     tel: &mut Telemetry,
 ) -> AnalysisReport {
     stats.wall_time = t0.elapsed();
@@ -132,6 +209,7 @@ fn finish(
     r.witness = witness;
     r.spec_errors = spec_errors;
     r.source_faults = source_faults;
+    r.spill_faults = spill_faults;
     r
 }
 
@@ -158,6 +236,32 @@ pub fn run_mdfs(
     let mut stats = SearchStats::default();
     let mut spec_errors: Vec<RuntimeError> = Vec::new();
 
+    // Disk spill tier: under a memory budget, park cold node snapshots
+    // in segment files instead of stopping `Inconclusive(MemoryLimit)`.
+    let mut spill_tier = match options.spill.build_tier(options.limits.max_state_bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            return Ok(finish(
+                Verdict::Inconclusive(InconclusiveReason::SpillFailure),
+                None,
+                stats,
+                spec_errors,
+                source.diagnostics(),
+                t0,
+                slept,
+                cap,
+                vec![e.to_string()],
+                tel,
+            ));
+        }
+    };
+    let mut spill_faults: Vec<String> = spill_tier
+        .as_mut()
+        .map(SpillTier::take_warnings)
+        .unwrap_or_default();
+    // Snapshot bytes currently parked in spill segments.
+    let mut disk_bytes: usize = 0;
+
     let mut env = TraceEnv::new(
         module,
         ResolvedTrace::empty(module.ips.len()),
@@ -171,10 +275,10 @@ pub fn run_mdfs(
     let start = machine.initial_state()?;
     stats.saves += 1;
     let root = Node::new(start, env.save(), 0, Vec::new());
-    stats.snapshot_bytes = root.bytes;
+    stats.snapshot_bytes = root.charged();
     stats.peak_snapshot_bytes = stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
     if tel.hot() {
-        tel.on_save(0, root.bytes, false, stats.snapshot_bytes);
+        tel.on_save(0, root.charged(), false, stats.snapshot_bytes);
     }
     work.push(root);
 
@@ -225,10 +329,10 @@ pub fn run_mdfs(
             // park/revive cycles; saturate (and flag in debug builds)
             // rather than ever letting it wrap.
             debug_assert!(
-                stats.snapshot_bytes >= node.bytes,
+                stats.snapshot_bytes >= node.charged(),
                 "snapshot byte accounting must never wrap"
             );
-            stats.snapshot_bytes = stats.snapshot_bytes.saturating_sub(node.bytes);
+            stats.snapshot_bytes = stats.snapshot_bytes.saturating_sub(node.charged());
             if stats.transitions_executed > options.limits.max_transitions {
                 return Ok(finish(
                     Verdict::Inconclusive(InconclusiveReason::TransitionLimit),
@@ -239,6 +343,7 @@ pub fn run_mdfs(
                     t0,
                     slept,
                     cap,
+                    spill_faults,
                     tel,
                 ));
             }
@@ -252,25 +357,95 @@ pub fn run_mdfs(
                     t0,
                     slept,
                     cap,
+                    spill_faults,
                     tel,
                 ));
             }
-            if options
-                .limits
-                .max_state_bytes
-                .is_some_and(|cap| stats.snapshot_bytes + node.bytes > cap)
-            {
-                return Ok(finish(
-                    Verdict::Inconclusive(InconclusiveReason::MemoryLimit),
-                    None,
-                    stats,
-                    spec_errors,
-                    source.diagnostics(),
-                    t0,
-                    slept,
-                    cap,
-                    tel,
-                ));
+            if let Some(cap_bytes) = options.limits.max_state_bytes {
+                if let Some(tier) = spill_tier.as_mut() {
+                    // Tiering, not a stop condition: evict parked
+                    // snapshots — parked PG-nodes first, then the work
+                    // stack bottom-up (coldest first) — until the
+                    // resident set plus this node (about to be faulted
+                    // in) fits the budget. If the genuinely live set
+                    // alone exceeds the budget there is nothing left to
+                    // evict and the search continues over budget — the
+                    // tier's contract is degradation, never a stop.
+                    let need = node.resident_footprint();
+                    'evict: for list in [&mut pg_list, &mut work] {
+                        for parked in list.iter_mut() {
+                            if stats.snapshot_bytes + need <= cap_bytes {
+                                break 'evict;
+                            }
+                            match spill_node(tier, parked) {
+                                Ok(moved) => {
+                                    stats.snapshot_bytes =
+                                        stats.snapshot_bytes.saturating_sub(moved);
+                                    disk_bytes += moved;
+                                }
+                                Err(e) => {
+                                    spill_faults.push(e.to_string());
+                                    stamp_spill(&mut stats, tier.counters(), disk_bytes);
+                                    return Ok(finish(
+                                        Verdict::Inconclusive(
+                                            InconclusiveReason::SpillFailure,
+                                        ),
+                                        None,
+                                        stats,
+                                        spec_errors,
+                                        source.diagnostics(),
+                                        t0,
+                                        slept,
+                                        cap,
+                                        spill_faults,
+                                        tel,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                } else if stats.snapshot_bytes + node.resident_footprint() > cap_bytes {
+                    return Ok(finish(
+                        Verdict::Inconclusive(InconclusiveReason::MemoryLimit),
+                        None,
+                        stats,
+                        spec_errors,
+                        source.diagnostics(),
+                        t0,
+                        slept,
+                        cap,
+                        spill_faults,
+                        tel,
+                    ));
+                }
+            }
+            // Fault the node in before expanding it.
+            if node.state.is_none() {
+                let tier = spill_tier
+                    .as_mut()
+                    .expect("spilled nodes only exist with a spill tier");
+                match fault_in(tier, &mut node) {
+                    Ok(moved) => disk_bytes = disk_bytes.saturating_sub(moved),
+                    Err(e) => {
+                        spill_faults.push(e.to_string());
+                        stamp_spill(&mut stats, tier.counters(), disk_bytes);
+                        return Ok(finish(
+                            Verdict::Inconclusive(InconclusiveReason::SpillFailure),
+                            None,
+                            stats,
+                            spec_errors,
+                            source.diagnostics(),
+                            t0,
+                            slept,
+                            cap,
+                            spill_faults,
+                            tel,
+                        ));
+                    }
+                }
+            }
+            if let Some(t) = spill_tier.as_ref() {
+                stamp_spill(&mut stats, t.counters(), disk_bytes);
             }
             stats.max_depth = stats.max_depth.max(node.path.len());
             env.restore(&node.cursors);
@@ -288,12 +463,13 @@ pub fn run_mdfs(
                         t0,
                         slept,
                         cap,
+                        spill_faults,
                         tel,
                     ));
                 }
                 // PGAV: everything so far is explained; park the node.
                 stats.pg_nodes += 1;
-                stats.snapshot_bytes += node.bytes;
+                stats.snapshot_bytes += node.charged();
                 tel.on_park(node.path.len(), stats.pg_nodes);
                 pg_list.push(node);
                 continue;
@@ -302,7 +478,7 @@ pub fn run_mdfs(
             // Generate (or re-generate) this node's transition list.
             // COW: the scratch copy shares heap chunks with the node's
             // snapshot; guard side effects break sharing lazily.
-            let mut st = copy_state(&node.state, options);
+            let mut st = copy_state(node.resident_state(), options);
             stats.generates += 1;
             let gen_t0 = tel.timer();
             match guard("generate", || {
@@ -345,11 +521,12 @@ pub fn run_mdfs(
                             t0,
                             slept,
                             cap,
+                            spill_faults,
                             tel,
                         ));
                     }
                     stats.pg_nodes += 1;
-                    stats.snapshot_bytes += node.bytes;
+                    stats.snapshot_bytes += node.charged();
                     tel.on_park(node.path.len(), stats.pg_nodes);
                     pg_list.push(node);
                 }
@@ -358,7 +535,7 @@ pub fn run_mdfs(
 
             // Fire the child on a fresh copy of the node's state.
             node.tried.insert(f.trans);
-            let mut child_state = copy_state(&node.state, options);
+            let mut child_state = copy_state(node.resident_state(), options);
             env.restore(&node.cursors);
             let before = env.outstanding();
             stats.transitions_executed += 1;
@@ -405,7 +582,7 @@ pub fn run_mdfs(
                 let mut child_path = node.path.clone();
                 child_path.push(machine.transition_name(f.trans).to_string());
                 if has_more {
-                    stats.snapshot_bytes += node.bytes;
+                    stats.snapshot_bytes += node.charged();
                     work.push(node);
                 }
                 if child_barren > options.limits.max_barren_steps {
@@ -414,16 +591,16 @@ pub fn run_mdfs(
                 } else {
                     stats.saves += 1;
                     let child = Node::new(child_state, env.save(), child_barren, child_path);
-                    stats.snapshot_bytes += child.bytes;
+                    stats.snapshot_bytes += child.charged();
                     stats.peak_snapshot_bytes =
                         stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
                     if tel.hot() {
-                        tel.on_save(child.path.len(), child.bytes, false, stats.snapshot_bytes);
+                        tel.on_save(child.path.len(), child.charged(), false, stats.snapshot_bytes);
                     }
                     work.push(child);
                 }
             } else if has_more {
-                stats.snapshot_bytes += node.bytes;
+                stats.snapshot_bytes += node.charged();
                 work.push(node);
             }
         }
@@ -440,6 +617,7 @@ pub fn run_mdfs(
                     t0,
                     slept,
                     cap,
+                    spill_faults,
                     tel,
                 ));
             }
@@ -459,6 +637,7 @@ pub fn run_mdfs(
                 t0,
                 slept,
                 cap,
+                spill_faults,
                 tel,
             ));
         }
@@ -486,6 +665,7 @@ pub fn run_mdfs(
                 t0,
                 slept,
                 cap,
+                spill_faults,
                 tel,
             ));
         }
@@ -507,6 +687,7 @@ pub fn run_mdfs(
                     t0,
                     slept,
                     cap,
+                    spill_faults,
                     tel,
                 ));
             }

@@ -15,6 +15,7 @@
 pub mod dfs;
 pub mod mdfs;
 pub(crate) mod snapshot;
+pub mod spill;
 
 use crate::stats::SearchStats;
 use estelle_runtime::{RuntimeError, RuntimeErrorKind};

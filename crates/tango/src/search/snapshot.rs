@@ -1,5 +1,6 @@
 //! Saved-state snapshot pool: copy-on-write *Save*/*Restore* with a
-//! visited-state interning cache and deduplicated byte accounting.
+//! visited-state interning cache, deduplicated byte accounting, and an
+//! optional disk spill tier for bounded-memory searches.
 //!
 //! The paper's §3.2 names Save/Restore as the dominant trace-analysis
 //! cost. Two layers attack it:
@@ -17,6 +18,18 @@
 //!    charged once, so [`crate::SearchStats::snapshot_bytes`] reports true
 //!    deduplicated residency.
 //!
+//! A third layer turns the `max_state_bytes` budget from a kill switch
+//! into a **tiering policy**: with a [`SpillTier`] attached, crossing the
+//! budget evicts the least-recently-touched snapshots to CRC-checksummed
+//! segment files instead of stopping the search. Every handle points at
+//! a shared [`Slot`] whose state is either resident (`Rc<MachineState>`)
+//! or spilled (a [`SpillTicket`] claim check); a *Restore* of a spilled
+//! slot faults the snapshot back in — verifying its checksum — before
+//! use. Spilling changes **where bytes live, never what the search
+//! decides**: intern lookups only match resident entries (a spilled miss
+//! re-saves, perturbing only dedup accounting, not TE/GE/RE/SA), and
+//! eviction order is driven by the budget alone.
+//!
 //! The store also hosts the `--cow=off` A/B baseline: with COW disabled
 //! every save eagerly deep-copies (no interning, no sharing) and every
 //! restore deep-copies again — the exact pre-COW cost model — so the
@@ -28,10 +41,12 @@
 //! exact. Subtraction still saturates (with a debug assertion) so a
 //! counter rebuilt by checkpoint/resume can never wrap.
 
+use crate::search::spill::{SpillCounters, SpillError, SpillTicket, SpillTier};
 use estelle_runtime::MachineState;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 
 // The interning key and the DFS visited-set fingerprint both use the
 // runtime's fast content hasher; the heap side feeds it from cached
@@ -55,63 +70,112 @@ pub(crate) fn state_key(state: &MachineState) -> u64 {
     h.finish()
 }
 
+/// One saved snapshot's residency cell, shared by every handle onto it.
+/// `state` is `Some` while the snapshot is in RAM and `None` while it
+/// lives only on disk; `ticket` caches the segment record once written
+/// (snapshot content is immutable, so re-evicting a slot whose bytes are
+/// already on disk is write-free).
+#[derive(Debug)]
+pub(crate) struct Slot {
+    key: u64,
+    /// Bytes of the snapshot itself (excluding per-handle metadata) —
+    /// the amount that moves between the RAM and disk gauges.
+    state_bytes: usize,
+    state: RefCell<Option<Rc<MachineState>>>,
+    ticket: Cell<Option<SpillTicket>>,
+    /// Generation stamp of this slot's newest LRU queue entry; older
+    /// queue entries for the slot are stale and skipped lazily.
+    touched: Cell<u64>,
+}
+
+impl Slot {
+    fn resident(&self) -> Option<Rc<MachineState>> {
+        self.state.borrow().clone()
+    }
+
+    fn is_resident(&self) -> bool {
+        self.state.borrow().is_some()
+    }
+
+    fn ticket(&self) -> SpillTicket {
+        self.ticket
+            .get()
+            .expect("a non-resident slot always holds a spill ticket")
+    }
+}
+
 /// A handle onto one saved snapshot. Clone-cheap (`Rc`); carries the
 /// bytes this particular save charged so release can return them.
 #[derive(Clone, Debug)]
 pub(crate) struct SavedState {
-    state: Rc<MachineState>,
-    key: u64,
+    slot: Rc<Slot>,
     bytes: usize,
+    /// Whether this handle's charge includes the snapshot itself (the
+    /// first save of a state) or only per-save cursor metadata (a dedup
+    /// hit). Release uncharges the snapshot from whichever tier it is
+    /// resident in when the last charging handle goes.
+    charges_state: bool,
 }
 
 impl SavedState {
-    /// The handle's raw (snapshot, intern key, charged bytes) triple, for
-    /// the durable-checkpoint codec.
-    pub(crate) fn raw_parts(&self) -> (&Rc<MachineState>, u64, usize) {
-        (&self.state, self.key, self.bytes)
+    /// The intern key of the underlying snapshot.
+    pub(crate) fn key(&self) -> u64 {
+        self.slot.key
     }
 
-    /// Rebuild a handle decoded from a checkpoint file. Handles sharing a
-    /// snapshot must share `state`'s `Rc` so [`SnapshotStore::rebuild`]
-    /// re-derives the same deduplicated byte accounting the saving search
-    /// had.
-    pub(crate) fn from_raw_parts(state: Rc<MachineState>, key: u64, bytes: usize) -> Self {
-        SavedState { state, key, bytes }
+    /// The bytes this handle charged at save time.
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
     }
 
-    /// *Restore* into a working state without consuming the handle (the
-    /// frame may have more children). COW: O(chunk table). Deep baseline:
-    /// a full copy, as the pre-COW search paid on every backtrack.
-    pub fn materialize(&self, cow: bool) -> MachineState {
-        if cow {
-            self.state.snapshot()
-        } else {
-            self.state.deep_snapshot()
-        }
+    /// Whether this handle's charge includes the snapshot itself (see
+    /// the field doc). Persisted per frame by the checkpoint codec.
+    pub(crate) fn charges_state(&self) -> bool {
+        self.charges_state
     }
 
-    /// *Restore* consuming the handle (last child of a frame): moves the
-    /// state out without any copy when this was the only reference.
-    /// Call [`SnapshotStore::release`] first so the store's interning
-    /// reference is already dropped.
-    pub fn take(self, cow: bool) -> MachineState {
-        match Rc::try_unwrap(self.state) {
-            Ok(state) => state,
-            Err(shared) => {
-                if cow {
-                    shared.snapshot()
-                } else {
-                    shared.deep_snapshot()
-                }
-            }
+    /// Identity of the underlying slot — handles sharing a snapshot
+    /// share the slot. Used by the checkpoint codec to build its
+    /// unique-state table.
+    pub(crate) fn slot_id(&self) -> usize {
+        Rc::as_ptr(&self.slot) as usize
+    }
+
+    /// The resident snapshot, if it is in RAM right now. The checkpoint
+    /// codec encodes from here after the search made everything
+    /// resident; `None` means a spill read-back failed.
+    pub(crate) fn resident_state(&self) -> Option<Rc<MachineState>> {
+        self.slot.resident()
+    }
+
+    /// Rebuild the slot for a state decoded from a checkpoint file.
+    /// Handles sharing a snapshot must be built from the same slot so
+    /// [`SnapshotStore::rebuild`] re-derives the same deduplicated byte
+    /// accounting the saving search had.
+    pub(crate) fn decoded_slot(key: u64, state: Rc<MachineState>) -> Rc<Slot> {
+        Rc::new(Slot {
+            key,
+            state_bytes: state.approx_bytes(),
+            state: RefCell::new(Some(state)),
+            ticket: Cell::new(None),
+            touched: Cell::new(0),
+        })
+    }
+
+    /// Rebuild a handle decoded from a checkpoint file.
+    pub(crate) fn from_decoded(slot: Rc<Slot>, bytes: usize, charges_state: bool) -> Self {
+        SavedState {
+            slot,
+            bytes,
+            charges_state,
         }
     }
 }
 
-/// One interned snapshot: the resident copy plus how many live
+/// One interned snapshot: the shared slot plus how many live
 /// [`SavedState`] handles refer to it.
 struct Interned {
-    state: Rc<MachineState>,
+    slot: Rc<Slot>,
     refs: usize,
 }
 
@@ -125,20 +189,41 @@ struct Chain {
 }
 
 impl Chain {
-    fn find_mut(&mut self, state: &MachineState) -> Option<&mut Interned> {
+    /// Find the entry holding a snapshot identical to `state`. Spilled
+    /// entries never match: comparing would mean a disk read on the hot
+    /// save path, and a miss merely re-saves the state (dedup accounting
+    /// drifts, search decisions do not).
+    fn find_resident_mut(&mut self, state: &MachineState) -> Option<&mut Interned> {
         std::iter::once(&mut self.first)
             .chain(self.rest.iter_mut())
-            .find(|e| *e.state == *state)
+            .find(|e| match &*e.slot.state.borrow() {
+                Some(resident) => **resident == *state,
+                None => false,
+            })
     }
 }
 
 /// The search's pool of saved snapshots and the single source of truth
-/// for [`crate::SearchStats::snapshot_bytes`].
+/// for [`crate::SearchStats::snapshot_bytes`] (RAM residency) and
+/// [`crate::SearchStats::spilled_bytes`] (disk residency).
 pub(crate) struct SnapshotStore {
     cow: bool,
-    /// key → collision chain of distinct resident states with that key.
+    /// key → collision chain of distinct held states with that key.
     interned: HashMap<u64, Chain, FxBuildHasher>,
-    resident_bytes: usize,
+    ram_bytes: usize,
+    spilled_bytes: usize,
+    /// RAM budget the spill tier enforces (the `--max-mem` value).
+    budget: Option<usize>,
+    spill: Option<SpillTier>,
+    /// LRU queue of (slot, generation) touches, oldest first. Entries
+    /// whose generation no longer matches the slot's `touched` stamp are
+    /// stale and skipped; the queue is compacted amortizedly.
+    lru: VecDeque<(Weak<Slot>, u64)>,
+    lru_gen: u64,
+    lru_live_hint: usize,
+    /// First unrecoverable spill error: the store is poisoned, eviction
+    /// stops, and the search degrades at its next governance check.
+    fault: Option<SpillError>,
 }
 
 impl SnapshotStore {
@@ -146,19 +231,65 @@ impl SnapshotStore {
         SnapshotStore {
             cow,
             interned: HashMap::default(),
-            resident_bytes: 0,
+            ram_bytes: 0,
+            spilled_bytes: 0,
+            budget: None,
+            spill: None,
+            lru: VecDeque::new(),
+            lru_gen: 0,
+            lru_live_hint: 0,
+            fault: None,
         }
     }
 
-    /// Whether saves share structure copy-on-write (`--cow=on`).
-    pub fn cow(&self) -> bool {
-        self.cow
+    /// Attach a spill tier: RAM residency above `budget` bytes is evicted
+    /// to `tier`. Without this call the store is the pure in-RAM pool.
+    pub fn with_spill(mut self, budget: usize, tier: SpillTier) -> Self {
+        self.budget = Some(budget);
+        self.spill = Some(tier);
+        self
     }
 
-    /// True deduplicated bytes of all resident snapshots (plus per-save
-    /// cursor metadata). This is what the `max_state_bytes` budget governs.
+    /// Whether a spill tier is attached (memory pressure degrades to
+    /// disk instead of stopping the search).
+    pub fn spill_enabled(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// True deduplicated bytes of all RAM-resident snapshots (plus
+    /// per-save cursor metadata). Without a spill tier this is what the
+    /// `max_state_bytes` budget governs; with one, it is held at the
+    /// budget by eviction.
     pub fn resident_bytes(&self) -> usize {
-        self.resident_bytes
+        self.ram_bytes
+    }
+
+    /// Bytes of snapshots currently living only in spill segments.
+    pub fn spilled_bytes(&self) -> usize {
+        self.spilled_bytes
+    }
+
+    /// Spill activity counters (zero when no tier is attached).
+    pub fn spill_counters(&self) -> SpillCounters {
+        self.spill
+            .as_ref()
+            .map(SpillTier::counters)
+            .unwrap_or_default()
+    }
+
+    /// Reopen warnings from the spill tier (torn crash tails etc.).
+    pub fn take_spill_warnings(&mut self) -> Vec<String> {
+        self.spill
+            .as_mut()
+            .map(SpillTier::take_warnings)
+            .unwrap_or_default()
+    }
+
+    /// Take the poisoning spill fault, if one occurred. The search polls
+    /// this at its governance check and degrades to
+    /// `Inconclusive(SpillFailure)`.
+    pub fn take_spill_fault(&mut self) -> Option<SpillError> {
+        self.fault.take()
     }
 
     /// *Save* the given state, charging `extra_bytes` of per-save
@@ -166,40 +297,69 @@ impl SnapshotStore {
     /// deduplicated against an already-resident identical snapshot.
     pub fn save(&mut self, state: &MachineState, extra_bytes: usize) -> (SavedState, bool) {
         if !self.cow {
-            // Pre-COW baseline: eager deep copy, no interning.
-            let bytes = state.approx_bytes() + extra_bytes;
-            self.resident_bytes += bytes;
+            // Pre-COW baseline: eager deep copy, no interning. The key
+            // is only needed for spill adoption, so hashing is skipped
+            // entirely in pure-RAM deep mode.
+            let state_bytes = state.approx_bytes();
+            let bytes = state_bytes + extra_bytes;
+            let key = if self.spill.is_some() {
+                state_key(state)
+            } else {
+                0
+            };
+            let slot = Rc::new(Slot {
+                key,
+                state_bytes,
+                state: RefCell::new(Some(Rc::new(state.deep_snapshot()))),
+                ticket: Cell::new(None),
+                touched: Cell::new(0),
+            });
+            self.ram_bytes += bytes;
+            self.lru_touch(&slot);
+            self.maybe_evict();
             return (
                 SavedState {
-                    state: Rc::new(state.deep_snapshot()),
-                    key: 0,
+                    slot,
                     bytes,
+                    charges_state: true,
                 },
                 false,
             );
         }
 
         let key = state_key(state);
-        if let Some(hit) = self
+        let hit = self
             .interned
             .get_mut(&key)
-            .and_then(|chain| chain.find_mut(state))
-        {
-            hit.refs += 1;
-            self.resident_bytes += extra_bytes;
+            .and_then(|chain| chain.find_resident_mut(state))
+            .map(|hit| {
+                hit.refs += 1;
+                Rc::clone(&hit.slot)
+            });
+        if let Some(slot) = hit {
+            self.ram_bytes += extra_bytes;
+            self.lru_touch(&slot);
+            self.maybe_evict();
             return (
                 SavedState {
-                    state: Rc::clone(&hit.state),
-                    key,
+                    slot,
                     bytes: extra_bytes,
+                    charges_state: false,
                 },
                 true,
             );
         }
-        let bytes = state.approx_bytes() + extra_bytes;
-        let snap = Rc::new(state.snapshot());
+        let state_bytes = state.approx_bytes();
+        let bytes = state_bytes + extra_bytes;
+        let slot = Rc::new(Slot {
+            key,
+            state_bytes,
+            state: RefCell::new(Some(Rc::new(state.snapshot()))),
+            ticket: Cell::new(None),
+            touched: Cell::new(0),
+        });
         let entry = Interned {
-            state: Rc::clone(&snap),
+            slot: Rc::clone(&slot),
             refs: 1,
         };
         match self.interned.entry(key) {
@@ -211,70 +371,274 @@ impl SnapshotStore {
             }
             std::collections::hash_map::Entry::Occupied(o) => o.into_mut().rest.push(entry),
         }
-        self.resident_bytes += bytes;
+        self.ram_bytes += bytes;
+        self.lru_touch(&slot);
+        self.maybe_evict();
         (
             SavedState {
-                state: snap,
-                key,
+                slot,
                 bytes,
+                charges_state: true,
             },
             false,
         )
     }
 
     /// Release one handle, returning its charged bytes to the budget and
-    /// dropping the interning entry with the last reference.
+    /// dropping the interning entry with the last reference. A snapshot
+    /// whose last charging handle goes is uncharged from whichever tier
+    /// (RAM or disk) it is resident in.
     pub fn release(&mut self, saved: &SavedState) {
-        debug_assert!(
-            self.resident_bytes >= saved.bytes,
-            "snapshot byte accounting must never wrap (resident {} < released {})",
-            self.resident_bytes,
+        let extra = if saved.charges_state {
+            saved.bytes.saturating_sub(saved.slot.state_bytes)
+        } else {
             saved.bytes
+        };
+        debug_assert!(
+            self.ram_bytes >= extra,
+            "snapshot byte accounting must never wrap (resident {} < released metadata {})",
+            self.ram_bytes,
+            extra
         );
-        self.resident_bytes = self.resident_bytes.saturating_sub(saved.bytes);
-        if !self.cow {
-            return;
+        self.ram_bytes = self.ram_bytes.saturating_sub(extra);
+        let uncharge_state = if self.cow {
+            self.chain_release(saved)
+        } else {
+            saved.charges_state
+        };
+        if uncharge_state {
+            if saved.slot.is_resident() {
+                debug_assert!(
+                    self.ram_bytes >= saved.slot.state_bytes,
+                    "resident snapshot release must not wrap"
+                );
+                self.ram_bytes = self.ram_bytes.saturating_sub(saved.slot.state_bytes);
+            } else {
+                self.spilled_bytes = self.spilled_bytes.saturating_sub(saved.slot.state_bytes);
+            }
         }
-        if let Some(chain) = self.interned.get_mut(&saved.key) {
-            if Rc::ptr_eq(&chain.first.state, &saved.state) {
-                chain.first.refs -= 1;
-                if chain.first.refs == 0 {
-                    match chain.rest.pop() {
-                        Some(promoted) => chain.first = promoted,
-                        None => {
-                            self.interned.remove(&saved.key);
-                        }
+    }
+
+    /// Decrement the interning reference for `saved`'s slot; true when
+    /// the last reference went and the snapshot's bytes must be
+    /// uncharged. In COW mode only charging handles own the final
+    /// reference (LIFO release pops dedup hits first).
+    fn chain_release(&mut self, saved: &SavedState) -> bool {
+        let Some(chain) = self.interned.get_mut(&saved.slot.key) else {
+            return false;
+        };
+        if Rc::ptr_eq(&chain.first.slot, &saved.slot) {
+            chain.first.refs -= 1;
+            if chain.first.refs == 0 {
+                match chain.rest.pop() {
+                    Some(promoted) => chain.first = promoted,
+                    None => {
+                        self.interned.remove(&saved.slot.key);
                     }
                 }
-            } else if let Some(pos) = chain
-                .rest
-                .iter()
-                .position(|e| Rc::ptr_eq(&e.state, &saved.state))
-            {
-                chain.rest[pos].refs -= 1;
-                if chain.rest[pos].refs == 0 {
-                    chain.rest.swap_remove(pos);
+                return true;
+            }
+        } else if let Some(pos) = chain
+            .rest
+            .iter()
+            .position(|e| Rc::ptr_eq(&e.slot, &saved.slot))
+        {
+            chain.rest[pos].refs -= 1;
+            if chain.rest[pos].refs == 0 {
+                chain.rest.swap_remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// *Restore* into a working state without consuming the handle (the
+    /// frame may have more children). Faults a spilled snapshot back in
+    /// first; the clone is COW (O(chunk table)) or a deep copy per the
+    /// store's baseline mode. Eviction runs after the clone, so the
+    /// faulted-in slot may immediately spill back out under a tight
+    /// budget — correct, if slow, which is the tier's contract.
+    pub fn materialize(&mut self, saved: &SavedState) -> Result<MachineState, SpillError> {
+        self.fault_in(&saved.slot)?;
+        let resident = saved.slot.resident().expect("just faulted in");
+        let out = if self.cow {
+            resident.snapshot()
+        } else {
+            resident.deep_snapshot()
+        };
+        drop(resident);
+        self.maybe_evict();
+        Ok(out)
+    }
+
+    /// *Restore* consuming the handle (last child of a frame): moves the
+    /// state out without any copy when this was the only reference.
+    /// Call [`SnapshotStore::release`] first so the store's interning
+    /// reference is already dropped. A spilled snapshot is read straight
+    /// from its segment (release already settled the accounting).
+    pub fn take(&mut self, saved: SavedState) -> Result<MachineState, SpillError> {
+        let cow = self.cow;
+        let SavedState { slot, .. } = saved;
+        match Rc::try_unwrap(slot) {
+            Ok(slot) => match slot.state.into_inner() {
+                Some(resident) => Ok(match Rc::try_unwrap(resident) {
+                    Ok(state) => state,
+                    Err(shared) => {
+                        if cow {
+                            shared.snapshot()
+                        } else {
+                            shared.deep_snapshot()
+                        }
+                    }
+                }),
+                None => self.read_ticket(&slot.ticket.get().expect("spilled slot has a ticket")),
+            },
+            Err(slot) => {
+                let resident = slot.resident();
+                match resident {
+                    Some(shared) => Ok(if cow {
+                        shared.snapshot()
+                    } else {
+                        shared.deep_snapshot()
+                    }),
+                    None => self.read_ticket(&slot.ticket()),
                 }
             }
+        }
+    }
+
+    /// Make every handle's snapshot resident — the checkpoint path.
+    /// Transiently overshooting the RAM budget here is fine: the store
+    /// is about to be torn down or rebuilt.
+    pub fn ensure_resident_all<'a>(
+        &mut self,
+        saved: impl Iterator<Item = &'a SavedState>,
+    ) -> Result<(), SpillError> {
+        for s in saved {
+            self.fault_in(&s.slot)?;
+        }
+        Ok(())
+    }
+
+    fn fault_in(&mut self, slot: &Rc<Slot>) -> Result<(), SpillError> {
+        if slot.is_resident() {
+            self.lru_touch(slot);
+            return Ok(());
+        }
+        let ticket = slot.ticket();
+        let tier = self
+            .spill
+            .as_mut()
+            .expect("spilled slots only exist with a spill tier");
+        let state = tier.read_state(&ticket)?;
+        *slot.state.borrow_mut() = Some(Rc::new(state));
+        self.spilled_bytes = self.spilled_bytes.saturating_sub(slot.state_bytes);
+        self.ram_bytes += slot.state_bytes;
+        self.lru_touch(slot);
+        Ok(())
+    }
+
+    fn read_ticket(&mut self, ticket: &SpillTicket) -> Result<MachineState, SpillError> {
+        self.spill
+            .as_mut()
+            .expect("spill tickets only exist with a spill tier")
+            .read_state(ticket)
+    }
+
+    /// Evict least-recently-touched snapshots until RAM residency is
+    /// back under budget. A write failure (retries exhausted) poisons
+    /// the store: the state stays resident, eviction stops, and the
+    /// search degrades at its next governance check.
+    fn maybe_evict(&mut self) {
+        if self.fault.is_some() || self.spill.is_none() {
+            return;
+        }
+        let Some(budget) = self.budget else { return };
+        while self.ram_bytes > budget {
+            let Some((weak, generation)) = self.lru.pop_front() else {
+                break;
+            };
+            let Some(slot) = weak.upgrade() else { continue };
+            if slot.touched.get() != generation {
+                continue;
+            }
+            if !self.evict_slot(&slot) && self.fault.is_some() {
+                break;
+            }
+        }
+    }
+
+    fn evict_slot(&mut self, slot: &Rc<Slot>) -> bool {
+        let Some(resident) = slot.state.borrow_mut().take() else {
+            return false;
+        };
+        if slot.ticket.get().is_none() {
+            let tier = self.spill.as_mut().expect("eviction requires a tier");
+            match tier.write_state(slot.key, &resident) {
+                Ok(ticket) => slot.ticket.set(Some(ticket)),
+                Err(e) => {
+                    *slot.state.borrow_mut() = Some(resident);
+                    self.fault = Some(e);
+                    return false;
+                }
+            }
+        }
+        drop(resident);
+        self.ram_bytes = self.ram_bytes.saturating_sub(slot.state_bytes);
+        self.spilled_bytes += slot.state_bytes;
+        if let Some(tier) = self.spill.as_mut() {
+            tier.counters_mut().evictions += 1;
+        }
+        true
+    }
+
+    fn lru_touch(&mut self, slot: &Rc<Slot>) {
+        if self.spill.is_none() {
+            return;
+        }
+        self.lru_gen += 1;
+        slot.touched.set(self.lru_gen);
+        self.lru.push_back((Rc::downgrade(slot), self.lru_gen));
+        // Amortized compaction: stale entries (superseded touches, dead
+        // slots) are dropped when they dominate the queue.
+        if self.lru.len() > 1024 && self.lru.len() > 4 * self.lru_live_hint.max(256) {
+            self.lru
+                .retain(|(w, generation)| match w.upgrade() {
+                    Some(s) => s.touched.get() == *generation,
+                    None => false,
+                });
+            self.lru_live_hint = self.lru.len();
         }
     }
 
     /// Rebuild a store from the frames of a resumed checkpoint: re-interns
     /// every still-held snapshot and re-derives the resident byte total
     /// (shared bytes still charged once — each handle remembers exactly
-    /// what its save charged).
-    pub fn rebuild<'a>(cow: bool, saved: impl Iterator<Item = &'a SavedState>) -> Self {
+    /// what its save charged). Decoded frames are all resident; any stale
+    /// spill tickets from the checkpointing run are dropped, because
+    /// `tier` (if any) is a fresh reopen whose adoption index makes
+    /// re-eviction of unchanged states write-free.
+    pub fn rebuild<'a>(
+        cow: bool,
+        saved: impl Iterator<Item = &'a SavedState>,
+        budget: Option<usize>,
+        tier: Option<SpillTier>,
+    ) -> Self {
         let mut store = SnapshotStore::new(cow);
+        store.budget = budget;
+        store.spill = tier;
         for s in saved {
-            store.resident_bytes += s.bytes;
+            s.slot.ticket.set(None);
+            store.ram_bytes += s.bytes;
+            store.lru_touch(&s.slot);
             if !cow {
                 continue;
             }
             let entry = Interned {
-                state: Rc::clone(&s.state),
+                slot: Rc::clone(&s.slot),
                 refs: 1,
             };
-            match store.interned.entry(s.key) {
+            match store.interned.entry(s.slot.key) {
                 std::collections::hash_map::Entry::Vacant(v) => {
                     v.insert(Chain {
                         first: entry,
@@ -285,7 +649,7 @@ impl SnapshotStore {
                     let chain = o.into_mut();
                     if let Some(hit) = std::iter::once(&mut chain.first)
                         .chain(chain.rest.iter_mut())
-                        .find(|e| Rc::ptr_eq(&e.state, &s.state))
+                        .find(|e| Rc::ptr_eq(&e.slot, &s.slot))
                     {
                         hit.refs += 1;
                     } else {
@@ -301,7 +665,9 @@ impl SnapshotStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search::spill::FsSpillDir;
     use estelle_runtime::{Machine, Value};
+    use std::path::PathBuf;
 
     const SPEC: &str = r#"
         specification s;
@@ -321,6 +687,20 @@ mod tests {
         st
     }
 
+    fn spill_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tango-snapshot-spill-{}-{}",
+            tag,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tier(dir: &PathBuf) -> SpillTier {
+        SpillTier::open(Box::new(FsSpillDir::new(dir)), 64 << 20, 3).unwrap()
+    }
+
     #[test]
     fn identical_saves_intern_and_charge_once() {
         let st = some_state();
@@ -337,7 +717,7 @@ mod tests {
             after_first + 16,
             "a dedup hit charges only its cursor metadata"
         );
-        assert!(Rc::ptr_eq(&a.state, &b.state));
+        assert_eq!(a.slot_id(), b.slot_id());
 
         // LIFO release: the duplicate first, then the original.
         store.release(&b);
@@ -365,9 +745,9 @@ mod tests {
         let (a, hit1) = store.save(&st, 0);
         let (b, hit2) = store.save(&st, 0);
         assert!(!hit1 && !hit2);
-        assert!(!Rc::ptr_eq(&a.state, &b.state));
-        assert_eq!(store.resident_bytes(), a.bytes + b.bytes);
-        assert_eq!(a.materialize(false).heap.shared_chunks(), 0);
+        assert_ne!(a.slot_id(), b.slot_id());
+        assert_eq!(store.resident_bytes(), a.bytes() + b.bytes());
+        assert_eq!(store.materialize(&a).unwrap().heap.shared_chunks(), 0);
     }
 
     #[test]
@@ -376,7 +756,7 @@ mod tests {
         let mut store = SnapshotStore::new(true);
         let (a, _) = store.save(&st, 0);
         store.release(&a);
-        let restored = a.take(true);
+        let restored = store.take(a).unwrap();
         assert_eq!(restored, st);
     }
 
@@ -404,7 +784,7 @@ mod tests {
         let (b, _) = store.save(&st, 4);
         let total = store.resident_bytes();
 
-        let rebuilt = SnapshotStore::rebuild(true, [a.clone(), b.clone()].iter());
+        let rebuilt = SnapshotStore::rebuild(true, [a.clone(), b.clone()].iter(), None, None);
         assert_eq!(rebuilt.resident_bytes(), total);
 
         // And the rebuilt store still dedups against the adopted entries.
@@ -421,5 +801,80 @@ mod tests {
         assert_ne!(state_key(&st), state_key(&other));
         assert_eq!(state_key(&st), state_key(&st.snapshot()));
         assert_eq!(state_key(&st), state_key(&st.deep_snapshot()));
+    }
+
+    #[test]
+    fn budget_pressure_evicts_to_disk_and_faults_back_in() {
+        let dir = spill_dir("evict");
+        let st = some_state();
+        let mut variants = Vec::new();
+        for n in 0..8 {
+            let mut v = st.clone();
+            v.globals[0] = Value::Int(n);
+            variants.push(v);
+        }
+        // Budget below two snapshots: saving eight forces eviction.
+        let budget = st.approx_bytes() * 2;
+        let mut store = SnapshotStore::new(true).with_spill(budget, tier(&dir));
+        let handles: Vec<_> = variants.iter().map(|v| store.save(v, 0).0).collect();
+        assert!(
+            store.resident_bytes() <= budget,
+            "eviction must hold RAM at the budget ({} > {})",
+            store.resident_bytes(),
+            budget
+        );
+        assert!(store.spilled_bytes() > 0);
+        assert!(store.spill_counters().evictions > 0);
+        // Every snapshot — resident or spilled — restores bit-identically.
+        for (h, v) in handles.iter().zip(&variants) {
+            assert_eq!(&store.materialize(h).unwrap(), v);
+        }
+        assert!(store.spill_counters().reads > 0);
+        // Releasing everything returns both gauges to zero.
+        for h in handles.iter().rev() {
+            store.release(h);
+        }
+        assert_eq!(store.resident_bytes(), 0);
+        assert_eq!(store.spilled_bytes(), 0);
+        assert!(store.take_spill_fault().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn take_of_a_spilled_snapshot_reads_from_disk() {
+        let dir = spill_dir("take");
+        let st = some_state();
+        let mut other = st.clone();
+        other.globals[0] = Value::Int(5);
+        let mut store = SnapshotStore::new(true).with_spill(1, tier(&dir));
+        let (a, _) = store.save(&st, 0);
+        let (_b, _) = store.save(&other, 0);
+        // Budget 1: everything spills.
+        assert_eq!(store.resident_bytes(), 0);
+        store.release(&a);
+        assert_eq!(store.take(a).unwrap(), st);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_failure_poisons_the_store_and_keeps_the_state() {
+        use crate::search::spill::{FaultySpillDir, SpillFaultPlan, SpillDir};
+        let dir = spill_dir("poison");
+        let plan = SpillFaultPlan {
+            hard_writes_after: Some(0),
+            ..SpillFaultPlan::default()
+        };
+        let inner: Box<dyn SpillDir> = Box::new(FsSpillDir::new(&dir));
+        let faulty = FaultySpillDir::new(inner, plan);
+        let tier = SpillTier::open(Box::new(faulty), 64 << 20, 1).unwrap();
+        let st = some_state();
+        let mut store = SnapshotStore::new(true).with_spill(1, tier);
+        let (a, _) = store.save(&st, 0);
+        let fault = store.take_spill_fault().expect("dead disk must poison");
+        assert!(fault.to_string().contains("disk full"), "{}", fault);
+        // The snapshot never left RAM, so the search can still checkpoint.
+        assert_eq!(store.materialize(&a).unwrap(), st);
+        assert!(store.resident_bytes() > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

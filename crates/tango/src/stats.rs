@@ -58,6 +58,21 @@ pub struct SearchStats {
     pub snapshot_bytes: usize,
     /// High-water mark of `snapshot_bytes` over the run.
     pub peak_snapshot_bytes: usize,
+    /// Snapshot records written to disk spill segments (spill tier only;
+    /// always 0 with spilling off).
+    pub spill_writes: u64,
+    /// Spilled snapshots read (and checksum-verified) back from disk.
+    pub spill_reads: u64,
+    /// Transient spill I/O errors absorbed by retry + backoff.
+    pub spill_retries: u64,
+    /// Snapshots evicted from RAM under the memory budget (disk writes
+    /// plus write-free adoptions of records already on disk).
+    pub spill_evictions: u64,
+    /// Approximate bytes of snapshots currently resident only in spill
+    /// segments. Point-in-time residency, like `snapshot_bytes`.
+    pub spilled_bytes: usize,
+    /// High-water mark of `spilled_bytes` over the run.
+    pub peak_spilled_bytes: usize,
 }
 
 impl SearchStats {
@@ -117,6 +132,12 @@ impl SearchStats {
         // Last-writer-wins residency; see the doc comment above.
         self.snapshot_bytes = other.snapshot_bytes;
         self.peak_snapshot_bytes = self.peak_snapshot_bytes.max(other.peak_snapshot_bytes);
+        self.spill_writes += other.spill_writes;
+        self.spill_reads += other.spill_reads;
+        self.spill_retries += other.spill_retries;
+        self.spill_evictions += other.spill_evictions;
+        self.spilled_bytes = other.spilled_bytes;
+        self.peak_spilled_bytes = self.peak_spilled_bytes.max(other.peak_spilled_bytes);
     }
 }
 
@@ -191,6 +212,27 @@ mod tests {
         assert_eq!(total.snapshot_bytes, 250, "last round's residency wins");
         assert_eq!(total.peak_snapshot_bytes, 2000, "peak is max over rounds");
         assert_eq!(total.saves, 3, "flow counters still accumulate");
+    }
+
+    #[test]
+    fn absorb_spill_counters_flow_and_gauge_correctly() {
+        let mut total = SearchStats::default();
+        for (writes, spilled, peak) in [(3u64, 900usize, 900usize), (2, 100, 1200)] {
+            let round = SearchStats {
+                spill_writes: writes,
+                spill_reads: writes,
+                spill_retries: 1,
+                spill_evictions: writes,
+                spilled_bytes: spilled,
+                peak_spilled_bytes: peak,
+                ..Default::default()
+            };
+            total.absorb(&round);
+        }
+        assert_eq!(total.spill_writes, 5, "writes are a flow: they sum");
+        assert_eq!(total.spill_retries, 2);
+        assert_eq!(total.spilled_bytes, 100, "disk residency is last-writer-wins");
+        assert_eq!(total.peak_spilled_bytes, 1200, "peak is max over rounds");
     }
 
     #[test]

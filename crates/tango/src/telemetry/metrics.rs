@@ -195,6 +195,19 @@ impl MetricsRegistry {
             "search.peak_snapshot_bytes",
             stats.peak_snapshot_bytes as f64,
         );
+        // Spill-tier series appear only when the tier did something, so
+        // spill-off runs export a byte-identical document.
+        if stats.spill_writes + stats.spill_reads + stats.spill_evictions > 0 {
+            self.set_counter("spill.writes", stats.spill_writes);
+            self.set_counter("spill.reads", stats.spill_reads);
+            self.set_counter("spill.retries", stats.spill_retries);
+            self.set_counter("spill.evictions", stats.spill_evictions);
+            self.set_gauge("spill.spilled_bytes", stats.spilled_bytes as f64);
+            self.set_gauge(
+                "spill.peak_spilled_bytes",
+                stats.peak_spilled_bytes as f64,
+            );
+        }
     }
 
     /// Export the registry as one JSON document (validated by

@@ -92,30 +92,57 @@ impl ProgressReporter {
         };
         self.last_beat = now;
         self.last_te = te;
+        // Spill-tier fields appear only once the tier did something, so
+        // spill-off heartbeats keep their exact historical shape (and
+        // the pinned line prefixes).
+        let spilling =
+            stats.spill_writes + stats.spill_reads + stats.spill_evictions > 0;
         let line = match self.mode {
-            ProgressMode::Human => format!(
-                "progress: TE={} GE={} RE={} SA={} depth={} rate={:.0}/s eta={:.1}s{}\n",
-                te,
-                stats.generates,
-                stats.restores,
-                stats.saves,
-                stats.max_depth,
-                rate,
-                eta_s,
-                if done { " (done)" } else { "" }
-            ),
-            ProgressMode::Jsonl => format!(
-                "{{\"ev\":\"heartbeat\",\"te\":{},\"ge\":{},\"re\":{},\"sa\":{},\
-                 \"depth\":{},\"rate\":{:.1},\"eta_s\":{:.1},\"done\":{}}}\n",
-                te,
-                stats.generates,
-                stats.restores,
-                stats.saves,
-                stats.max_depth,
-                rate,
-                eta_s,
-                done
-            ),
+            ProgressMode::Human => {
+                let spill = if spilling {
+                    format!(
+                        " spilled={}B evict={}",
+                        stats.spilled_bytes, stats.spill_evictions
+                    )
+                } else {
+                    String::new()
+                };
+                format!(
+                    "progress: TE={} GE={} RE={} SA={} depth={} rate={:.0}/s eta={:.1}s{}{}\n",
+                    te,
+                    stats.generates,
+                    stats.restores,
+                    stats.saves,
+                    stats.max_depth,
+                    rate,
+                    eta_s,
+                    spill,
+                    if done { " (done)" } else { "" }
+                )
+            }
+            ProgressMode::Jsonl => {
+                let spill = if spilling {
+                    format!(
+                        "\"spilled_bytes\":{},\"spill_evictions\":{},",
+                        stats.spilled_bytes, stats.spill_evictions
+                    )
+                } else {
+                    String::new()
+                };
+                format!(
+                    "{{\"ev\":\"heartbeat\",\"te\":{},\"ge\":{},\"re\":{},\"sa\":{},\
+                     \"depth\":{},\"rate\":{:.1},\"eta_s\":{:.1},{}\"done\":{}}}\n",
+                    te,
+                    stats.generates,
+                    stats.restores,
+                    stats.saves,
+                    stats.max_depth,
+                    rate,
+                    eta_s,
+                    spill,
+                    done
+                )
+            }
         };
         let _ = self.out.write_all(line.as_bytes());
         let _ = self.out.flush();
@@ -182,6 +209,43 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("{\"ev\":\"heartbeat\",\"te\":10,"));
         assert!(lines[1].contains("\"done\":true"));
+    }
+
+    #[test]
+    fn spill_fields_appear_only_under_spill_activity() {
+        let buf = Shared::default();
+        let mut p = ProgressReporter::new(
+            ProgressMode::Human,
+            Duration::ZERO,
+            Box::new(buf.clone()),
+        );
+        let mut s = stats(10);
+        p.tick(&s, 100);
+        s.spill_writes = 4;
+        s.spill_evictions = 4;
+        s.spilled_bytes = 4096;
+        p.finish(&s, 100);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].contains("spilled="), "{}", lines[0]);
+        assert!(lines[1].contains(" spilled=4096B evict=4 (done)"), "{}", lines[1]);
+
+        // JSONL keeps its pinned prefix and inserts before "done".
+        let buf = Shared::default();
+        let mut p = ProgressReporter::new(
+            ProgressMode::Jsonl,
+            Duration::ZERO,
+            Box::new(buf.clone()),
+        );
+        p.finish(&s, 100);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.starts_with("{\"ev\":\"heartbeat\",\"te\":10,"), "{}", text);
+        assert!(
+            text.contains("\"spilled_bytes\":4096,\"spill_evictions\":4,\"done\":true"),
+            "{}",
+            text
+        );
     }
 
     #[test]

@@ -418,6 +418,18 @@ pub struct FaultPlan {
     pub stall_every: usize,
     /// How many empty polls each stall lasts.
     pub stall_polls: usize,
+    /// Fail every n-th *read attempt* with an injected I/O error (counted
+    /// in attempts, not delivered lines, so retried reads advance the
+    /// schedule). What happens next follows the source's
+    /// [`RecoveryPolicy`]: `Restart` retries the read on the next poll,
+    /// `Fail` treats the error as end-of-trace with a diagnostic.
+    /// `read_error_every: 1` under `Restart` never makes progress.
+    pub read_error_every: usize,
+    /// Return a short read — only the first half of the line — every n-th
+    /// read attempt. Under `Restart` the partial read is discarded and the
+    /// whole line retried; under `Fail` the partial data is delivered
+    /// as-is (and usually fails to parse), with a diagnostic either way.
+    pub short_read_every: usize,
 }
 
 /// A fault-injecting [`TraceSource`] for robustness testing.
@@ -435,6 +447,14 @@ pub struct FaultySource {
     stall_left: usize,
     eof: bool,
     errors: ErrorBuf,
+    /// Read-level fault diagnostics, kept apart from `errors` so
+    /// [`Self::skipped_lines`] keeps counting only unparseable lines.
+    read_faults: ErrorBuf,
+    recovery: RecoveryPolicy,
+    /// 1-based count of read attempts (polls that reached the backing
+    /// store), driving the read-level fault schedule independently of
+    /// delivered lines so retried reads advance it.
+    read_attempts: usize,
 }
 
 impl FaultySource {
@@ -457,7 +477,17 @@ impl FaultySource {
             stall_left: 0,
             eof: false,
             errors: ErrorBuf::default(),
+            read_faults: ErrorBuf::default(),
+            recovery: RecoveryPolicy::default(),
+            read_attempts: 0,
         }
+    }
+
+    /// What to do when an injected read-level fault fires (default
+    /// [`RecoveryPolicy::Fail`], matching [`FollowFileSource`]).
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
     }
 
     /// Total lines skipped as unparseable.
@@ -467,6 +497,10 @@ impl FaultySource {
 
     fn due(&self, every: usize) -> bool {
         every > 0 && self.delivered % every == every - 1
+    }
+
+    fn read_due(&self, every: usize) -> bool {
+        every > 0 && self.read_attempts.is_multiple_of(every)
     }
 
     fn parse_into(&mut self, line: &str, out: &mut Poll) {
@@ -503,6 +537,66 @@ impl TraceSource for FaultySource {
             out.eof = true;
             return out;
         };
+        self.read_attempts += 1;
+        // Read-level faults fire before the line-level ones: a read that
+        // errors never yields a line to corrupt or duplicate.
+        if self.read_due(self.plan.read_error_every) {
+            match self.recovery {
+                RecoveryPolicy::Restart => {
+                    self.read_faults.push(format!(
+                        "injected read error at attempt {}; retrying \
+                         (RecoveryPolicy::Restart)",
+                        self.read_attempts
+                    ));
+                    self.lines.push_front(line);
+                    return out;
+                }
+                RecoveryPolicy::Fail => {
+                    self.read_faults.push(format!(
+                        "injected read error at attempt {}; treating as \
+                         end-of-trace (RecoveryPolicy::Fail)",
+                        self.read_attempts
+                    ));
+                    self.eof = true;
+                    out.eof = true;
+                    return out;
+                }
+            }
+        }
+        if self.read_due(self.plan.short_read_every) && line.len() >= 2 && line.trim() != "eof" {
+            let mid = (0..=line.len() / 2)
+                .rev()
+                .find(|&i| line.is_char_boundary(i))
+                .unwrap_or(0);
+            match self.recovery {
+                RecoveryPolicy::Restart => {
+                    self.read_faults.push(format!(
+                        "injected short read at attempt {} ({} of {} bytes); \
+                         retrying (RecoveryPolicy::Restart)",
+                        self.read_attempts,
+                        mid,
+                        line.len()
+                    ));
+                    self.lines.push_front(line);
+                    return out;
+                }
+                RecoveryPolicy::Fail => {
+                    self.read_faults.push(format!(
+                        "injected short read at attempt {} ({} of {} bytes); \
+                         delivering partial data (RecoveryPolicy::Fail)",
+                        self.read_attempts,
+                        mid,
+                        line.len()
+                    ));
+                    self.parse_into(&line[..mid], &mut out);
+                    self.delivered += 1;
+                    if self.due(self.plan.stall_every) {
+                        self.stall_left = self.plan.stall_polls;
+                    }
+                    return out;
+                }
+            }
+        }
         if self.due(self.plan.corrupt_every) {
             self.parse_into("§§ corrupted line %%%", &mut out);
         } else if self.due(self.plan.truncate_every) && line.len() >= 2 && line.trim() != "eof" {
@@ -528,7 +622,9 @@ impl TraceSource for FaultySource {
     }
 
     fn diagnostics(&self) -> Vec<String> {
-        self.errors.render()
+        let mut out = self.errors.render();
+        out.extend(self.read_faults.render());
+        out
     }
 }
 

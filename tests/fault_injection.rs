@@ -195,6 +195,97 @@ fn stalled_source_cannot_wedge_a_deadlined_monitor() {
     );
 }
 
+#[test]
+fn injected_read_errors_retry_under_restart_policy() {
+    let a = tp0::analyzer();
+    let good = tp0::complete_valid_trace(2, 2, 1);
+    let text = tango::render_trace(&good, Some(a.module()), true);
+    // Every third read attempt errors; Restart retries the same line on
+    // the next poll, so no data is lost and the verdict stays Valid.
+    let plan = FaultPlan {
+        read_error_every: 3,
+        ..FaultPlan::default()
+    };
+    let mut src = FaultySource::new(&text, Some(a.module().clone()), plan)
+        .with_recovery(RecoveryPolicy::Restart);
+    let report = a
+        .analyze_online(&mut src, &AnalysisOptions::default(), &mut |_| true)
+        .unwrap();
+    assert_eq!(report.verdict, Verdict::Valid);
+    assert!(
+        report
+            .source_faults
+            .iter()
+            .any(|f| f.contains("injected read error") && f.contains("retrying")),
+        "{:?}",
+        report.source_faults
+    );
+}
+
+#[test]
+fn injected_read_error_fails_closed_under_fail_policy() {
+    let a = tp0::analyzer();
+    let good = tp0::complete_valid_trace(2, 2, 1);
+    let text = tango::render_trace(&good, Some(a.module()), true);
+    let plan = FaultPlan {
+        read_error_every: 3,
+        ..FaultPlan::default()
+    };
+    // Default policy is Fail: the first injected error reads as
+    // end-of-trace, so the analysis terminates conclusively on the
+    // delivered prefix with the fault on the record.
+    let mut src = FaultySource::new(&text, Some(a.module().clone()), plan);
+    let report = a
+        .analyze_online(&mut src, &AnalysisOptions::default(), &mut |_| true)
+        .unwrap();
+    assert!(report.verdict.is_conclusive());
+    assert!(
+        report
+            .source_faults
+            .iter()
+            .any(|f| f.contains("injected read error") && f.contains("end-of-trace")),
+        "{:?}",
+        report.source_faults
+    );
+}
+
+#[test]
+fn short_reads_under_fail_policy_skip_and_diagnose() {
+    let a = tp0::analyzer();
+    let good = tp0::complete_valid_trace(2, 2, 1);
+    let text = tango::render_trace(&good, Some(a.module()), true);
+    let plan = FaultPlan {
+        short_read_every: 4,
+        ..FaultPlan::default()
+    };
+    let mut src = FaultySource::new(&text, Some(a.module().clone()), plan);
+    let report = a
+        .analyze_online(&mut src, &AnalysisOptions::default(), &mut |_| true)
+        .unwrap();
+    // Partial data is delivered as-is under Fail; the half-lines fail to
+    // parse, the monitor keeps going, and the eof still terminates it.
+    assert!(report.verdict.is_conclusive());
+    assert!(src.skipped_lines() > 0, "half-lines must surface as skips");
+    assert!(
+        report
+            .source_faults
+            .iter()
+            .any(|f| f.contains("injected short read")),
+        "{:?}",
+        report.source_faults
+    );
+
+    // Restart discards the partial read and redelivers the whole line:
+    // nothing is lost and the trace stays Valid.
+    let mut src = FaultySource::new(&text, Some(a.module().clone()), plan)
+        .with_recovery(RecoveryPolicy::Restart);
+    let report = a
+        .analyze_online(&mut src, &AnalysisOptions::default(), &mut |_| true)
+        .unwrap();
+    assert_eq!(report.verdict, Verdict::Valid);
+    assert_eq!(src.skipped_lines(), 0, "retried reads lose nothing");
+}
+
 fn temp_trace_path(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "tango-fault-injection-{}-{}",

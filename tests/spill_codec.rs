@@ -1,0 +1,270 @@
+//! Corruption matrix for the spill segment format.
+//!
+//! A spill directory outlives crashes, and nothing about the bytes on
+//! disk can be trusted when the tier reopens it. These tests damage a
+//! real segment file every way a disk can — truncation at every byte
+//! boundary, flipped bits in headers and payloads, a foreign file
+//! wearing the `.seg` suffix, a segment from a future format version —
+//! and require the strict verifier to answer with a *typed*
+//! [`SpillError`], never a panic, never garbage accepted as a snapshot.
+
+use estelle_runtime::{Machine, MachineState, Value};
+use std::path::{Path, PathBuf};
+use tango::spill::{
+    verify_segment_file, FaultySpillDir, FsSpillDir, SpillDir, SpillError, SpillFaultPlan,
+    SpillTicket, SpillTier, SPILL_MAGIC, SPILL_VERSION,
+};
+
+const SPEC: &str = r#"
+    specification s;
+    module M process; end;
+    body MB for M;
+        var n : integer;
+        state S;
+        initialize to S begin n := 0 end;
+    end;
+    end.
+"#;
+
+fn state_with(n: i64) -> MachineState {
+    let m = Machine::from_source(SPEC).unwrap();
+    let mut st = m.initial_state().unwrap();
+    st.globals[0] = Value::Int(n);
+    st
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tango-spill-codec-{}-{}",
+        tag,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write a three-record segment and return (segment path, its tickets).
+fn seed_segment(root: &Path) -> (PathBuf, Vec<SpillTicket>) {
+    let mut tier = SpillTier::open(Box::new(FsSpillDir::new(root)), 64 << 20, 0).unwrap();
+    let mut tickets = Vec::new();
+    for n in 0..3 {
+        tickets.push(tier.write_state(n as u64, &state_with(n)).unwrap());
+    }
+    drop(tier);
+    (root.join("spill-00000000.seg"), tickets)
+}
+
+#[test]
+fn intact_segment_verifies_and_reads_back() {
+    let dir = tmpdir("intact");
+    let (seg, written) = seed_segment(&dir);
+    let verified = verify_segment_file(&seg).expect("undamaged segment verifies");
+    assert_eq!(verified, written, "the verifier sees exactly what was written");
+
+    // The tickets it returns are live: a reopened tier serves them.
+    let mut tier = SpillTier::open(Box::new(FsSpillDir::new(&dir)), 64 << 20, 0).unwrap();
+    assert_eq!(tier.adoptable_records(), 3, "reopen adopts every record");
+    for (n, t) in verified.iter().enumerate() {
+        assert_eq!(tier.read_state(t).unwrap(), state_with(n as i64));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_at_every_prefix_is_a_typed_error_or_a_clean_shorter_file() {
+    let dir = tmpdir("trunc");
+    let (seg, tickets) = seed_segment(&dir);
+    let bytes = std::fs::read(&seg).unwrap();
+
+    // The only prefixes at which a strict scan may still succeed: the
+    // empty file (created, never written), the bare header, and exact
+    // record boundaries — everything else must be a typed error.
+    let mut clean_cuts = vec![0u64, 12];
+    clean_cuts.extend(tickets.iter().map(|t| t.offset + u64::from(t.len)));
+
+    // Every byte boundary of the header and first record, then sparse
+    // samples through the rest so the matrix stays fast.
+    let first_end = (tickets[0].offset + u64::from(tickets[0].len)) as usize;
+    let cuts = (0..=first_end.min(bytes.len()))
+        .chain((first_end..bytes.len()).step_by(7))
+        .chain(std::iter::once(bytes.len() - 1));
+    let victim = dir.join("cut.seg");
+    for cut in cuts {
+        std::fs::write(&victim, &bytes[..cut]).unwrap();
+        match verify_segment_file(&victim) {
+            Ok(recovered) => assert!(
+                clean_cuts.contains(&(cut as u64)),
+                "cut at {} must not verify (got {} records)",
+                cut,
+                recovered.len()
+            ),
+            Err(
+                SpillError::Truncated { .. }
+                | SpillError::BadMagic { .. }
+                | SpillError::Corrupt { .. },
+            ) => assert!(
+                !clean_cuts.contains(&(cut as u64)),
+                "clean boundary {} must verify",
+                cut
+            ),
+            Err(other) => panic!("cut at {}: unexpected error {}", cut, other),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_payload_bytes_fail_the_checksum() {
+    let dir = tmpdir("flip-payload");
+    let (seg, tickets) = seed_segment(&dir);
+    let bytes = std::fs::read(&seg).unwrap();
+    let victim = dir.join("flip.seg");
+    let t = tickets[1];
+    for i in (t.offset..t.offset + u64::from(t.len)).step_by(3) {
+        let mut damaged = bytes.clone();
+        damaged[i as usize] ^= 0x40;
+        std::fs::write(&victim, &damaged).unwrap();
+        match verify_segment_file(&victim) {
+            Err(SpillError::Corrupt { offset, .. }) => {
+                assert_eq!(offset, t.offset, "corruption localizes to the record")
+            }
+            other => panic!(
+                "payload flip at byte {} must be Corrupt, got {:?}",
+                i,
+                other.map(|r| r.len())
+            ),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_record_header_bytes_never_panic_or_overallocate() {
+    let dir = tmpdir("flip-header");
+    let (seg, tickets) = seed_segment(&dir);
+    let bytes = std::fs::read(&seg).unwrap();
+    let victim = dir.join("flip.seg");
+    // The len and crc fields of the second record's header (the key is
+    // not integrity-protected — a flipped key still names *some* valid
+    // record, which adoption simply fails to match). A flipped length
+    // either points past end-of-file (Truncated — and the scan must
+    // validate that *before* allocating the claimed size) or reframes
+    // the payload so the checksum fails (Corrupt).
+    let header_at = tickets[1].offset - 16;
+    for i in (header_at + 8)..(header_at + 16) {
+        for bit in [0x01u8, 0x80] {
+            let mut damaged = bytes.clone();
+            damaged[i as usize] ^= bit;
+            std::fs::write(&victim, &damaged).unwrap();
+            match verify_segment_file(&victim) {
+                Err(SpillError::Truncated { .. }) | Err(SpillError::Corrupt { .. }) => {}
+                other => panic!(
+                    "header flip at byte {} (bit {:#x}) must be Truncated or Corrupt, got {:?}",
+                    i,
+                    bit,
+                    other.map(|r| r.len())
+                ),
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let dir = tmpdir("magic");
+    let (seg, _) = seed_segment(&dir);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    assert_eq!(&bytes[..8], &SPILL_MAGIC);
+    bytes[3] ^= 0xFF;
+    std::fs::write(&seg, &bytes).unwrap();
+    match verify_segment_file(&seg) {
+        Err(SpillError::BadMagic { segment: 0 }) => {}
+        other => panic!("must be BadMagic, got {:?}", other.map(|r| r.len())),
+    }
+
+    // A foreign file wearing the suffix is the same story.
+    std::fs::write(&seg, b"not a segment at all, just text\n").unwrap();
+    assert!(matches!(
+        verify_segment_file(&seg),
+        Err(SpillError::BadMagic { .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn future_format_version_is_refused_not_misread() {
+    let dir = tmpdir("version");
+    let (seg, _) = seed_segment(&dir);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    bytes[8..12].copy_from_slice(&999u32.to_le_bytes());
+    std::fs::write(&seg, &bytes).unwrap();
+    match verify_segment_file(&seg) {
+        Err(SpillError::UnsupportedVersion {
+            found, supported, ..
+        }) => {
+            assert_eq!(found, 999);
+            assert_eq!(supported, SPILL_VERSION);
+        }
+        other => panic!("must be UnsupportedVersion, got {:?}", other.map(|r| r.len())),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reopen_skips_damage_but_serves_what_survived() {
+    let dir = tmpdir("reopen");
+    let (seg, tickets) = seed_segment(&dir);
+    // Corrupt the *last* record's payload: a lenient reopen keeps the
+    // two records before it and warns about the rest.
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let last = tickets[2];
+    bytes[(last.offset + 2) as usize] ^= 0x10;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let mut tier = SpillTier::open(Box::new(FsSpillDir::new(&dir)), 64 << 20, 0).unwrap();
+    let warnings = tier.take_warnings();
+    assert_eq!(warnings.len(), 1, "{:?}", warnings);
+    assert!(warnings[0].contains("checksum"), "{}", warnings[0]);
+    assert_eq!(tier.adoptable_records(), 2);
+    assert_eq!(tier.read_state(&tickets[0]).unwrap(), state_with(0));
+    // The strict verifier, by contrast, refuses the whole file.
+    assert!(matches!(
+        verify_segment_file(&seg),
+        Err(SpillError::Corrupt { .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_bit_flips_through_the_public_fault_plan_are_typed() {
+    let dir = tmpdir("fault-plan");
+    let plan = SpillFaultPlan {
+        flip_bit_every: 2,
+        ..SpillFaultPlan::default()
+    };
+    let faulty: Box<dyn SpillDir> =
+        Box::new(FaultySpillDir::new(Box::new(FsSpillDir::new(&dir)), plan));
+    let mut tier = SpillTier::open(faulty, 64 << 20, 0).unwrap();
+    let t = tier.write_state(1, &state_with(1)).unwrap();
+    // Every second read is flipped: over a few attempts both the clean
+    // and the corrupt path must appear, and the corrupt one is typed.
+    let mut corrupt = 0;
+    let mut clean = 0;
+    for _ in 0..6 {
+        match tier.read_state(&t) {
+            Ok(st) => {
+                assert_eq!(st, state_with(1));
+                clean += 1;
+            }
+            Err(SpillError::Corrupt { context, .. }) => {
+                assert!(context.contains("checksum"), "{}", context);
+                corrupt += 1;
+            }
+            Err(other) => panic!("bit flip must surface as Corrupt, got {}", other),
+        }
+    }
+    assert!(clean > 0 && corrupt > 0, "clean={} corrupt={}", clean, corrupt);
+    std::fs::remove_dir_all(&dir).ok();
+}
