@@ -92,6 +92,30 @@ echo "== exec A/B differential smoke =="
 cargo test -q --test compiled_exec
 cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" --exec=interp
 cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" --exec=compiled
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" --exec=auto
+
+echo "== random-spec differential suite =="
+# Seeded random specifications: interp vs compiled vs auto vs
+# profile-guided programs must agree on fireable sets, verdicts and
+# counters for every seed (ROADMAP item 4c seed).
+cargo test -q --test differential_exec
+
+echo "== PGO round-trip smoke =="
+# Profile a run with --pgo-out, feed the file back with --pgo-in: the
+# reordered program must reach the identical verdict line, and a profile
+# from a different spec must be refused with a typed error.
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" \
+    --exec=compiled --pgo-out "$CKPT_DIR/tp0.pgo" > "$CKPT_DIR/pgo-first.txt"
+grep -q "^tangopgo 1$" "$CKPT_DIR/tp0.pgo"
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" \
+    --exec=compiled --pgo-in "$CKPT_DIR/tp0.pgo" > "$CKPT_DIR/pgo-second.txt"
+verdict_line() { grep "verdict:" "$1"; }
+[ -n "$(verdict_line "$CKPT_DIR/pgo-first.txt")" ]
+[ "$(verdict_line "$CKPT_DIR/pgo-first.txt")" = "$(verdict_line "$CKPT_DIR/pgo-second.txt")" ]
+cargo run -q --release -p tango-cli -- analyze specs/lapd.est "$CKPT_DIR/trace.txt" \
+    --pgo-in "$CKPT_DIR/tp0.pgo" 2> "$CKPT_DIR/pgo-refused.err" \
+    && { echo "expected a spec-mismatch refusal"; exit 1; } || true
+grep -q "recorded for spec" "$CKPT_DIR/pgo-refused.err"
 
 echo "== generate_exec smoke (quick mode) =="
 # A/B the bytecode VM against the reference interpreter on reduced
@@ -105,6 +129,9 @@ mv BENCH_generate.json.orig BENCH_generate.json
 cargo run -q --release -p bench --bin generate_exec -- --check BENCH_generate.json
 
 echo "== tps_by_spec_size smoke (quick mode) =="
+# --check also gates auto selection: no recorded row may have
+# speedup_auto_trans_per_sec < 1.0 — the default exec mode must never be
+# slower than the tree walker.
 cp BENCH_tps.json BENCH_tps.json.orig
 cargo run -q --release -p bench --bin tps_by_spec_size -- --quick
 cargo run -q --release -p bench --bin tps_by_spec_size -- --check BENCH_tps.json

@@ -32,6 +32,37 @@ pub fn number(x: f64) -> String {
     }
 }
 
+/// Format an `f64` at nanosecond precision (9 decimals) — for mean
+/// per-run durations, which on fast rows are far below the 3-decimal
+/// resolution of [`number`] and used to flatten to `0.000`.
+pub fn number_ns(x: f64) -> String {
+    if x.is_finite() {
+        format!("{:.9}", x)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Extract every number that directly follows `"<key>": ` in a JSON
+/// text. A DOM-free helper for CI gates over the benchmark records
+/// (e.g. "no row's speedup is below 1.0").
+pub fn numbers_for_key(text: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{}\":", key);
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let trimmed = rest.trim_start();
+        let end = trimmed
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+            .unwrap_or(trimmed.len());
+        if let Ok(v) = trimmed[..end].parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
 /// Validate that `text` is one well-formed JSON document.
 pub fn validate(text: &str) -> Result<(), String> {
     let mut p = Parser {
@@ -252,5 +283,19 @@ mod tests {
         assert!(validate(&format!("\"{}\"", s)).is_ok());
         assert_eq!(number(f64::NAN), "null");
         assert!(validate(&number(1.25)).is_ok());
+    }
+
+    #[test]
+    fn ns_precision_keeps_sub_millisecond_durations() {
+        assert_eq!(number_ns(0.000000420), "0.000000420");
+        assert_eq!(number_ns(f64::INFINITY), "null");
+        assert!(validate(&number_ns(1.5e-8)).is_ok());
+    }
+
+    #[test]
+    fn numbers_for_key_scrapes_all_occurrences() {
+        let doc = r#"{"rows": [{"s": 1.5, "x": 2}, {"s": 0.25}, {"t": {"s": -3e2}}]}"#;
+        assert_eq!(numbers_for_key(doc, "s"), vec![1.5, 0.25, -300.0]);
+        assert!(numbers_for_key(doc, "missing").is_empty());
     }
 }

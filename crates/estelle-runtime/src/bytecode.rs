@@ -98,6 +98,23 @@ pub enum Op {
         op: BinOp,
         span: Span,
     },
+    /// Superinstruction: `load a; load b; Binary` fused into one dispatch.
+    /// The profile-guided peephole ([`fuse_superinstructions`]) collapses
+    /// the dominant three-op window of guard and body chunks (two
+    /// const/global/frame loads feeding a binary operator — the shape
+    /// every `provided v = k` clause and counter update lowers to). The
+    /// handler still writes both operand registers before the result, so
+    /// the machine state at every observable point (including on an
+    /// arithmetic error) is identical to the unfused sequence.
+    BinFused {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        asrc: FusedSrc,
+        bsrc: FusedSrc,
+        op: BinOp,
+        span: Span,
+    },
     /// Short-circuit check for `and`/`or`: if `src` is decisive, write the
     /// result to `dst` and jump to `target` (past the right operand).
     LogicShort {
@@ -218,6 +235,19 @@ pub enum Op {
     Halt,
 }
 
+/// Where a fused operand of [`Op::BinFused`] loads from — the three
+/// side-effect-free load shapes ([`Op::Const`] / [`Op::ReadG`] /
+/// [`Op::ReadL`]) that may legally disappear into a superinstruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FusedSrc {
+    /// Constant pool index.
+    Const(u32),
+    /// Global slot.
+    Global(u32),
+    /// Transition/routine frame slot.
+    Local(u32),
+}
+
 /// One compiled call site: the callee and the registers holding the
 /// already-evaluated (or copied-in) actual arguments, in parameter order.
 #[derive(Clone, Debug)]
@@ -284,19 +314,45 @@ pub enum QuickGuard {
     },
 }
 
+/// A call-free guard that is a conjunction (`and` chain) of
+/// [`QuickGuard`]-shaped terms over globals and constants, e.g.
+/// `provided busy and vs = va and rc < 4`.
+///
+/// *Generate* evaluates the terms directly, short-circuiting on the first
+/// false — but **only after checking that every referenced global slot
+/// holds a defined value**. Over defined operands the terms are total
+/// (comparisons on ordinals and boolean reads never error and never
+/// produce `Undefined`), so evaluation order and short-circuiting are
+/// unobservable under either [`crate::interp::UndefinedPolicy`] — which is
+/// exactly what licenses [`ExecProgram::apply_pgo`] to re-sort the terms
+/// cheapest-first. Any undefined slot or non-boolean term falls back to
+/// the full chunk in source order.
+#[derive(Clone, Debug)]
+pub struct ConjGuard {
+    /// Global slots any term reads, deduplicated — the definedness
+    /// precheck.
+    pub slots: Vec<u32>,
+    /// The conjuncts, in source order until PGO re-sorts them.
+    pub terms: Vec<QuickGuard>,
+}
+
 /// A compiled `provided` guard.
 #[derive(Clone, Debug)]
 pub struct GuardCode {
     pub chunk: usize,
     /// VM-free evaluation for trivial chunk shapes; `None` runs the VM.
     pub quick: Option<QuickGuard>,
+    /// VM-free short-circuit plan for call-free `and`-chains; tried when
+    /// `quick` is `None`, falls back to the chunk on undefined operands.
+    pub conj: Option<ConjGuard>,
     /// Guards containing routine calls may have side effects and are
     /// evaluated against a scratch state copy, exactly as in interp mode.
     pub has_calls: bool,
     /// Whether the chunk ever touches the transition frame (`ReadL` /
-    /// `PlaceL`). Call-free guards get their frozen `any` bindings
-    /// substituted as constants at compile time, so most guards are
-    /// frameless and *Generate* skips building the frame entirely.
+    /// `PlaceL`, or a fused frame load). Call-free guards get their frozen
+    /// `any` bindings substituted as constants at compile time, so most
+    /// guards are frameless and *Generate* skips building the frame
+    /// entirely.
     pub needs_frame: bool,
 }
 
@@ -324,6 +380,12 @@ pub struct DispatchEntry {
 #[derive(Clone, Debug, Default)]
 pub struct DispatchIndex {
     pub by_state: Vec<Vec<DispatchEntry>>,
+    /// Set by [`DispatchIndex::reorder_by_fires`] when any bucket left
+    /// declaration order. *Generate* then restores declaration order on
+    /// the fireable list it builds (a sort by `trans`), and replays the
+    /// bucket in declaration order when a guard errors, so invariant 1
+    /// still holds observably.
+    pub reordered: bool,
 }
 
 impl DispatchIndex {
@@ -344,7 +406,29 @@ impl DispatchIndex {
                 }
             }
         }
-        DispatchIndex { by_state }
+        DispatchIndex {
+            by_state,
+            reordered: false,
+        }
+    }
+
+    /// Profile-guided bucket ordering: stable-sort every bucket by
+    /// descending observed fire count, so the candidates most likely to
+    /// fire are probed (and their queue heads cached) first. Ties keep
+    /// declaration order; `fires` is indexed by compiled-transition
+    /// number.
+    pub fn reorder_by_fires(&mut self, fires: &[u64]) {
+        for bucket in &mut self.by_state {
+            bucket.sort_by(|x, y| {
+                let fx = fires.get(x.trans as usize).copied().unwrap_or(0);
+                let fy = fires.get(y.trans as usize).copied().unwrap_or(0);
+                fy.cmp(&fx)
+            });
+        }
+        self.reordered = self
+            .by_state
+            .iter()
+            .any(|b| b.windows(2).any(|w| w[0].trans > w[1].trans));
     }
 
     /// Candidates for a control state (empty for out-of-range states).
@@ -362,6 +446,16 @@ impl DispatchIndex {
     }
 }
 
+/// Profile feedback for [`ExecProgram::apply_pgo`]: per-transition fire
+/// and fail counts, indexed by compiled-transition number. Produced by the
+/// telemetry profiler (`--pgo-out`) and validated against the spec before
+/// it gets anywhere near the dispatch index (`--pgo-in`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PgoHints {
+    pub fires: Vec<u64>,
+    pub fails: Vec<u64>,
+}
+
 /// Everything the compiled execution mode needs, built once per machine
 /// and shared by all policy/exec views.
 #[derive(Clone, Debug, Default)]
@@ -375,12 +469,51 @@ pub struct ExecProgram {
     /// Per transition: the compiled action-block chunk.
     pub bodies: Vec<usize>,
     pub dispatch: DispatchIndex,
+    /// Whether [`ExecProgram::apply_pgo`] has run on this program.
+    pub pgo: bool,
 }
 
 impl ExecProgram {
     /// Total instructions across all chunks (for stats/tests).
     pub fn code_len(&self) -> usize {
         self.chunks.iter().map(|c| c.code.len()).sum()
+    }
+
+    /// Fused superinstructions across all chunks (for stats/tests).
+    pub fn fused_count(&self) -> usize {
+        self.chunks
+            .iter()
+            .map(|c| {
+                c.code
+                    .iter()
+                    .filter(|op| matches!(op, Op::BinFused { .. }))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Apply profile feedback: order every dispatch bucket by observed
+    /// fire rate and re-sort conjunction-guard terms cheapest-first.
+    /// Observable semantics are unchanged — *Generate* restores
+    /// declaration order on the fireable lists it builds (and replays in
+    /// declaration order when a guard errors), and conjunction terms only
+    /// short-circuit over defined values, where order is unobservable.
+    pub fn apply_pgo(&mut self, hints: &PgoHints) {
+        debug_assert_eq!(hints.fires.len(), self.bodies.len());
+        self.dispatch.reorder_by_fires(&hints.fires);
+        for g in self.guards.iter_mut().flatten() {
+            if let Some(cj) = &mut g.conj {
+                // Static term cost: folded constants, then bare boolean
+                // globals, then global/const compares. Stable, so
+                // equal-cost terms keep source order.
+                cj.terms.sort_by_key(|t| match t {
+                    QuickGuard::Const(_) => 0u8,
+                    QuickGuard::Global { .. } => 1,
+                    QuickGuard::GlobalOpConst { .. } => 2,
+                });
+            }
+        }
+        self.pgo = true;
     }
 }
 
@@ -420,15 +553,15 @@ pub fn compile_program(module: &CompiledModule) -> ExecProgram {
     for t in &module.transitions {
         guards.push(t.provided.as_ref().map(|g| {
             let has_calls = crate::interp::expr_has_calls(g);
-            let mut c = FnCompiler::new(module);
-            if !has_calls {
+            let const_locals: Vec<Value> = if has_calls {
+                // Guards with calls keep frame reads — a callee could
+                // take a slot by `var` reference.
+                Vec::new()
+            } else {
                 // A call-free guard cannot write its frame, so the
                 // frozen `any` bindings (the leading slots) are true
-                // constants: substitute them at compile time. Guards
-                // with calls keep frame reads — a callee could take a
-                // slot by `var` reference.
-                c.const_locals = t
-                    .any_bindings
+                // constants: substitute them at compile time.
+                t.any_bindings
                     .iter()
                     .enumerate()
                     .map(|(i, &ord)| {
@@ -438,18 +571,29 @@ pub fn compile_program(module: &CompiledModule) -> ExecProgram {
                             ord,
                         )
                     })
-                    .collect();
-            }
+                    .collect()
+            };
+            let conj = if has_calls {
+                None
+            } else {
+                conj_guard(g, &const_locals)
+            };
+            let mut c = FnCompiler::new(module);
+            c.const_locals = const_locals;
             let r = c.expr(g);
             c.emit(Op::Halt);
             let chunk = push_chunk(&mut chunks, c.finish(Some(r)));
-            let needs_frame = chunks[chunk]
-                .code
-                .iter()
-                .any(|op| matches!(op, Op::ReadL { .. } | Op::PlaceL { .. }));
+            let needs_frame = chunks[chunk].code.iter().any(|op| match op {
+                Op::ReadL { .. } | Op::PlaceL { .. } => true,
+                Op::BinFused { asrc, bsrc, .. } => {
+                    matches!(asrc, FusedSrc::Local(_)) || matches!(bsrc, FusedSrc::Local(_))
+                }
+                _ => false,
+            });
             GuardCode {
                 chunk,
                 quick: quick_guard(&chunks[chunk]),
+                conj,
                 has_calls,
                 needs_frame,
             }
@@ -469,12 +613,193 @@ pub fn compile_program(module: &CompiledModule) -> ExecProgram {
         guards,
         bodies,
         dispatch: DispatchIndex::build(module),
+        pgo: false,
     }
 }
 
-fn push_chunk(chunks: &mut Vec<Chunk>, chunk: Chunk) -> usize {
+fn push_chunk(chunks: &mut Vec<Chunk>, mut chunk: Chunk) -> usize {
+    fuse_superinstructions(&mut chunk);
     chunks.push(chunk);
     chunks.len() - 1
+}
+
+/// The superinstruction peephole: collapse every `load; load; Binary`
+/// window (loads being [`Op::Const`] / [`Op::ReadG`] / [`Op::ReadL`]) into
+/// one [`Op::BinFused`], then remap every branch target and case-table
+/// entry through the old→new pc map. Profiling both executors showed this
+/// three-op window is the hot shape of generated code — every
+/// `provided v = k` clause, `when`-parameter compare and counter update
+/// lowers to it — and each fused window saves two VM dispatches.
+///
+/// Fusion is skipped when a branch lands *inside* the window (the jump
+/// would skip the loads), when the operand registers alias, or when the
+/// destination aliases an operand — so the fused handler, which writes
+/// `a`, `b`, then `dst`, reproduces the unfused register file exactly,
+/// including at the error edge of a failing `Binary`.
+fn fuse_superinstructions(chunk: &mut Chunk) {
+    let old = std::mem::take(&mut chunk.code);
+    let n = old.len();
+    let mut is_target = vec![false; n + 1];
+    for op in &old {
+        match op {
+            Op::Jump { target }
+            | Op::BranchBool { target, .. }
+            | Op::LogicShort { target, .. } => is_target[*target as usize] = true,
+            Op::ForCheck { exit, .. } => is_target[*exit as usize] = true,
+            _ => {}
+        }
+    }
+    for t in &chunk.cases {
+        for (_, pc) in &t.arms {
+            is_target[*pc as usize] = true;
+        }
+        is_target[t.default as usize] = true;
+    }
+    let load_src = |op: &Op| -> Option<(Reg, FusedSrc)> {
+        match op {
+            Op::Const { dst, k } => Some((*dst, FusedSrc::Const(*k))),
+            Op::ReadG { dst, slot } => Some((*dst, FusedSrc::Global(*slot))),
+            Op::ReadL { dst, slot } => Some((*dst, FusedSrc::Local(*slot))),
+            _ => None,
+        }
+    };
+    let mut map = vec![0u32; n + 1];
+    let mut new = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while i < n {
+        map[i] = new.len() as u32;
+        let fused = if i + 2 < n && !is_target[i + 1] && !is_target[i + 2] {
+            match &old[i + 2] {
+                Op::Binary { dst, a, b, op, span } => {
+                    match (load_src(&old[i]), load_src(&old[i + 1])) {
+                        (Some((d1, s1)), Some((d2, s2)))
+                            if d1 == *a && d2 == *b && a != b && dst != a && dst != b =>
+                        {
+                            Some(Op::BinFused {
+                                dst: *dst,
+                                a: *a,
+                                b: *b,
+                                asrc: s1,
+                                bsrc: s2,
+                                op: *op,
+                                span: *span,
+                            })
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(f) = fused {
+            map[i + 1] = map[i];
+            map[i + 2] = map[i];
+            new.push(f);
+            i += 3;
+        } else {
+            new.push(old[i].clone());
+            i += 1;
+        }
+    }
+    map[n] = new.len() as u32;
+    for op in &mut new {
+        match op {
+            Op::Jump { target }
+            | Op::BranchBool { target, .. }
+            | Op::LogicShort { target, .. } => *target = map[*target as usize],
+            Op::ForCheck { exit, .. } => *exit = map[*exit as usize],
+            _ => {}
+        }
+    }
+    for t in &mut chunk.cases {
+        for arm in &mut t.arms {
+            arm.1 = map[arm.1 as usize];
+        }
+        t.default = map[t.default as usize];
+    }
+    chunk.code = new;
+}
+
+/// Try to read a conjunction plan off a call-free guard expression: an
+/// `and` chain whose terms are all [`QuickGuard`]-shaped (constants —
+/// including frozen `any` bindings — bare global reads, or
+/// global-vs-constant comparisons). Single-term guards are left to
+/// [`QuickGuard`] itself.
+fn conj_guard(e: &CExpr, const_locals: &[Value]) -> Option<ConjGuard> {
+    let mut terms = Vec::new();
+    flatten_and(e, const_locals, &mut terms)?;
+    if terms.len() < 2 {
+        return None;
+    }
+    let mut slots: Vec<u32> = Vec::new();
+    for t in &terms {
+        let s = match t {
+            QuickGuard::Const(_) => continue,
+            QuickGuard::Global { slot } | QuickGuard::GlobalOpConst { slot, .. } => *slot,
+        };
+        if !slots.contains(&s) {
+            slots.push(s);
+        }
+    }
+    Some(ConjGuard { slots, terms })
+}
+
+fn flatten_and(e: &CExpr, const_locals: &[Value], out: &mut Vec<QuickGuard>) -> Option<()> {
+    if let CExpr::Binary(BinOp::And, l, r, _) = e {
+        flatten_and(l, const_locals, out)?;
+        flatten_and(r, const_locals, out)?;
+        return Some(());
+    }
+    out.push(conj_term(e, const_locals)?);
+    Some(())
+}
+
+/// A constant operand: a literal, or a read of a frozen `any` binding.
+fn const_operand(e: &CExpr, const_locals: &[Value]) -> Option<Value> {
+    match e {
+        CExpr::Const(v) => Some(v.clone()),
+        CExpr::Read(Slot::Local(i)) => const_locals.get(*i).cloned(),
+        _ => None,
+    }
+}
+
+fn conj_term(e: &CExpr, const_locals: &[Value]) -> Option<QuickGuard> {
+    match e {
+        CExpr::Read(Slot::Global(i)) => Some(QuickGuard::Global { slot: *i as u32 }),
+        CExpr::Binary(op, l, r, span)
+            if matches!(
+                op,
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            ) =>
+        {
+            if let CExpr::Read(Slot::Global(g)) = &**l {
+                if let Some(k) = const_operand(r, const_locals) {
+                    return Some(QuickGuard::GlobalOpConst {
+                        slot: *g as u32,
+                        op: *op,
+                        k,
+                        swapped: false,
+                        span: *span,
+                    });
+                }
+            }
+            if let CExpr::Read(Slot::Global(g)) = &**r {
+                if let Some(k) = const_operand(l, const_locals) {
+                    return Some(QuickGuard::GlobalOpConst {
+                        slot: *g as u32,
+                        op: *op,
+                        k,
+                        swapped: true,
+                        span: *span,
+                    });
+                }
+            }
+            None
+        }
+        other => const_operand(other, const_locals).map(QuickGuard::Const),
+    }
 }
 
 /// Recognize the trivial guard-chunk shapes that [`QuickGuard`] can
@@ -491,6 +816,32 @@ fn quick_guard(chunk: &Chunk) -> Option<QuickGuard> {
         [Op::ReadG { dst, slot }, Op::Halt] if *dst == result => {
             Some(QuickGuard::Global { slot: *slot })
         }
+        // The dominant `global <op> const` shape arrives fused (the
+        // peephole runs before extraction).
+        [Op::BinFused {
+            dst,
+            asrc,
+            bsrc,
+            op,
+            span,
+            ..
+        }, Op::Halt]
+            if *dst == result =>
+        {
+            let (slot, k, swapped) = match (asrc, bsrc) {
+                (FusedSrc::Global(slot), FusedSrc::Const(k)) => (*slot, *k, false),
+                (FusedSrc::Const(k), FusedSrc::Global(slot)) => (*slot, *k, true),
+                _ => return None,
+            };
+            Some(QuickGuard::GlobalOpConst {
+                slot,
+                op: *op,
+                k: chunk.consts[k as usize].clone(),
+                swapped,
+                span: *span,
+            })
+        }
+        // Unfused fallback (e.g. when register aliasing blocked fusion).
         [first, second, Op::Binary { dst, a, b, op, span }, Op::Halt] if *dst == result => {
             let (slot, k, swapped) = match (first, second) {
                 (Op::ReadG { dst: g, slot }, Op::Const { dst: c, k })
@@ -1241,5 +1592,136 @@ mod tests {
         // Guards with calls never take the fast path.
         assert!(g(5).quick.is_none());
         assert!(g(5).has_calls);
+    }
+
+    #[test]
+    fn superinstructions_fuse_load_load_binary_windows() {
+        let m = Machine::from_source(
+            r#"
+            specification f;
+            module M process; end;
+            body MB for M;
+                var a, b : integer;
+                state S;
+                initialize to S begin a := 0; b := 0 end;
+                trans
+                from S to S provided a > 5 name T: begin
+                    while a < 10 do begin
+                        a := a + 1;
+                        if b < a then b := b + 2;
+                    end;
+                    case a of
+                        10 : b := a - b
+                        else b := 0
+                    end;
+                end;
+            end;
+            end.
+        "#,
+        )
+        .unwrap();
+        assert!(
+            m.program.fused_count() >= 3,
+            "guard compare, counter updates and case arm all fuse: {}",
+            m.program.fused_count()
+        );
+        // The fused guard still pattern-matches to the VM-free quick path.
+        assert!(matches!(
+            m.program.guards[0].as_ref().unwrap().quick,
+            Some(QuickGuard::GlobalOpConst { .. })
+        ));
+        // Every branch target and case-table entry still lands on a real
+        // instruction after remapping.
+        for c in &m.program.chunks {
+            let n = c.code.len() as u32;
+            for op in &c.code {
+                match op {
+                    Op::Jump { target }
+                    | Op::BranchBool { target, .. }
+                    | Op::LogicShort { target, .. } => assert!(*target <= n),
+                    Op::ForCheck { exit, .. } => assert!(*exit <= n),
+                    _ => {}
+                }
+            }
+            for t in &c.cases {
+                assert!(t.default <= n);
+                for (_, pc) in &t.arms {
+                    assert!(*pc <= n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conj_guard_extracted_for_call_free_and_chains() {
+        let m = Machine::from_source(
+            r#"
+            specification cj;
+            module M process; end;
+            body MB for M;
+                var busy : boolean; vs, rc : integer;
+                state S;
+                function pos(x : integer) : boolean; begin pos := x > 0 end;
+                initialize to S begin busy := true; vs := 0; rc := 0 end;
+                trans
+                from S to S provided busy and (vs = 0) and (rc < 4) name Conj:
+                    begin vs := vs end;
+                from S to S provided busy and pos(vs) name WithCall:
+                    begin vs := vs end;
+                from S to S provided busy name Single: begin vs := vs end;
+            end;
+            end.
+        "#,
+        )
+        .unwrap();
+        let g = |i: usize| m.program.guards[i].as_ref().unwrap();
+        let cj = g(0).conj.as_ref().expect("and-chain gets a conj plan");
+        assert_eq!(cj.terms.len(), 3);
+        assert!(matches!(cj.terms[0], QuickGuard::Global { .. }));
+        assert!(matches!(cj.terms[1], QuickGuard::GlobalOpConst { .. }));
+        assert_eq!(cj.slots.len(), 3, "busy, vs, rc all prechecked");
+        assert!(g(1).conj.is_none(), "calls disqualify the conj plan");
+        assert!(g(2).conj.is_none(), "single terms stay QuickGuard");
+    }
+
+    #[test]
+    fn pgo_reorders_buckets_by_fires_and_restores_flag() {
+        let m = Machine::from_source(
+            r#"
+            specification p;
+            module M process; end;
+            body MB for M;
+                var n : integer;
+                state A;
+                initialize to A begin n := 0 end;
+                trans
+                from A to A provided n = 0 name T1: begin n := 0 end;
+                from A to A provided n = 1 name T2: begin n := 0 end;
+                from A to A provided n = 2 name T3: begin n := 0 end;
+            end;
+            end.
+        "#,
+        )
+        .unwrap();
+        let mut prog = (*m.program).clone();
+        assert!(!prog.dispatch.reordered);
+        // T3 fired most, then T1; T2 never.
+        prog.apply_pgo(&PgoHints {
+            fires: vec![10, 0, 50],
+            fails: vec![0, 60, 10],
+        });
+        assert!(prog.pgo);
+        assert!(prog.dispatch.reordered);
+        let order: Vec<u32> = prog.dispatch.by_state[0].iter().map(|e| e.trans).collect();
+        assert_eq!(order, vec![2, 0, 1]);
+        // Equal-fire hints keep declaration order and clear the flag.
+        let mut prog2 = (*m.program).clone();
+        prog2.apply_pgo(&PgoHints {
+            fires: vec![5, 5, 5],
+            fails: vec![0, 0, 0],
+        });
+        assert!(!prog2.dispatch.reordered, "stable sort kept decl order");
+        let order2: Vec<u32> = prog2.dispatch.by_state[0].iter().map(|e| e.trans).collect();
+        assert_eq!(order2, vec![0, 1, 2]);
     }
 }

@@ -96,33 +96,16 @@ pub(crate) fn apply_unary(
     }
 }
 
-/// Apply a non-logical binary operator to two evaluated operands. (`and`
-/// and `or` never reach this: they short-circuit in the executors and
-/// combine through [`logic_join`].)
-pub(crate) fn apply_binary(
-    policy: UndefinedPolicy,
-    op: BinOp,
-    lv: &Value,
-    rv: &Value,
-    span: Span,
-) -> RtResult<Value> {
-    if matches!(lv, Value::Undefined) || matches!(rv, Value::Undefined) {
-        return undefined_or(
-            policy,
-            "operand of a binary operator is undefined",
-            RuntimeErrorKind::UndefinedValue,
-        );
-    }
+/// Int-int fast path for the non-logical binary operators. Semantically
+/// identical to routing two `Value::Int`s through [`apply_binary`] — same
+/// checked arithmetic, same errors, same spans — but monomorphic on `i64`,
+/// so the VM's hot arithmetic/comparison loop skips the operand `match`
+/// and the `Value` destructuring entirely. Both executors stay bit-for-bit
+/// equal because [`apply_binary`] itself delegates here.
+#[inline]
+pub(crate) fn apply_binary_ints(op: BinOp, a: i64, b: i64, span: Span) -> RtResult<Value> {
     match op {
         BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-            let (Value::Int(a), Value::Int(b)) = (lv, rv) else {
-                return Err(RuntimeError::internal(format!(
-                    "arithmetic on {} and {}",
-                    lv, rv
-                ))
-                .with_span(span));
-            };
-            let (a, b) = (*a, *b);
             let out = match op {
                 BinOp::Add => a.checked_add(b),
                 BinOp::Sub => a.checked_sub(b),
@@ -154,6 +137,44 @@ pub(crate) fn apply_binary(
                 RuntimeError::new(RuntimeErrorKind::Overflow, "arithmetic overflow")
                     .with_span(span)
             })
+        }
+        BinOp::Eq => Ok(Value::Bool(a == b)),
+        BinOp::Ne => Ok(Value::Bool(a != b)),
+        BinOp::Lt => Ok(Value::Bool(a < b)),
+        BinOp::Le => Ok(Value::Bool(a <= b)),
+        BinOp::Gt => Ok(Value::Bool(a > b)),
+        BinOp::Ge => Ok(Value::Bool(a >= b)),
+        BinOp::In => Err(RuntimeError::internal("`in` with non-set operand").with_span(span)),
+        BinOp::And | BinOp::Or => unreachable!("logic operators use logic_join"),
+    }
+}
+
+/// Apply a non-logical binary operator to two evaluated operands. (`and`
+/// and `or` never reach this: they short-circuit in the executors and
+/// combine through [`logic_join`].)
+pub(crate) fn apply_binary(
+    policy: UndefinedPolicy,
+    op: BinOp,
+    lv: &Value,
+    rv: &Value,
+    span: Span,
+) -> RtResult<Value> {
+    if matches!(lv, Value::Undefined) || matches!(rv, Value::Undefined) {
+        return undefined_or(
+            policy,
+            "operand of a binary operator is undefined",
+            RuntimeErrorKind::UndefinedValue,
+        );
+    }
+    if let (Value::Int(a), Value::Int(b)) = (lv, rv) {
+        if !matches!(op, BinOp::In) {
+            return apply_binary_ints(op, *a, *b, span);
+        }
+    }
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            Err(RuntimeError::internal(format!("arithmetic on {} and {}", lv, rv))
+                .with_span(span))
         }
         BinOp::Eq => Ok(Value::Bool(values_equal(lv, rv))),
         BinOp::Ne => Ok(Value::Bool(!values_equal(lv, rv))),

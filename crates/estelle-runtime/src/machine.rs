@@ -135,17 +135,34 @@ pub enum FireOutcome {
 /// executor and A/B baseline (`--exec=interp`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ExecMode {
-    /// Bytecode VM + dispatch index (the default).
+    /// Pick per spec from the compile-time cost model (the default): the
+    /// bytecode VM for specs with at least
+    /// [`AUTO_COMPILED_MIN_TRANSITIONS`] compiled transitions, the tree
+    /// walker below that. On small specs the VM's fixed per-step overhead
+    /// (scratch setup, chunk dispatch) exceeds what the dispatch index
+    /// saves, and the tree walker wins — `BENCH_tps.json` is the record.
+    /// The choice depends only on the spec, so a resumed checkpoint run
+    /// re-selects the same executor.
     #[default]
+    Auto,
+    /// Bytecode VM + dispatch index.
     Compiled,
     /// Tree-walking reference interpreter with linear transition scan.
     Interp,
 }
 
+/// [`ExecMode::Auto`]'s cost-model threshold: specs with at least this
+/// many compiled transitions (post `any`-expansion) run the bytecode VM.
+/// Calibrated against `BENCH_tps.json`: the crossover sits between the
+/// 21-transition LAPD table (tree walker faster) and the 50-declaration
+/// synthetic spec (VM ≥2× faster).
+pub const AUTO_COMPILED_MIN_TRANSITIONS: usize = 48;
+
 impl ExecMode {
     /// Stable lowercase name used by CLI flags and benchmark records.
     pub fn name(self) -> &'static str {
         match self {
+            ExecMode::Auto => "auto",
             ExecMode::Compiled => "compiled",
             ExecMode::Interp => "interp",
         }
@@ -156,10 +173,11 @@ impl std::str::FromStr for ExecMode {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
+            "auto" => Ok(ExecMode::Auto),
             "compiled" => Ok(ExecMode::Compiled),
             "interp" => Ok(ExecMode::Interp),
             other => Err(format!(
-                "unknown exec mode `{}` (expected `compiled` or `interp`)",
+                "unknown exec mode `{}` (expected `auto`, `compiled` or `interp`)",
                 other
             )),
         }
@@ -225,6 +243,31 @@ impl Machine {
         self
     }
 
+    /// The executor this machine actually runs: [`ExecMode::Auto`]
+    /// resolves per spec through the cost model, explicit modes pass
+    /// through. Deterministic for a given spec, so checkpoint resume
+    /// re-selects the same executor.
+    pub fn resolved_exec(&self) -> ExecMode {
+        match self.exec {
+            ExecMode::Auto => {
+                if self.module.transitions.len() >= AUTO_COMPILED_MIN_TRANSITIONS {
+                    ExecMode::Compiled
+                } else {
+                    ExecMode::Interp
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Apply validated profile feedback to the shared bytecode program
+    /// (see [`ExecProgram::apply_pgo`]). Views already split off keep the
+    /// unoptimized program; views created afterwards share the optimized
+    /// one.
+    pub fn apply_pgo(&mut self, hints: &crate::bytecode::PgoHints) {
+        Arc::make_mut(&mut self.program).apply_pgo(hints);
+    }
+
     fn interp(&self) -> Interp<'_> {
         Interp::new(&self.module, self.policy)
     }
@@ -244,7 +287,7 @@ impl Machine {
                 globals: &mut globals,
                 heap: &mut heap,
             };
-            match self.exec {
+            match self.resolved_exec() {
                 ExecMode::Interp => {
                     let mut frame = Vec::new();
                     self.interp().exec_block(
@@ -255,7 +298,7 @@ impl Machine {
                         0,
                     )?;
                 }
-                ExecMode::Compiled => {
+                ExecMode::Compiled | ExecMode::Auto => {
                     let v = Vm::new(&self.program, self.policy);
                     vm::with_scratch(|s| {
                         v.run(self.program.init, Vec::new(), &mut store, sink, s)
@@ -310,9 +353,9 @@ impl Machine {
     ) -> RtResult<()> {
         out.fireable.clear();
         out.incomplete = false;
-        match self.exec {
+        match self.resolved_exec() {
             ExecMode::Interp => self.generate_interp(st, input, out)?,
-            ExecMode::Compiled => self.generate_compiled(st, input, out)?,
+            ExecMode::Compiled | ExecMode::Auto => self.generate_compiled(st, input, out)?,
         }
 
         // Priority filtering: keep only the smallest priority value.
@@ -422,60 +465,122 @@ impl Machine {
             let mut heads = std::mem::take(&mut s.heads);
             heads.clear();
             heads.resize(self.module.analyzed.ips.len(), None);
-            let result = (|| {
-                for e in program.dispatch.candidates(st.control) {
-                    let i = e.trans as usize;
-                    let (params, fabricated) = match e.when {
-                        None => (Vec::new(), false),
-                        Some((ip, interaction, nparams)) => {
-                            let head = heads[ip as usize]
-                                .get_or_insert_with(|| input.head(ip as usize));
-                            match head {
-                                QueueHead::Message {
-                                    interaction: head_interaction,
-                                    params,
-                                } if *head_interaction == interaction as usize => {
-                                    (params.clone(), false)
-                                }
-                                QueueHead::Message { .. } | QueueHead::Empty => continue,
-                                QueueHead::EmptyMayGrow => {
-                                    out.incomplete = true;
-                                    continue;
-                                }
-                                QueueHead::Unobserved => {
-                                    (vec![Value::Undefined; nparams as usize], true)
-                                }
-                            }
-                        }
-                    };
+            let entries = program.dispatch.candidates(st.control);
+            let mut result =
+                self.generate_candidates(&v, s, &mut heads, st, input, out, entries);
+            if program.dispatch.reordered {
+                match &result {
+                    Ok(()) => {
+                        // A PGO-reordered bucket probes candidates out of
+                        // declaration order; restore it on the fireable
+                        // list so the observable result matches the
+                        // linear scan element-for-element.
+                        out.fireable.sort_by_key(|f| f.trans);
+                    }
+                    Err(_) => {
+                        // A guard error must surface from the *first*
+                        // declaration that raises it. Guard evaluation
+                        // never commits state changes (call-carrying
+                        // guards run on scratch copies), so replaying the
+                        // bucket in declaration order reproduces the
+                        // linear scan's error exactly.
+                        out.fireable.clear();
+                        out.incomplete = false;
+                        let mut decl = entries.to_vec();
+                        decl.sort_by_key(|e| e.trans);
+                        result =
+                            self.generate_candidates(&v, s, &mut heads, st, input, out, &decl);
+                    }
+                }
+            }
+            s.heads = heads;
+            result
+        })
+    }
 
-                    if let Some(g) = &program.guards[i] {
-                        // Trivial guard shapes evaluate against the
-                        // globals directly — no frame, no store, no VM
-                        // loop entry. This is where the dispatch index
-                        // pays off on big tables: the common `v = k`
-                        // clause costs one comparison per candidate.
-                        if let Some(q) = &g.quick {
-                            use crate::bytecode::QuickGuard;
-                            let value = match q {
-                                QuickGuard::Const(v) => v.clone(),
-                                QuickGuard::Global { slot } => st
-                                    .globals
-                                    .get(*slot as usize)
-                                    .cloned()
-                                    .ok_or_else(|| {
-                                        RuntimeError::internal("global slot out of range")
-                                    })?,
-                                QuickGuard::GlobalOpConst {
-                                    slot,
-                                    op,
-                                    k,
-                                    swapped,
-                                    span,
-                                } => {
-                                    let gv = st.globals.get(*slot as usize).ok_or_else(
-                                        || RuntimeError::internal("global slot out of range"),
-                                    )?;
+    /// One pass over a candidate list for [`Machine::generate_compiled`]:
+    /// resolve each entry's `when` clause against the cached queue heads,
+    /// evaluate its guard (quick shape → conjunction plan → bytecode
+    /// chunk, cheapest first), and push the enabled candidates in list
+    /// order.
+    #[allow(clippy::too_many_arguments)]
+    fn generate_candidates(
+        &self,
+        v: &Vm<'_>,
+        s: &mut vm::VmScratch,
+        heads: &mut [Option<QueueHead>],
+        st: &mut MachineState,
+        input: &dyn InputSource,
+        out: &mut Generated,
+        entries: &[crate::bytecode::DispatchEntry],
+    ) -> RtResult<()> {
+        for e in entries {
+            let i = e.trans as usize;
+            let (params, fabricated) = match e.when {
+                None => (Vec::new(), false),
+                Some((ip, interaction, nparams)) => {
+                    let head =
+                        heads[ip as usize].get_or_insert_with(|| input.head(ip as usize));
+                    match head {
+                        QueueHead::Message {
+                            interaction: head_interaction,
+                            params,
+                        } if *head_interaction == interaction as usize => {
+                            (params.clone(), false)
+                        }
+                        QueueHead::Message { .. } | QueueHead::Empty => continue,
+                        QueueHead::EmptyMayGrow => {
+                            out.incomplete = true;
+                            continue;
+                        }
+                        QueueHead::Unobserved => {
+                            (vec![Value::Undefined; nparams as usize], true)
+                        }
+                    }
+                }
+            };
+
+            if let Some(g) = &self.program.guards[i] {
+                // Trivial guard shapes evaluate against the globals
+                // directly — no frame, no store, no VM loop entry. This
+                // is where the dispatch index pays off on big tables:
+                // the common `v = k` clause costs one comparison per
+                // candidate.
+                if let Some(q) = &g.quick {
+                    use crate::bytecode::QuickGuard;
+                    let value = match q {
+                        QuickGuard::Const(v) => v.clone(),
+                        QuickGuard::Global { slot } => st
+                            .globals
+                            .get(*slot as usize)
+                            .cloned()
+                            .ok_or_else(|| {
+                                RuntimeError::internal("global slot out of range")
+                            })?,
+                        QuickGuard::GlobalOpConst {
+                            slot,
+                            op,
+                            k,
+                            swapped,
+                            span,
+                        } => {
+                            let gv = st.globals.get(*slot as usize).ok_or_else(|| {
+                                RuntimeError::internal("global slot out of range")
+                            })?;
+                            // Int-int compares — the dominant shape of
+                            // padded transition tables — skip the Value
+                            // destructuring in `apply_binary`.
+                            match (gv, k) {
+                                (Value::Int(g0), Value::Int(k0))
+                                    if !matches!(op, estelle_ast::BinOp::In) =>
+                                {
+                                    let (x, y) =
+                                        if *swapped { (*k0, *g0) } else { (*g0, *k0) };
+                                    crate::interp::scalar::apply_binary_ints(
+                                        *op, x, y, *span,
+                                    )?
+                                }
+                                _ => {
                                     let (l, r) = if *swapped { (k, gv) } else { (gv, k) };
                                     crate::interp::scalar::apply_binary(
                                         self.policy,
@@ -485,63 +590,78 @@ impl Machine {
                                         *span,
                                     )?
                                 }
-                            };
-                            if !crate::interp::scalar::guard_bool(self.policy, value)? {
-                                continue;
                             }
-                            out.fireable.push(Fireable {
-                                trans: i,
-                                params,
-                                fabricated,
-                            });
-                            continue;
                         }
-                        // Frameless guards (frozen `any` bindings folded
-                        // to constants, no surviving slot reads) skip the
-                        // per-candidate frame allocation entirely.
-                        let frame = if g.needs_frame {
-                            self.transition_frame(&self.module.transitions[i], &params)
-                        } else {
-                            Vec::new()
-                        };
-                        let mut sink = NullEnv::default();
-                        let value = if g.has_calls {
-                            // Guards containing function calls may have
-                            // side effects; evaluate against a scratch
-                            // copy (same rule as the tree-walker).
-                            let mut globals = st.globals.clone();
-                            let mut heap = st.heap.clone();
-                            let mut store = Store {
-                                globals: &mut globals,
-                                heap: &mut heap,
-                            };
-                            v.run(g.chunk, frame, &mut store, &mut sink, s)?
-                        } else {
-                            let mut store = Store {
-                                globals: &mut st.globals,
-                                heap: &mut st.heap,
-                            };
-                            v.run(g.chunk, frame, &mut store, &mut sink, s)?
-                        };
-                        let value = value.ok_or_else(|| {
-                            RuntimeError::internal("guard chunk produced no result")
-                        })?;
-                        if !crate::interp::scalar::guard_bool(self.policy, value)? {
-                            continue;
-                        }
+                    };
+                    if !crate::interp::scalar::guard_bool(self.policy, value)? {
+                        continue;
                     }
-
                     out.fireable.push(Fireable {
                         trans: i,
                         params,
                         fabricated,
                     });
+                    continue;
                 }
-                Ok(())
-            })();
-            s.heads = heads;
-            result
-        })
+                // Conjunction plans short-circuit `and` chains VM-free
+                // when every referenced global is defined; otherwise
+                // fall through to the chunk for exact source-order
+                // undefined semantics.
+                if let Some(cj) = &g.conj {
+                    if let Some(enabled) = conj_eval(cj, &st.globals, self.policy) {
+                        if !enabled {
+                            continue;
+                        }
+                        out.fireable.push(Fireable {
+                            trans: i,
+                            params,
+                            fabricated,
+                        });
+                        continue;
+                    }
+                }
+                // Frameless guards (frozen `any` bindings folded to
+                // constants, no surviving slot reads) skip the
+                // per-candidate frame allocation entirely.
+                let frame = if g.needs_frame {
+                    self.transition_frame(&self.module.transitions[i], &params)
+                } else {
+                    Vec::new()
+                };
+                let mut sink = NullEnv::default();
+                let value = if g.has_calls {
+                    // Guards containing function calls may have side
+                    // effects; evaluate against a scratch copy (same
+                    // rule as the tree-walker).
+                    let mut globals = st.globals.clone();
+                    let mut heap = st.heap.clone();
+                    let mut store = Store {
+                        globals: &mut globals,
+                        heap: &mut heap,
+                    };
+                    v.run(g.chunk, frame, &mut store, &mut sink, s)?
+                } else {
+                    let mut store = Store {
+                        globals: &mut st.globals,
+                        heap: &mut st.heap,
+                    };
+                    v.run(g.chunk, frame, &mut store, &mut sink, s)?
+                };
+                let value = value.ok_or_else(|| {
+                    RuntimeError::internal("guard chunk produced no result")
+                })?;
+                if !crate::interp::scalar::guard_bool(self.policy, value)? {
+                    continue;
+                }
+            }
+
+            out.fireable.push(Fireable {
+                trans: i,
+                params,
+                fabricated,
+            });
+        }
+        Ok(())
     }
 
     /// *Update*: fire `f`, consuming its input, executing the block and
@@ -566,12 +686,12 @@ impl Machine {
                 globals: &mut st.globals,
                 heap: &mut st.heap,
             };
-            match self.exec {
+            match self.resolved_exec() {
                 ExecMode::Interp => {
                     self.interp()
                         .exec_block(&t.body, &mut store, &mut frame, env, 0)
                 }
-                ExecMode::Compiled => {
+                ExecMode::Compiled | ExecMode::Auto => {
                     let v = Vm::new(&self.program, self.policy);
                     vm::with_scratch(|s| {
                         v.run(self.program.bodies[f.trans], frame, &mut store, env, s)
@@ -642,6 +762,65 @@ impl Machine {
     pub fn transition_count(&self) -> usize {
         self.module.transitions.len()
     }
+}
+
+/// Evaluate a [`crate::bytecode::ConjGuard`] plan against the globals:
+/// `Some(enabled)` when every referenced slot is defined and every term
+/// evaluates cleanly to a boolean — in that regime the terms are total
+/// and their order (PGO re-sorts them cheapest-first) is unobservable.
+/// `None` sends the caller to the full chunk, which replays the guard in
+/// exact source order for undefined operands and error cases.
+fn conj_eval(
+    cj: &crate::bytecode::ConjGuard,
+    globals: &[Value],
+    policy: UndefinedPolicy,
+) -> Option<bool> {
+    for &slot in &cj.slots {
+        match globals.get(slot as usize) {
+            Some(Value::Undefined) | None => return None,
+            Some(_) => {}
+        }
+    }
+    use crate::bytecode::QuickGuard;
+    for t in &cj.terms {
+        let holds = match t {
+            QuickGuard::Const(Value::Bool(b)) => *b,
+            QuickGuard::Const(_) => return None,
+            QuickGuard::Global { slot } => match &globals[*slot as usize] {
+                Value::Bool(b) => *b,
+                _ => return None,
+            },
+            QuickGuard::GlobalOpConst {
+                slot,
+                op,
+                k,
+                swapped,
+                span,
+            } => {
+                let gv = &globals[*slot as usize];
+                let r = match (gv, k) {
+                    (Value::Int(g0), Value::Int(k0))
+                        if !matches!(op, estelle_ast::BinOp::In) =>
+                    {
+                        let (x, y) = if *swapped { (*k0, *g0) } else { (*g0, *k0) };
+                        crate::interp::scalar::apply_binary_ints(*op, x, y, *span)
+                    }
+                    _ => {
+                        let (l, r) = if *swapped { (k, gv) } else { (gv, k) };
+                        crate::interp::scalar::apply_binary(policy, *op, l, r, *span)
+                    }
+                };
+                match r {
+                    Ok(Value::Bool(b)) => b,
+                    _ => return None,
+                }
+            }
+        };
+        if !holds {
+            return Some(false);
+        }
+    }
+    Some(true)
 }
 
 /// Reify an ordinal as a value of the given scalar type.

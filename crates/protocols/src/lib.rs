@@ -11,11 +11,14 @@
 //! * [`lapd`] — a Q.921-inspired LAPD specification for the §4.1
 //!   experiments, including piggybacked-acknowledgement nondeterminism;
 //! * [`synthetic`] — a generator of specifications with any number of
-//!   transition declarations, for the §4 throughput-vs-size claim.
+//!   transition declarations, for the §4 throughput-vs-size claim;
+//! * [`randspec`] — a seeded random-specification generator for
+//!   differential executor testing.
 
 pub mod abp;
 pub mod ack;
 pub mod ip3;
 pub mod lapd;
+pub mod randspec;
 pub mod synthetic;
 pub mod tp0;

@@ -71,8 +71,8 @@ pub use options::{AnalysisOptions, OrderOptions, SearchLimits};
 pub use search::spill::{SpillError, SpillFaultPlan, SpillMode, SpillOptions};
 pub use stats::SearchStats;
 pub use telemetry::{
-    EventSink, JsonlSink, MetricsRegistry, ProgressMode, ProgressReporter, RingBufferSink,
-    SearchEvent, Telemetry, TransitionProfile,
+    EventSink, JsonlSink, MetricsRegistry, PgoError, PgoProfile, ProgressMode, ProgressReporter,
+    RingBufferSink, SearchEvent, Telemetry, TransitionProfile,
 };
 pub use trace::format::{parse_trace, render_trace};
 pub use trace::source::{

@@ -148,11 +148,14 @@ pub struct AnalysisOptions {
     /// deep-clone path (CLI `--cow=off`), kept for A/B measurement; the
     /// verdict and the TE/GE/RE/SA counters are identical either way.
     pub cow_snapshots: bool,
-    /// Which executor runs *Generate*/*Update* (CLI `--exec`): the
-    /// bytecode VM with its by-control-state dispatch index (default), or
-    /// the tree-walking reference interpreter (`--exec=interp`), kept for
-    /// A/B measurement. Verdicts, counters and telemetry event streams
-    /// are identical either way; only transitions-per-second differ.
+    /// Which executor runs *Generate*/*Update* (CLI `--exec`): `auto`
+    /// (default) picks per spec from the compile-time cost model — the
+    /// bytecode VM with its by-control-state dispatch index for large
+    /// transition tables, the tree-walking reference interpreter for
+    /// small ones, so the default is never slower than either fixed
+    /// choice. `compiled` and `interp` force one executor (A/B
+    /// measurement). Verdicts, counters and telemetry event streams are
+    /// identical in every mode; only transitions-per-second differ.
     pub exec_mode: ExecMode,
     /// Disk spill tier for the snapshot store (CLI `--spill`,
     /// `--spill-dir`): under a `max_state_bytes` budget, degrade to disk
@@ -175,7 +178,7 @@ impl Default for AnalysisOptions {
             state_hashing: false,
             mdfs_reorder: true,
             cow_snapshots: true,
-            exec_mode: ExecMode::Compiled,
+            exec_mode: ExecMode::Auto,
             spill: SpillOptions::default(),
             limits: SearchLimits::default(),
         }
@@ -236,8 +239,8 @@ mod tests {
         assert!(o.cow_snapshots, "COW Save/Restore is the default path");
         assert_eq!(
             o.exec_mode,
-            ExecMode::Compiled,
-            "the bytecode VM is the default executor"
+            ExecMode::Auto,
+            "the cost-model auto-selection is the default executor"
         );
         assert_eq!(
             o.spill,

@@ -37,7 +37,7 @@ pub mod sink;
 
 pub use event::{PruneKind, SearchEvent, TRACE_SCHEMA_VERSION};
 pub use metrics::{Histogram, MetricsRegistry, METRICS_SCHEMA_VERSION};
-pub use profile::{TransitionProfile, TransitionStats};
+pub use profile::{PgoError, PgoProfile, PgoRow, TransitionProfile, TransitionStats};
 pub use progress::{ProgressMode, ProgressReporter};
 pub use sink::{EventSink, JsonlSink, RingBufferSink};
 

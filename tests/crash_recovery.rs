@@ -227,3 +227,61 @@ fn checkpoint_file_is_reusable() {
     assert_eq!(counters(&first.stats), counters(&second.stats));
     assert_eq!(counters(&first.stats), counters(&baseline.stats));
 }
+
+/// `--exec=auto` round-trips through save/resume: the cost model is a
+/// pure function of the compiled spec (transition count), so a resumed
+/// run re-selects the same executor the saving run used, on both sides
+/// of the selection threshold, with uninterrupted totals.
+#[test]
+fn auto_exec_mode_round_trips_through_checkpoint() {
+    use estelle_runtime::{ExecMode, AUTO_COMPILED_MIN_TRANSITIONS};
+    use protocols::synthetic::SyntheticSpec;
+    use tango::ChoicePolicy;
+
+    let with_auto = || AnalysisOptions {
+        exec_mode: ExecMode::Auto,
+        ..AnalysisOptions::default()
+    };
+
+    // Small spec (below the threshold → interp) and large spec (above
+    // → compiled), both stopped mid-run and resumed under Auto.
+    let small = tp0::analyzer();
+    let small_trace = invalid_tp0_trace();
+
+    let big_spec = SyntheticSpec::new(4, AUTO_COMPILED_MIN_TRANSITIONS + 20);
+    let big = big_spec.analyzer();
+    let big_trace = big
+        .generate_trace(&big_spec.workload(40), ChoicePolicy::First, 100_000)
+        .expect("workload runs");
+
+    for (tag, a, trace, want_exec) in [
+        ("small", &small, &small_trace, ExecMode::Interp),
+        ("big", &big, &big_trace, ExecMode::Compiled),
+    ] {
+        assert_eq!(
+            a.machine.exec_view(ExecMode::Auto).resolved_exec(),
+            want_exec,
+            "{}: cost model must resolve as calibrated",
+            tag
+        );
+        let baseline = a.analyze(trace, &with_auto()).unwrap();
+
+        let mut limited = with_auto();
+        limited.limits.max_transitions = (baseline.stats.transitions_executed / 3).max(1);
+        let stopped = a.analyze(trace, &limited).unwrap();
+        let cp = stopped.checkpoint.expect("limit stop must be resumable");
+        let path = temp_file(&format!("auto-{}", tag));
+        cp.write_to(&path).expect("checkpoint writes");
+
+        let cp = Checkpoint::read_from(&path).expect("checkpoint reads");
+        let resumed = a.analyze_resume(cp, &with_auto()).unwrap();
+        assert_eq!(resumed.verdict, baseline.verdict, "{}", tag);
+        assert_eq!(
+            counters(&resumed.stats),
+            counters(&baseline.stats),
+            "{}: auto resume must re-select the same executor and finish \
+             with uninterrupted totals",
+            tag
+        );
+    }
+}
