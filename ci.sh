@@ -84,6 +84,40 @@ cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.tx
 grep -q "SpillFailure" "$CKPT_DIR/degraded.txt"
 grep -q "spill fault:" "$CKPT_DIR/degraded.err"
 
+echo "== chaos smoke (seeded fault plans) =="
+# The seeded chaos matrix (108 composed plans over 12 random specs, all
+# three fault sites) and the combined-sites pin run with the workspace
+# suite above; here the CLI surface gets its fixed-seed reproduction
+# check: the same --chaos-seed replays the identical verdict and
+# TE/GE/RE/SA, and the run echoes its full plan for log-line replay.
+chaos_run() {
+    cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" \
+        --chaos-seed 5 > "$1" 2> "$2" || [ "$?" -le 2 ]
+}
+chaos_run "$CKPT_DIR/chaos-a.txt" "$CKPT_DIR/chaos-a.err"
+chaos_run "$CKPT_DIR/chaos-b.txt" "$CKPT_DIR/chaos-b.err"
+grep -q "chaos: plan=" "$CKPT_DIR/chaos-a.err"
+[ -n "$(verdict_and_counters "$CKPT_DIR/chaos-a.txt")" ]
+[ "$(verdict_and_counters "$CKPT_DIR/chaos-a.txt")" = "$(verdict_and_counters "$CKPT_DIR/chaos-b.txt")" ]
+
+echo "== zero-cost-when-off gate =="
+# Unarmed fault hooks must be invisible: an explicitly empty
+# --fault-plan takes the exact same code path as a plain run and must
+# produce the identical verdict and counters, and export no fault.*
+# metrics series (clean runs keep their byte-identical telemetry
+# shape). The throughput half of the gate is the tps_by_spec_size
+# section below: the quick bench re-measures the hot path with the
+# unarmed hooks compiled in, and --check fails if the auto column ever
+# drops below the tree walker — within-noise against BENCH_tps.json.
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" \
+    --fault-plan "" --metrics-out "$CKPT_DIR/unarmed-metrics.json" > "$CKPT_DIR/unarmed.txt" \
+    2> "$CKPT_DIR/unarmed.err"
+[ "$(verdict_and_counters "$CKPT_DIR/all-ram.txt")" = "$(verdict_and_counters "$CKPT_DIR/unarmed.txt")" ]
+if grep -q '"fault\.' "$CKPT_DIR/unarmed-metrics.json"; then
+    echo "unarmed run exported fault.* metrics"; exit 1
+fi
+grep -q "chaos: plan=unarmed" "$CKPT_DIR/unarmed.err"
+
 echo "== exec A/B differential smoke =="
 # Compiled VM vs. tree-walking interpreter must agree everywhere; the
 # dedicated suite checks fireable sets, verdicts, counters, telemetry

@@ -46,10 +46,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 use tango::{
-    AnalysisOptions, AnalysisReport, Checkpoint, FollowFileSource, InconclusiveReason,
-    JsonlSink, OrderOptions, ProgressMode, ProgressReporter, RecoveryPolicy, Tango, Telemetry,
-    TraceAnalyzer, Verdict,
+    AnalysisOptions, AnalysisReport, Checkpoint, FaultPlan, FollowFileSource,
+    InconclusiveReason, JsonlSink, OrderOptions, ProgressMode, ProgressReporter,
+    RecoveryPolicy, RetryPolicy, Tango, Telemetry, TraceAnalyzer, TraceSource, Verdict,
 };
+
+/// Poll budget for draining a fault-injected source on a static chaos
+/// run; generous enough for any plan `FaultPlan::random` can emit.
+const CHAOS_MAX_POLLS: usize = 1_000_000;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,7 +96,8 @@ fn usage() -> String {
      [--max-transitions N] [--checkpoint-file PATH] [--checkpoint-every N] \
      [--resume PATH] [--on-truncate restart|fail] [--seed N] \
      [--trace-out PATH] [--metrics-out PATH] [--progress SECS|jsonl[:SECS]] \
-     [--profile] [--profile-dot PATH] [--pgo-out PATH] [--pgo-in PATH]"
+     [--profile] [--profile-dot PATH] [--pgo-out PATH] [--pgo-in PATH] \
+     [--chaos-seed N] [--fault-plan SPEC]"
         .to_string()
 }
 
@@ -330,6 +335,7 @@ fn parse_options(
         CheckpointFlags,
         TelemetryFlags,
         Vec<String>,
+        Option<FaultPlan>,
     ),
     String,
 > {
@@ -337,6 +343,7 @@ fn parse_options(
     let mut recovery = RecoveryPolicy::default();
     let mut ckpt = CheckpointFlags::default();
     let mut tflags = TelemetryFlags::default();
+    let mut chaos: Option<FaultPlan> = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -448,6 +455,28 @@ fn parse_options(
             flag if flag.starts_with("--pgo-in=") => {
                 tflags.pgo_in = Some(PathBuf::from(&flag["--pgo-in=".len()..]));
             }
+            "--chaos-seed" => {
+                let v = it.next().ok_or("--chaos-seed needs a value")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --chaos-seed value `{}`", v))?;
+                chaos = Some(FaultPlan::random(n));
+            }
+            flag if flag.starts_with("--chaos-seed=") => {
+                let v = &flag["--chaos-seed=".len()..];
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --chaos-seed value `{}`", v))?;
+                chaos = Some(FaultPlan::random(n));
+            }
+            "--fault-plan" => {
+                let v = it.next().ok_or("--fault-plan needs a plan spec")?;
+                chaos = Some(FaultPlan::parse(v).map_err(|e| e.to_string())?);
+            }
+            flag if flag.starts_with("--fault-plan=") => {
+                let v = &flag["--fault-plan=".len()..];
+                chaos = Some(FaultPlan::parse(v).map_err(|e| e.to_string())?);
+            }
             "--initial-state-search" => options.initial_state_search = true,
             "--state-hashing" => options.state_hashing = true,
             "--cow" => {
@@ -480,16 +509,27 @@ fn parse_options(
             );
         }
     }
-    Ok((options, recovery, ckpt, tflags, positional))
+    Ok((options, recovery, ckpt, tflags, positional, chaos))
 }
 
 fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
-    let (options, recovery, ckpt, tflags, positional) = parse_options(args)?;
+    let (mut options, recovery, ckpt, tflags, positional, chaos) = parse_options(args)?;
     if online && ckpt.any() {
         return Err(
             "--checkpoint-file/--resume/--checkpoint-every apply to static `analyze` only"
                 .to_string(),
         );
+    }
+    if online && chaos.is_some() {
+        return Err(
+            "--chaos-seed/--fault-plan apply to static `analyze` only".to_string(),
+        );
+    }
+    if let Some(plan) = &chaos {
+        // Echo the full plan so any chaos run is reproducible from its
+        // log alone: `--fault-plan '<this line>'` re-arms it exactly.
+        eprintln!("chaos: plan={}", plan.describe());
+        plan.apply(&mut options);
     }
     // With --resume the trace travels inside the checkpoint, so only the
     // specification is required (it is not serialized — the checkpoint is
@@ -552,6 +592,7 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
             trace_path.map(String::as_str),
             &options,
             &ckpt,
+            chaos.as_ref(),
             &mut tel,
         )?
     };
@@ -601,6 +642,9 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
     for fault in &report.spill_faults {
         eprintln!("spill fault: {}", fault);
     }
+    for fault in &report.checkpoint_faults {
+        eprintln!("checkpoint fault: {}", fault);
+    }
     if report.checkpoint.is_some() {
         match &ckpt.file {
             Some(path) => eprintln!(
@@ -633,9 +677,21 @@ fn run_static(
     trace_path: Option<&str>,
     options: &AnalysisOptions,
     ckpt: &CheckpointFlags,
+    chaos: Option<&FaultPlan>,
     tel: &mut Telemetry,
 ) -> Result<AnalysisReport, String> {
     let user_cap = options.limits.max_transitions;
+    // Chaos bookkeeping lives outside the round loop: the search rounds
+    // replace `report`, but source faults happen once (at drain) and
+    // checkpoint faults accumulate across every autosave, so both fold
+    // into whichever report turns out to be final.
+    let mut injector = chaos.and_then(|p| p.checkpoint_injector());
+    let mut source_faults: Vec<String> = Vec::new();
+    let mut source_retries = 0u64;
+    let mut source_giveups = 0u64;
+    let mut ck_faults: Vec<String> = Vec::new();
+    let mut ck_retries = 0u64;
+    let mut ck_giveups = 0u64;
     // One search round: cap TE at the next autosave point, never above
     // the user's own limit.
     let round_options = |done: u64| {
@@ -656,9 +712,25 @@ fn run_static(
         }
         None => {
             let text = read(trace_path.ok_or_else(usage)?)?;
-            analyzer
-                .analyze_text_with(&text, &round_options(0), tel)
-                .map_err(|e| e.to_string())?
+            match chaos.and_then(|p| p.build_source(&text, Some(analyzer.module().clone()))) {
+                Some(mut src) => {
+                    // Source site armed: the whole trace is read through
+                    // the injector first, then the search analyzes what
+                    // the degraded feed actually delivered.
+                    let (trace, faults) =
+                        tango::fault::drain_source(&mut src, CHAOS_MAX_POLLS)
+                            .map_err(|e| e.to_string())?;
+                    source_faults = faults;
+                    source_retries = src.fault_retries();
+                    source_giveups = src.fault_giveups();
+                    analyzer
+                        .analyze_with(&trace, &round_options(0), tel)
+                        .map_err(|e| e.to_string())?
+                }
+                None => analyzer
+                    .analyze_text_with(&text, &round_options(0), tel)
+                    .map_err(|e| e.to_string())?,
+            }
         }
     };
 
@@ -667,16 +739,28 @@ fn run_static(
         // failure (after the codec's own bounded retries) costs the
         // durability of this round, not the analysis: warn and carry on.
         if let (Some(path), Some(cp)) = (&ckpt.file, report.checkpoint.as_deref()) {
-            match cp.write_to(path) {
+            let out = cp.write_to_with(path, &RetryPolicy::checkpoint(), injector.as_mut());
+            ck_retries += u64::from(out.retries);
+            match out.result {
                 Ok(()) => tel.on_checkpoint(
                     cp.stats().transitions_executed,
                     &path.display().to_string(),
                 ),
-                Err(e) => eprintln!(
-                    "warning: checkpoint autosave failed: {}; analysis continues \
-                     (rerun will not be resumable past the last good save)",
-                    e
-                ),
+                Err(e) => {
+                    ck_giveups += 1;
+                    let fault = format!(
+                        "autosave to {} at TE={} failed: {}",
+                        path.display(),
+                        cp.stats().transitions_executed,
+                        e
+                    );
+                    eprintln!(
+                        "warning: checkpoint {}; analysis continues \
+                         (rerun will not be resumable past the last good save)",
+                        fault
+                    );
+                    ck_faults.push(fault);
+                }
             }
         }
         // A synthetic stop is a transition-limit stop below the user's
@@ -690,6 +774,14 @@ fn run_static(
             && report.stats.transitions_executed < user_cap
             && report.checkpoint.is_some();
         if !synthetic {
+            report.stats.source_retries += source_retries;
+            report.stats.source_giveups += source_giveups;
+            if !source_faults.is_empty() {
+                report.source_faults = source_faults;
+            }
+            report.stats.checkpoint_retries += ck_retries;
+            report.stats.checkpoint_giveups += ck_giveups;
+            report.checkpoint_faults = ck_faults;
             return Ok(report);
         }
         let cp = *report.checkpoint.take().expect("checked above");
@@ -759,10 +851,10 @@ mod tests {
 
     #[test]
     fn cow_flag_both_spellings() {
-        let (opts, _, _, _, _) =
+        let (opts, _, _, _, _, _) =
             parse_options(&["--cow=off".to_string(), "x".to_string()]).unwrap();
         assert!(!opts.cow_snapshots);
-        let (opts, _, _, _, _) =
+        let (opts, _, _, _, _, _) =
             parse_options(&["--cow".to_string(), "on".to_string()]).unwrap();
         assert!(opts.cow_snapshots);
         assert!(parse_options(&["--cow=sideways".to_string()]).is_err());
@@ -772,7 +864,7 @@ mod tests {
     #[test]
     fn spill_flag_both_spellings_and_validation() {
         use tango::SpillMode;
-        let (opts, _, _, _, _) = parse_options(&["x".to_string()]).unwrap();
+        let (opts, _, _, _, _, _) = parse_options(&["x".to_string()]).unwrap();
         assert_eq!(opts.spill.mode, SpillMode::Auto, "auto is the default");
         assert!(opts.spill.dir.is_none());
 
@@ -780,13 +872,13 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let (opts, _, _, _, _) = parse_options(&args).unwrap();
+        let (opts, _, _, _, _, _) = parse_options(&args).unwrap();
         assert_eq!(opts.spill.mode, SpillMode::On);
         assert_eq!(opts.spill.dir.as_deref(), Some(std::path::Path::new("/tmp/s")));
         assert_eq!(opts.limits.max_state_bytes, Some(1 << 20));
 
         let args: Vec<String> = ["--spill", "off", "x"].iter().map(|s| s.to_string()).collect();
-        let (opts, _, _, _, _) = parse_options(&args).unwrap();
+        let (opts, _, _, _, _, _) = parse_options(&args).unwrap();
         assert_eq!(opts.spill.mode, SpillMode::Off);
 
         assert!(parse_options(&["--spill=sideways".to_string()]).is_err());
@@ -809,15 +901,15 @@ mod tests {
     #[test]
     fn exec_flag_both_spellings() {
         use estelle_runtime::ExecMode;
-        let (opts, _, _, _, _) = parse_options(&["x".to_string()]).unwrap();
+        let (opts, _, _, _, _, _) = parse_options(&["x".to_string()]).unwrap();
         assert_eq!(opts.exec_mode, ExecMode::Auto, "auto selection is default");
-        let (opts, _, _, _, _) =
+        let (opts, _, _, _, _, _) =
             parse_options(&["--exec=interp".to_string(), "x".to_string()]).unwrap();
         assert_eq!(opts.exec_mode, ExecMode::Interp);
-        let (opts, _, _, _, _) =
+        let (opts, _, _, _, _, _) =
             parse_options(&["--exec".to_string(), "compiled".to_string()]).unwrap();
         assert_eq!(opts.exec_mode, ExecMode::Compiled);
-        let (opts, _, _, _, _) =
+        let (opts, _, _, _, _, _) =
             parse_options(&["--exec=auto".to_string(), "x".to_string()]).unwrap();
         assert_eq!(opts.exec_mode, ExecMode::Auto);
         // Unknown modes are rejected up front, naming the accepted set.
@@ -834,10 +926,32 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let (_, _, _, tflags, _) = parse_options(&args).unwrap();
+        let (_, _, _, tflags, _, _) = parse_options(&args).unwrap();
         assert_eq!(tflags.pgo_out.as_deref(), Some(std::path::Path::new("/tmp/p.pgo")));
         assert_eq!(tflags.pgo_in.as_deref(), Some(std::path::Path::new("/tmp/q.pgo")));
         assert!(parse_options(&["--pgo-out".to_string()]).is_err());
         assert!(parse_options(&["--pgo-in".to_string()]).is_err());
+    }
+
+    #[test]
+    fn chaos_flags_parse_and_round_trip() {
+        // --chaos-seed derives the same plan the library derives.
+        let args: Vec<String> = ["--chaos-seed", "7", "x"].iter().map(|s| s.to_string()).collect();
+        let (_, _, _, _, _, chaos) = parse_options(&args).unwrap();
+        let plan = chaos.expect("plan armed");
+        assert_eq!(plan, FaultPlan::random(7));
+
+        // The echoed describe() line re-arms the identical plan through
+        // --fault-plan: log line → exact reproduction.
+        let spec = plan.describe();
+        let (_, _, _, _, _, chaos) =
+            parse_options(&[format!("--fault-plan={}", spec), "x".to_string()]).unwrap();
+        assert_eq!(chaos.unwrap(), plan);
+
+        let (_, _, _, _, _, chaos) = parse_options(&["x".to_string()]).unwrap();
+        assert!(chaos.is_none(), "unarmed by default");
+        assert!(parse_options(&["--chaos-seed".to_string()]).is_err());
+        assert!(parse_options(&["--chaos-seed=pi".to_string()]).is_err());
+        assert!(parse_options(&["--fault-plan=bogus.knob=1".to_string()]).is_err());
     }
 }

@@ -55,6 +55,7 @@ use estelle_runtime::codec::{decode_state, decode_value, encode_state, encode_va
 use estelle_runtime::{
     ByteReader, ByteWriter, CodecError, Fireable, MachineState, RuntimeError, RuntimeErrorKind,
 };
+use crate::fault::{CheckpointFaultInjector, CheckpointWriteFault, RetryOutcome, RetryPolicy};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs::{self, File};
@@ -70,8 +71,10 @@ pub const MAGIC: [u8; 8] = *b"TANGOCKP";
 /// readers refuse newer files with
 /// [`CheckpointError::UnsupportedVersion`] instead of misreading them.
 /// Version 2 added the spill counters to the stats block and the
-/// explicit charges-state flag to each DFS frame.
-pub const FORMAT_VERSION: u32 = 2;
+/// explicit charges-state flag to each DFS frame. Version 3 added the
+/// per-site fault counters (source/checkpoint retries and giveups,
+/// spill giveups) to the stats block.
+pub const FORMAT_VERSION: u32 = 3;
 
 const SEC_META: u32 = 1;
 const SEC_TRACE: u32 = 2;
@@ -174,9 +177,57 @@ pub struct CheckpointInfo {
 impl Checkpoint {
     /// Serialize this checkpoint and atomically replace `path` with it.
     /// On return the file is durable (fsynced); on error the previous
-    /// contents of `path`, if any, are untouched.
+    /// contents of `path`, if any, are untouched. Transient failures
+    /// retry on the [`RetryPolicy::checkpoint`] schedule.
     pub fn write_to(&self, path: &Path) -> Result<(), CheckpointError> {
-        write_atomic(path, &encode_checkpoint(self)?)
+        self.write_to_with(path, &RetryPolicy::checkpoint(), None)
+            .result
+    }
+
+    /// [`Checkpoint::write_to`] with an explicit retry policy and an
+    /// optional fault injector deciding the fate of each write attempt
+    /// (the chaos layer's checkpoint site). Injected short writes tear
+    /// the temp file only — the destination keeps its previous contents,
+    /// which is exactly the atomic-rename contract under test. Returns
+    /// the retry count alongside the result so autosave can feed
+    /// `SearchStats::checkpoint_retries`.
+    pub fn write_to_with(
+        &self,
+        path: &Path,
+        policy: &RetryPolicy,
+        mut injector: Option<&mut CheckpointFaultInjector>,
+    ) -> RetryOutcome<(), CheckpointError> {
+        let bytes = match encode_checkpoint(self) {
+            Ok(b) => b,
+            Err(e) => {
+                return RetryOutcome {
+                    result: Err(e),
+                    retries: 0,
+                }
+            }
+        };
+        policy.run(&mut |_| {
+            let fault = injector
+                .as_mut()
+                .map_or(CheckpointWriteFault::Pass, |i| i.next_fault());
+            match fault {
+                CheckpointWriteFault::Pass => write_atomic_once(path, &bytes),
+                CheckpointWriteFault::IoError => Err(CheckpointError::Io(
+                    std::io::Error::other("checkpoint write I/O error (injected)"),
+                )),
+                CheckpointWriteFault::ShortWrite => {
+                    // The torn write of a crashing process: half the bytes
+                    // land in the temp file, the rename never happens.
+                    let _ = fs::write(tmp_path(path), &bytes[..bytes.len() / 2]);
+                    Err(CheckpointError::Io(std::io::Error::other(
+                        "checkpoint short write (injected)",
+                    )))
+                }
+                CheckpointWriteFault::DiskFull => Err(CheckpointError::Io(
+                    std::io::Error::other("no space left on device (injected)"),
+                )),
+            }
+        })
     }
 
     /// Load a checkpoint written by [`Checkpoint::write_to`], verifying
@@ -292,6 +343,11 @@ fn encode_stats(w: &mut ByteWriter, s: &SearchStats) {
     w.put_u64(s.spill_evictions);
     w.put_usize(s.spilled_bytes);
     w.put_usize(s.peak_spilled_bytes);
+    w.put_u64(s.source_retries);
+    w.put_u64(s.source_giveups);
+    w.put_u64(s.checkpoint_retries);
+    w.put_u64(s.checkpoint_giveups);
+    w.put_u64(s.spill_giveups);
 }
 
 fn encode_trace(trace: &ResolvedTrace) -> Vec<u8> {
@@ -623,6 +679,11 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<SearchStats, CodecError> {
         spill_evictions: r.get_u64("spill evictions")?,
         spilled_bytes: r.get_usize("spilled bytes")?,
         peak_spilled_bytes: r.get_usize("peak spilled bytes")?,
+        source_retries: r.get_u64("source retries")?,
+        source_giveups: r.get_u64("source giveups")?,
+        checkpoint_retries: r.get_u64("checkpoint retries")?,
+        checkpoint_giveups: r.get_u64("checkpoint giveups")?,
+        spill_giveups: r.get_u64("spill giveups")?,
     })
 }
 
@@ -849,57 +910,21 @@ fn decode_dfs(
 
 // --------------------------------------------------------- atomic write
 
-/// Transient write failures absorbed per checkpoint write before the
-/// error surfaces (autosave turns it into a warning, a final write into
-/// a hard error).
-const WRITE_RETRIES: u32 = 3;
-
-/// Write `bytes` to `path` atomically, retrying transient failures with
-/// bounded exponential backoff. Each attempt is the full temp + fsync +
-/// rename sequence of [`write_atomic_once`], so a retry never observes a
-/// half-written file.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
-    write_atomic_with(
-        path,
-        bytes,
-        WRITE_RETRIES,
-        &mut |d| std::thread::sleep(d),
-        &mut |p, b| write_atomic_once(p, b),
-    )
-}
-
-/// The retry loop, parameterized over the sleep and the attempt so tests
-/// can inject failing writers and observe the backoff schedule.
-#[allow(clippy::type_complexity)]
-fn write_atomic_with(
-    path: &Path,
-    bytes: &[u8],
-    retries: u32,
-    sleep: &mut dyn FnMut(Duration),
-    attempt: &mut dyn FnMut(&Path, &[u8]) -> Result<(), CheckpointError>,
-) -> Result<(), CheckpointError> {
-    let mut tries = 0u32;
-    loop {
-        match attempt(path, bytes) {
-            Ok(()) => return Ok(()),
-            Err(e) => {
-                if tries >= retries {
-                    return Err(e);
-                }
-                tries += 1;
-                sleep(Duration::from_millis(2u64 << tries.min(4)));
-            }
-        }
-    }
+/// The temp-file sibling one atomic write stages into before the rename
+/// (pid-suffixed so concurrent writers to the same path cannot collide).
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    PathBuf::from(tmp_name)
 }
 
 /// One write attempt: temp file in the same directory, fsync, rename
 /// over the destination, fsync the directory. A crash at any point
-/// leaves either the old file or the new one, never a mix.
+/// leaves either the old file or the new one, never a mix. Retries are
+/// the caller's job, via [`RetryPolicy::checkpoint`] — each attempt is
+/// this full sequence, so a retry never observes a half-written file.
 fn write_atomic_once(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
-    let mut tmp_name = path.as_os_str().to_owned();
-    tmp_name.push(format!(".tmp.{}", std::process::id()));
-    let tmp = PathBuf::from(tmp_name);
+    let tmp = tmp_path(path);
     let result = (|| -> Result<(), CheckpointError> {
         let mut f = File::create(&tmp)?;
         f.write_all(bytes)?;
@@ -963,6 +988,11 @@ mod tests {
             spill_evictions: 25,
             spilled_bytes: 2048,
             peak_spilled_bytes: 3072,
+            source_retries: 5,
+            source_giveups: 1,
+            checkpoint_retries: 4,
+            checkpoint_giveups: 2,
+            spill_giveups: 3,
         };
         let mut w = ByteWriter::new();
         encode_stats(&mut w, &s);
@@ -976,28 +1006,28 @@ mod tests {
         assert_eq!(back.spill_writes, s.spill_writes);
         assert_eq!(back.spill_evictions, s.spill_evictions);
         assert_eq!(back.peak_spilled_bytes, s.peak_spilled_bytes);
+        assert_eq!(back.source_retries, s.source_retries);
+        assert_eq!(back.source_giveups, s.source_giveups);
+        assert_eq!(back.checkpoint_retries, s.checkpoint_retries);
+        assert_eq!(back.checkpoint_giveups, s.checkpoint_giveups);
+        assert_eq!(back.spill_giveups, s.spill_giveups);
     }
 
     #[test]
     fn atomic_write_retries_transient_failures_with_backoff() {
         let mut attempts = 0u32;
         let mut slept: Vec<Duration> = Vec::new();
-        let result = write_atomic_with(
-            Path::new("/ignored"),
-            b"payload",
-            3,
-            &mut |d| slept.push(d),
-            &mut |_, _| {
-                attempts += 1;
-                if attempts < 3 {
-                    Err(CheckpointError::Io(std::io::Error::other("transient")))
-                } else {
-                    Ok(())
-                }
-            },
-        );
-        assert!(result.is_ok(), "two transient failures must be absorbed");
+        let out = RetryPolicy::checkpoint().run_with_sleep(&mut |d| slept.push(d), &mut |_| {
+            attempts += 1;
+            if attempts < 3 {
+                Err(CheckpointError::Io(std::io::Error::other("transient")))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(out.result.is_ok(), "two transient failures must be absorbed");
         assert_eq!(attempts, 3);
+        assert_eq!(out.retries, 2, "the outcome reports the retries it cost");
         assert_eq!(
             slept,
             vec![Duration::from_millis(4), Duration::from_millis(8)],
@@ -1008,17 +1038,12 @@ mod tests {
     #[test]
     fn atomic_write_surfaces_persistent_failure_after_bounded_retries() {
         let mut attempts = 0u32;
-        let result = write_atomic_with(
-            Path::new("/ignored"),
-            b"payload",
-            3,
-            &mut |_| {},
-            &mut |_, _| {
+        let out: RetryOutcome<(), _> =
+            RetryPolicy::checkpoint().run_with_sleep(&mut |_| {}, &mut |_| {
                 attempts += 1;
                 Err(CheckpointError::Io(std::io::Error::other("dead disk")))
-            },
-        );
-        match result {
+            });
+        match out.result {
             Err(CheckpointError::Io(e)) => assert!(e.to_string().contains("dead disk")),
             other => panic!("persistent failure must surface as Io, got {:?}", other),
         }

@@ -50,6 +50,7 @@ pub mod analyzer;
 pub mod checkpoint;
 pub mod env;
 pub mod error;
+pub mod fault;
 pub mod genimpl;
 pub mod options;
 pub mod rng;
@@ -66,6 +67,14 @@ pub use analyzer::{Tango, TraceAnalyzer};
 pub use search::spill;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointInfo};
 pub use error::TangoError;
+/// The unified chaos layer: the composable [`FaultPlan`] (arming source,
+/// spill and checkpoint fault sites in one run), the shared
+/// [`RetryPolicy`]/[`Backoff`] every retry loop runs on, and the
+/// checkpoint-write injector.
+pub use fault::{
+    Backoff, CheckpointFaultInjector, CheckpointFaultPlan, CheckpointWriteFault, FaultError,
+    FaultPlan, RetryOutcome, RetryPolicy,
+};
 pub use genimpl::{ChoicePolicy, ScriptedInput};
 pub use options::{AnalysisOptions, OrderOptions, SearchLimits};
 pub use search::spill::{SpillError, SpillFaultPlan, SpillMode, SpillOptions};
@@ -76,7 +85,7 @@ pub use telemetry::{
 };
 pub use trace::format::{parse_trace, render_trace};
 pub use trace::source::{
-    ChannelSource, FaultPlan, FaultySource, Feed, FollowFileSource, RecoveryPolicy,
+    ChannelSource, FaultySource, Feed, FollowFileSource, RecoveryPolicy, SourceFaultPlan,
     StaticSource, TraceSource,
 };
 pub use trace::{Dir, Event, Trace};

@@ -199,8 +199,17 @@ fn search(
     let mut spill_broke_midstep = false;
 
     let budget = options.limits.max_state_bytes;
+    // A resumed search gets a fresh wall-clock allowance. Computed before
+    // the tier opens so spill retry sleeps are clamped to the same
+    // deadline the search loop enforces.
+    let deadline = options.limits.max_wall_time.map(|d| Instant::now() + d);
     let tier = match options.spill.build_tier(budget) {
-        Ok(t) => t,
+        Ok(t) => t.map(|mut t| {
+            if let Some(d) = deadline {
+                t.set_deadline(d);
+            }
+            t
+        }),
         Err(e) => {
             // The spill directory itself is unusable. Degrade before
             // touching anything; a resume keeps its checkpoint.
@@ -273,10 +282,8 @@ fn search(
         stats.spill_reads,
         stats.spill_retries,
         stats.spill_evictions,
+        stats.spill_giveups,
     );
-
-    // A resumed search gets a fresh wall-clock allowance.
-    let deadline = options.limits.max_wall_time.map(|d| Instant::now() + d);
 
     // Per-search *Generate* scratch, refilled in place by `generate_into`:
     // single-child expansions (the overwhelmingly common case on valid
@@ -546,7 +553,11 @@ fn search(
 /// `base` holds the totals inherited from earlier stop/resume rounds —
 /// the tier itself counts from zero each open. No-op without a tier, so
 /// spill-off runs keep their exact pre-spill accounting.
-fn sync_spill_stats(stats: &mut SearchStats, store: &SnapshotStore, base: (u64, u64, u64, u64)) {
+fn sync_spill_stats(
+    stats: &mut SearchStats,
+    store: &SnapshotStore,
+    base: (u64, u64, u64, u64, u64),
+) {
     if !store.spill_enabled() {
         return;
     }
@@ -555,6 +566,7 @@ fn sync_spill_stats(stats: &mut SearchStats, store: &SnapshotStore, base: (u64, 
     stats.spill_reads = base.1 + c.reads;
     stats.spill_retries = base.2 + c.retries;
     stats.spill_evictions = base.3 + c.evictions;
+    stats.spill_giveups = base.4 + c.giveups;
     stats.snapshot_bytes = store.resident_bytes();
     stats.peak_snapshot_bytes = stats.peak_snapshot_bytes.max(stats.snapshot_bytes);
     stats.spilled_bytes = store.spilled_bytes();

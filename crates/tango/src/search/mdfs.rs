@@ -34,6 +34,7 @@
 
 use crate::env::{Cursors, RejectReason, TraceEnv};
 use crate::error::TangoError;
+use crate::fault::{Backoff, RetryPolicy};
 use crate::options::AnalysisOptions;
 use crate::stats::SearchStats;
 use crate::telemetry::{PruneKind, Telemetry};
@@ -157,18 +158,10 @@ fn stamp_spill(stats: &mut SearchStats, c: SpillCounters, disk_bytes: usize) {
     stats.spill_reads = c.reads;
     stats.spill_retries = c.retries;
     stats.spill_evictions = c.evictions;
+    stats.spill_giveups = c.giveups;
     stats.spilled_bytes = disk_bytes;
     stats.peak_spilled_bytes = stats.peak_spilled_bytes.max(disk_bytes);
 }
-
-/// First idle-poll sleep. Doubles on every empty poll up to
-/// [`POLL_INTERVAL_MAX`] and resets as soon as the source produces data,
-/// so a busy feed is picked up within a millisecond while a long-idle
-/// monitor stops burning CPU on a tight poll loop.
-const POLL_INTERVAL_MIN: Duration = Duration::from_millis(1);
-
-/// Idle-poll backoff ceiling.
-const POLL_INTERVAL_MAX: Duration = Duration::from_millis(16);
 
 /// Copy a node's state for expansion. With COW snapshots (the default)
 /// this is O(globals + chunk table); with `--cow=off` it eagerly
@@ -181,17 +174,18 @@ fn copy_state(state: &MachineState, options: &AnalysisOptions) -> MachineState {
     }
 }
 
-/// Terminal bookkeeping of one MDFS run: stamp the elapsed time, report
-/// the worker's genuine busy/idle split into the metrics registry (the
-/// idle-poll sleeps are not search time), emit the verdict event and the
-/// final heartbeat, then assemble the report.
+/// Terminal bookkeeping of one MDFS run: stamp the elapsed time and the
+/// source's fault diagnostics + retry counters, report the worker's
+/// genuine busy/idle split into the metrics registry (the idle-poll
+/// sleeps are not search time), emit the verdict event and the final
+/// heartbeat, then assemble the report.
 #[allow(clippy::too_many_arguments)]
 fn finish(
     verdict: Verdict,
     witness: Option<Vec<String>>,
     mut stats: SearchStats,
     spec_errors: Vec<RuntimeError>,
-    source_faults: Vec<String>,
+    source: &dyn TraceSource,
     t0: Instant,
     slept: Duration,
     cap: u64,
@@ -199,6 +193,8 @@ fn finish(
     tel: &mut Telemetry,
 ) -> AnalysisReport {
     stats.wall_time = t0.elapsed();
+    stats.source_retries = source.fault_retries();
+    stats.source_giveups = source.fault_giveups();
     if let Some(m) = tel.metrics_mut() {
         let busy = stats.wall_time.saturating_sub(slept);
         m.set_gauge("mdfs.worker0.busy_seconds", busy.as_secs_f64());
@@ -208,7 +204,7 @@ fn finish(
     let mut r = AnalysisReport::new(verdict, stats);
     r.witness = witness;
     r.spec_errors = spec_errors;
-    r.source_faults = source_faults;
+    r.source_faults = source.diagnostics();
     r.spill_faults = spill_faults;
     r
 }
@@ -239,14 +235,21 @@ pub fn run_mdfs(
     // Disk spill tier: under a memory budget, park cold node snapshots
     // in segment files instead of stopping `Inconclusive(MemoryLimit)`.
     let mut spill_tier = match options.spill.build_tier(options.limits.max_state_bytes) {
-        Ok(t) => t,
+        Ok(t) => t.map(|mut t| {
+            // Spill retry sleeps honor the same wall-clock deadline the
+            // search loop enforces.
+            if let Some(d) = deadline {
+                t.set_deadline(d);
+            }
+            t
+        }),
         Err(e) => {
             return Ok(finish(
                 Verdict::Inconclusive(InconclusiveReason::SpillFailure),
                 None,
                 stats,
                 spec_errors,
-                source.diagnostics(),
+                &*source,
                 t0,
                 slept,
                 cap,
@@ -339,7 +342,7 @@ pub fn run_mdfs(
                     None,
                     stats,
                     spec_errors,
-                    source.diagnostics(),
+                    &*source,
                     t0,
                     slept,
                     cap,
@@ -353,7 +356,7 @@ pub fn run_mdfs(
                     None,
                     stats,
                     spec_errors,
-                    source.diagnostics(),
+                    &*source,
                     t0,
                     slept,
                     cap,
@@ -393,7 +396,7 @@ pub fn run_mdfs(
                                         None,
                                         stats,
                                         spec_errors,
-                                        source.diagnostics(),
+                                        &*source,
                                         t0,
                                         slept,
                                         cap,
@@ -410,7 +413,7 @@ pub fn run_mdfs(
                         None,
                         stats,
                         spec_errors,
-                        source.diagnostics(),
+                        &*source,
                         t0,
                         slept,
                         cap,
@@ -434,7 +437,7 @@ pub fn run_mdfs(
                             None,
                             stats,
                             spec_errors,
-                            source.diagnostics(),
+                            &*source,
                             t0,
                             slept,
                             cap,
@@ -459,7 +462,7 @@ pub fn run_mdfs(
                         Some(node.path),
                         stats,
                         spec_errors,
-                        source.diagnostics(),
+                        &*source,
                         t0,
                         slept,
                         cap,
@@ -517,7 +520,7 @@ pub fn run_mdfs(
                             None,
                             stats,
                             spec_errors,
-                            source.diagnostics(),
+                            &*source,
                             t0,
                             slept,
                             cap,
@@ -613,7 +616,7 @@ pub fn run_mdfs(
                     None,
                     stats,
                     spec_errors,
-                    source.diagnostics(),
+                    &*source,
                     t0,
                     slept,
                     cap,
@@ -633,7 +636,7 @@ pub fn run_mdfs(
                 None,
                 stats,
                 spec_errors,
-                source.diagnostics(),
+                &*source,
                 t0,
                 slept,
                 cap,
@@ -661,7 +664,7 @@ pub fn run_mdfs(
                 None,
                 stats,
                 spec_errors,
-                source.diagnostics(),
+                &*source,
                 t0,
                 slept,
                 cap,
@@ -672,10 +675,11 @@ pub fn run_mdfs(
 
         // Block until the source has more to say — but never past the
         // deadline: a stalled source must not wedge the monitor. Polls
-        // back off exponentially while the source stays silent; entering
+        // back off on the shared [`RetryPolicy::mdfs_poll`] schedule
+        // (1ms doubling to 16ms) while the source stays silent; entering
         // this loop anew (i.e. after data arrived) starts over at the
         // minimum interval.
-        let mut idle_sleep = POLL_INTERVAL_MIN;
+        let mut idle = Backoff::new(RetryPolicy::mdfs_poll());
         loop {
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 return Ok(finish(
@@ -683,7 +687,7 @@ pub fn run_mdfs(
                     None,
                     stats,
                     spec_errors,
-                    source.diagnostics(),
+                    &*source,
                     t0,
                     slept,
                     cap,
@@ -704,13 +708,13 @@ pub fn run_mdfs(
             }
             // Never sleep past the deadline — the expiry check above
             // stays exact to within scheduler latency.
+            let idle_sleep = idle.next_delay();
             let sleep = match deadline {
                 Some(d) => idle_sleep.min(d.saturating_duration_since(Instant::now())),
                 None => idle_sleep,
             };
             std::thread::sleep(sleep);
             slept += sleep;
-            idle_sleep = (idle_sleep * 2).min(POLL_INTERVAL_MAX);
         }
     }
 }

@@ -62,9 +62,10 @@ use std::fs::{self, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
-use std::time::Duration;
+use std::time::Instant;
 
 use crate::checkpoint::codec::crc32;
+use crate::fault::RetryPolicy;
 
 /// First 8 bytes of every spill segment file.
 pub const SPILL_MAGIC: [u8; 8] = *b"TANGOSPL";
@@ -436,6 +437,10 @@ pub struct SpillCounters {
     pub reads: u64,
     /// Transient I/O errors absorbed by retry + backoff.
     pub retries: u64,
+    /// Operations abandoned after exhausting the retry budget — the
+    /// error then surfaces as a typed [`SpillError`] and the search
+    /// degrades to `Inconclusive(SpillFailure)`.
+    pub giveups: u64,
     /// Snapshots evicted from RAM (writes + write-free adoptions).
     pub evictions: u64,
     /// Evictions satisfied by an identical record already on disk.
@@ -457,7 +462,10 @@ pub struct SpillTier {
     /// write-free re-eviction after a reopen.
     adopt: HashMap<u64, Vec<SegmentRecord>>,
     max_segment_bytes: u64,
-    retries: u32,
+    /// Transient-error retry schedule ([`RetryPolicy::spill`]: 2ms
+    /// doubling to 16ms), deadline-armed when the search has a
+    /// wall-clock budget.
+    policy: RetryPolicy,
     counters: SpillCounters,
     warnings: Vec<String>,
 }
@@ -481,7 +489,7 @@ impl SpillTier {
             readers: HashMap::new(),
             adopt: HashMap::new(),
             max_segment_bytes: max_segment_bytes as u64,
-            retries,
+            policy: RetryPolicy::spill(retries),
             counters: SpillCounters::default(),
             warnings: Vec::new(),
         };
@@ -525,6 +533,12 @@ impl SpillTier {
 
     pub fn counters(&self) -> SpillCounters {
         self.counters
+    }
+
+    /// Bound retry sleeps by the search's wall-clock deadline: a dying
+    /// disk must not eat the time budget in backoff sleeps.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.policy = self.policy.with_deadline(deadline);
     }
 
     pub(crate) fn counters_mut(&mut self) -> &mut SpillCounters {
@@ -579,12 +593,13 @@ impl SpillTier {
                     });
                 }
                 Err(e) => {
-                    if attempt >= self.retries {
+                    if attempt >= self.policy.max_retries || self.policy.expired() {
+                        self.counters.giveups += 1;
                         return Err(e);
                     }
                     attempt += 1;
                     self.counters.retries += 1;
-                    backoff(attempt);
+                    std::thread::sleep(self.policy.delay_for(attempt));
                 }
             }
         }
@@ -600,12 +615,13 @@ impl SpillTier {
             match self.read_at_segment(ticket.segment, ticket.offset, &mut buf) {
                 Ok(()) => break,
                 Err(e) => {
-                    if attempt >= self.retries {
+                    if attempt >= self.policy.max_retries || self.policy.expired() {
+                        self.counters.giveups += 1;
                         return Err(e);
                     }
                     attempt += 1;
                     self.counters.retries += 1;
-                    backoff(attempt);
+                    std::thread::sleep(self.policy.delay_for(attempt));
                 }
             }
         }
@@ -733,11 +749,6 @@ impl SpillTier {
             .read_at(offset, buf)
             .map_err(io_err)
     }
-}
-
-fn backoff(attempt: u32) {
-    let ms = (1u64 << attempt.min(4)).min(16);
-    std::thread::sleep(Duration::from_millis(ms));
 }
 
 // ------------------------------------------------------------- scans

@@ -73,6 +73,20 @@ pub struct SearchStats {
     pub spilled_bytes: usize,
     /// High-water mark of `spilled_bytes` over the run.
     pub peak_spilled_bytes: usize,
+    /// Trace-source faults absorbed losslessly by retrying (injected
+    /// read errors under `RecoveryPolicy::Restart`, re-read rotations).
+    pub source_retries: u64,
+    /// Trace-source faults the feed gave up on (degraded to early eof or
+    /// partial data). Always paired with a `source_faults` diagnostic.
+    pub source_giveups: u64,
+    /// Checkpoint autosave write failures absorbed by retry + backoff.
+    pub checkpoint_retries: u64,
+    /// Checkpoint autosaves abandoned after exhausting retries
+    /// (warn-and-continue; recorded in `checkpoint_faults`).
+    pub checkpoint_giveups: u64,
+    /// Spill operations abandoned after exhausting retries (the search
+    /// then degrades to `Inconclusive(SpillFailure)`).
+    pub spill_giveups: u64,
 }
 
 impl SearchStats {
@@ -138,6 +152,17 @@ impl SearchStats {
         self.spill_evictions += other.spill_evictions;
         self.spilled_bytes = other.spilled_bytes;
         self.peak_spilled_bytes = self.peak_spilled_bytes.max(other.peak_spilled_bytes);
+        self.source_retries += other.source_retries;
+        self.source_giveups += other.source_giveups;
+        self.checkpoint_retries += other.checkpoint_retries;
+        self.checkpoint_giveups += other.checkpoint_giveups;
+        self.spill_giveups += other.spill_giveups;
+    }
+
+    /// Faults absorbed by retrying, across every site — the number the
+    /// progress heartbeat reports as ` retries=`.
+    pub fn total_fault_retries(&self) -> u64 {
+        self.source_retries + self.spill_retries + self.checkpoint_retries
     }
 }
 
@@ -233,6 +258,33 @@ mod tests {
         assert_eq!(total.spill_retries, 2);
         assert_eq!(total.spilled_bytes, 100, "disk residency is last-writer-wins");
         assert_eq!(total.peak_spilled_bytes, 1200, "peak is max over rounds");
+    }
+
+    #[test]
+    fn absorb_sums_fault_counters_across_rounds() {
+        let mut total = SearchStats::default();
+        for _ in 0..2 {
+            let round = SearchStats {
+                source_retries: 3,
+                source_giveups: 1,
+                checkpoint_retries: 2,
+                checkpoint_giveups: 1,
+                spill_retries: 4,
+                spill_giveups: 1,
+                ..Default::default()
+            };
+            total.absorb(&round);
+        }
+        assert_eq!(total.source_retries, 6);
+        assert_eq!(total.source_giveups, 2);
+        assert_eq!(total.checkpoint_retries, 4);
+        assert_eq!(total.checkpoint_giveups, 2);
+        assert_eq!(total.spill_giveups, 2);
+        assert_eq!(
+            total.total_fault_retries(),
+            6 + 8 + 4,
+            "heartbeat total spans source+spill+checkpoint"
+        );
     }
 
     #[test]

@@ -208,6 +208,35 @@ impl MetricsRegistry {
                 stats.peak_spilled_bytes as f64,
             );
         }
+        // Per-site fault series, gated the same way: a site that saw no
+        // faults exports nothing, so fault-free runs stay byte-identical
+        // with the fault hooks compiled in.
+        let fault_sites: [(&'static str, &'static str, u64, u64); 3] = [
+            (
+                "fault.source.retries",
+                "fault.source.giveups",
+                stats.source_retries,
+                stats.source_giveups,
+            ),
+            (
+                "fault.spill.retries",
+                "fault.spill.giveups",
+                stats.spill_retries,
+                stats.spill_giveups,
+            ),
+            (
+                "fault.checkpoint.retries",
+                "fault.checkpoint.giveups",
+                stats.checkpoint_retries,
+                stats.checkpoint_giveups,
+            ),
+        ];
+        for (retries_name, giveups_name, retries, giveups) in fault_sites {
+            if retries + giveups > 0 {
+                self.set_counter(retries_name, retries);
+                self.set_counter(giveups_name, giveups);
+            }
+        }
     }
 
     /// Export the registry as one JSON document (validated by
@@ -311,6 +340,31 @@ mod tests {
         assert_eq!(m.counter("search.te"), Some(10));
         assert_eq!(m.gauge("search.max_depth"), Some(9.0));
         assert_eq!(m.gauge("search.wall_seconds"), Some(0.5));
+    }
+
+    #[test]
+    fn fault_series_appear_only_for_sites_that_saw_faults() {
+        let clean = SearchStats::default();
+        let mut m = MetricsRegistry::new();
+        m.record_stats(&clean);
+        assert_eq!(m.counter("fault.source.retries"), None);
+        assert_eq!(m.counter("fault.spill.retries"), None);
+        assert_eq!(m.counter("fault.checkpoint.retries"), None);
+
+        let faulty = SearchStats {
+            source_retries: 2,
+            checkpoint_retries: 1,
+            checkpoint_giveups: 1,
+            ..Default::default()
+        };
+        let mut m = MetricsRegistry::new();
+        m.record_stats(&faulty);
+        assert_eq!(m.counter("fault.source.retries"), Some(2));
+        assert_eq!(m.counter("fault.source.giveups"), Some(0));
+        // Spill saw nothing — still absent.
+        assert_eq!(m.counter("fault.spill.retries"), None);
+        assert_eq!(m.counter("fault.checkpoint.retries"), Some(1));
+        assert_eq!(m.counter("fault.checkpoint.giveups"), Some(1));
     }
 
     #[test]

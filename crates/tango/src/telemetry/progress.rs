@@ -97,6 +97,9 @@ impl ProgressReporter {
         // the pinned line prefixes).
         let spilling =
             stats.spill_writes + stats.spill_reads + stats.spill_evictions > 0;
+        // Same gating for fault-retry totals: a clean run's heartbeat is
+        // byte-identical with the fault hooks compiled in.
+        let fault_retries = stats.total_fault_retries();
         let line = match self.mode {
             ProgressMode::Human => {
                 let spill = if spilling {
@@ -107,8 +110,13 @@ impl ProgressReporter {
                 } else {
                     String::new()
                 };
+                let retries = if fault_retries > 0 {
+                    format!(" retries={}", fault_retries)
+                } else {
+                    String::new()
+                };
                 format!(
-                    "progress: TE={} GE={} RE={} SA={} depth={} rate={:.0}/s eta={:.1}s{}{}\n",
+                    "progress: TE={} GE={} RE={} SA={} depth={} rate={:.0}/s eta={:.1}s{}{}{}\n",
                     te,
                     stats.generates,
                     stats.restores,
@@ -117,6 +125,7 @@ impl ProgressReporter {
                     rate,
                     eta_s,
                     spill,
+                    retries,
                     if done { " (done)" } else { "" }
                 )
             }
@@ -129,9 +138,14 @@ impl ProgressReporter {
                 } else {
                     String::new()
                 };
+                let retries = if fault_retries > 0 {
+                    format!("\"retries\":{},", fault_retries)
+                } else {
+                    String::new()
+                };
                 format!(
                     "{{\"ev\":\"heartbeat\",\"te\":{},\"ge\":{},\"re\":{},\"sa\":{},\
-                     \"depth\":{},\"rate\":{:.1},\"eta_s\":{:.1},{}\"done\":{}}}\n",
+                     \"depth\":{},\"rate\":{:.1},\"eta_s\":{:.1},{}{}\"done\":{}}}\n",
                     te,
                     stats.generates,
                     stats.restores,
@@ -140,6 +154,7 @@ impl ProgressReporter {
                     rate,
                     eta_s,
                     spill,
+                    retries,
                     done
                 )
             }
@@ -246,6 +261,37 @@ mod tests {
             "{}",
             text
         );
+    }
+
+    #[test]
+    fn retry_field_appears_only_under_fault_activity() {
+        let buf = Shared::default();
+        let mut p = ProgressReporter::new(
+            ProgressMode::Human,
+            Duration::ZERO,
+            Box::new(buf.clone()),
+        );
+        let mut s = stats(10);
+        p.tick(&s, 100);
+        s.source_retries = 2;
+        s.spill_retries = 1;
+        s.checkpoint_retries = 3;
+        p.finish(&s, 100);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].contains("retries="), "{}", lines[0]);
+        assert!(lines[1].contains(" retries=6 (done)"), "{}", lines[1]);
+
+        let buf = Shared::default();
+        let mut p = ProgressReporter::new(
+            ProgressMode::Jsonl,
+            Duration::ZERO,
+            Box::new(buf.clone()),
+        );
+        p.finish(&s, 100);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"retries\":6,\"done\":true"), "{}", text);
     }
 
     #[test]

@@ -17,17 +17,19 @@
 //!   parse-error buffer;
 //! * [`FaultySource`] — a fault-injection wrapper for testing: corrupts
 //!   lines, stalls, duplicates events and truncates lines mid-way
-//!   according to a deterministic [`FaultPlan`].
+//!   according to a deterministic [`SourceFaultPlan`] (usually armed
+//!   through the unified [`crate::fault::FaultPlan`]).
 
 use super::format::{parse_line, Line};
 use super::{Event, Trace};
+use crate::fault::{Backoff, RetryPolicy};
 use estelle_frontend::sema::model::AnalyzedModule;
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufRead, BufReader, Seek, SeekFrom};
 use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// What one poll of a dynamic source produced.
 #[derive(Debug, Default, Clone)]
@@ -50,6 +52,22 @@ pub trait TraceSource {
     /// instead of losing the information with the source.
     fn diagnostics(&self) -> Vec<String> {
         Vec::new()
+    }
+
+    /// Faults this source absorbed losslessly by retrying (injected read
+    /// errors under [`RecoveryPolicy::Restart`], rotations re-read from
+    /// the start). Flows into `SearchStats::source_retries` and the
+    /// `fault.source.retries` metric.
+    fn fault_retries(&self) -> u64 {
+        0
+    }
+
+    /// Faults this source gave up on — the feed degraded (early eof,
+    /// partial data) instead of recovering. Flows into
+    /// `SearchStats::source_giveups` and the `fault.source.giveups`
+    /// metric.
+    fn fault_giveups(&self) -> u64 {
+        0
     }
 }
 
@@ -210,10 +228,6 @@ impl ErrorBuf {
     }
 }
 
-/// Polling backoff bounds for [`FollowFileSource`]: 1ms doubling to 100ms.
-const BACKOFF_MIN: Duration = Duration::from_millis(1);
-const BACKOFF_MAX: Duration = Duration::from_millis(100);
-
 /// Follows a trace file that another process appends to. Partial trailing
 /// lines (a writer mid-append) are left in the file until complete.
 ///
@@ -233,9 +247,15 @@ pub struct FollowFileSource {
     errors: ErrorBuf,
     /// Times the file was observed truncated/rotated.
     rotations: u64,
-    backoff: Duration,
+    /// Idle-poll backoff on the shared [`RetryPolicy::source_poll`]
+    /// schedule (1ms doubling to 100ms).
+    idle: Backoff,
     /// Skip filesystem work until this instant (backoff in effect).
     next_poll_at: Option<Instant>,
+    /// Rotations recovered by re-reading ([`RecoveryPolicy::Restart`]).
+    retries: u64,
+    /// Rotations that ended the feed ([`RecoveryPolicy::Fail`]).
+    giveups: u64,
 }
 
 impl FollowFileSource {
@@ -248,8 +268,10 @@ impl FollowFileSource {
             recovery: RecoveryPolicy::default(),
             errors: ErrorBuf::default(),
             rotations: 0,
-            backoff: BACKOFF_MIN,
+            idle: Backoff::new(RetryPolicy::source_poll()),
             next_poll_at: None,
+            retries: 0,
+            giveups: 0,
         }
     }
 
@@ -312,6 +334,7 @@ impl TraceSource for FollowFileSource {
                             self.offset
                         ));
                         self.offset = 0;
+                        self.retries += 1;
                     }
                     RecoveryPolicy::Fail => {
                         self.errors.push(format!(
@@ -319,6 +342,7 @@ impl TraceSource for FollowFileSource {
                              end-of-trace (RecoveryPolicy::Fail)",
                             self.offset
                         ));
+                        self.giveups += 1;
                         self.eof = true;
                         out.eof = true;
                         return out;
@@ -373,7 +397,7 @@ impl TraceSource for FollowFileSource {
         if out.events.is_empty() && !out.eof {
             self.note_idle();
         } else {
-            self.backoff = BACKOFF_MIN;
+            self.idle.reset();
             self.next_poll_at = None;
         }
         out
@@ -390,12 +414,19 @@ impl TraceSource for FollowFileSource {
         }
         out
     }
+
+    fn fault_retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn fault_giveups(&self) -> u64 {
+        self.giveups
+    }
 }
 
 impl FollowFileSource {
     fn note_idle(&mut self) {
-        self.next_poll_at = Some(Instant::now() + self.backoff);
-        self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
+        self.next_poll_at = Some(Instant::now() + self.idle.next_delay());
     }
 }
 
@@ -404,8 +435,8 @@ impl FollowFileSource {
 /// Every `*_every` field counts in *delivered lines*; `0` disables that
 /// fault. The schedule is deterministic, so fault-injection tests are
 /// exactly reproducible.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct FaultPlan {
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SourceFaultPlan {
     /// Replace every n-th line with unparseable garbage.
     pub corrupt_every: usize,
     /// Deliver every n-th event line twice (a duplicated observation).
@@ -432,17 +463,24 @@ pub struct FaultPlan {
     pub short_read_every: usize,
 }
 
+/// Pre-unification name of [`SourceFaultPlan`], kept so existing code
+/// compiles. New code should arm source faults through
+/// [`crate::fault::FaultPlan`].
+#[deprecated(note = "renamed to SourceFaultPlan; compose sites via tango::fault::FaultPlan")]
+pub type FaultPlan = SourceFaultPlan;
+
 /// A fault-injecting [`TraceSource`] for robustness testing.
 ///
 /// Feeds the lines of a rendered trace one per poll, mangling them per
-/// the [`FaultPlan`]: corrupt lines, stalls, duplicated events, mid-line
-/// truncation. Lines are parsed exactly the way [`FollowFileSource`]
-/// parses a followed file, with the same bounded error buffer, so the
-/// whole skip-and-diagnose path is exercised end to end.
+/// the [`SourceFaultPlan`]: corrupt lines, stalls, duplicated events,
+/// mid-line truncation. Lines are parsed exactly the way
+/// [`FollowFileSource`] parses a followed file, with the same bounded
+/// error buffer, so the whole skip-and-diagnose path is exercised end to
+/// end.
 pub struct FaultySource {
     lines: VecDeque<String>,
     module: Option<AnalyzedModule>,
-    plan: FaultPlan,
+    plan: SourceFaultPlan,
     delivered: usize,
     stall_left: usize,
     eof: bool,
@@ -455,13 +493,17 @@ pub struct FaultySource {
     /// store), driving the read-level fault schedule independently of
     /// delivered lines so retried reads advance it.
     read_attempts: usize,
+    /// Injected read faults recovered by retrying (Restart).
+    retries: u64,
+    /// Injected read faults that degraded the feed (Fail).
+    giveups: u64,
 }
 
 impl FaultySource {
     /// Build from trace text (one event per line, as rendered by
     /// [`crate::render_trace`]). An `eof` line is appended if missing so
     /// the analysis always terminates.
-    pub fn new(trace_text: &str, module: Option<AnalyzedModule>, plan: FaultPlan) -> Self {
+    pub fn new(trace_text: &str, module: Option<AnalyzedModule>, plan: SourceFaultPlan) -> Self {
         let mut lines: VecDeque<String> = trace_text
             .lines()
             .map(|l| l.to_string())
@@ -480,6 +522,8 @@ impl FaultySource {
             read_faults: ErrorBuf::default(),
             recovery: RecoveryPolicy::default(),
             read_attempts: 0,
+            retries: 0,
+            giveups: 0,
         }
     }
 
@@ -548,6 +592,7 @@ impl TraceSource for FaultySource {
                          (RecoveryPolicy::Restart)",
                         self.read_attempts
                     ));
+                    self.retries += 1;
                     self.lines.push_front(line);
                     return out;
                 }
@@ -557,6 +602,7 @@ impl TraceSource for FaultySource {
                          end-of-trace (RecoveryPolicy::Fail)",
                         self.read_attempts
                     ));
+                    self.giveups += 1;
                     self.eof = true;
                     out.eof = true;
                     return out;
@@ -577,6 +623,7 @@ impl TraceSource for FaultySource {
                         mid,
                         line.len()
                     ));
+                    self.retries += 1;
                     self.lines.push_front(line);
                     return out;
                 }
@@ -588,6 +635,7 @@ impl TraceSource for FaultySource {
                         mid,
                         line.len()
                     ));
+                    self.giveups += 1;
                     self.parse_into(&line[..mid], &mut out);
                     self.delivered += 1;
                     if self.due(self.plan.stall_every) {
@@ -626,6 +674,14 @@ impl TraceSource for FaultySource {
         out.extend(self.read_faults.render());
         out
     }
+
+    fn fault_retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn fault_giveups(&self) -> u64 {
+        self.giveups
+    }
 }
 
 #[cfg(test)]
@@ -633,6 +689,7 @@ mod tests {
     use super::*;
     use crate::trace::Dir;
     use std::io::Write;
+    use std::time::Duration;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -752,7 +809,7 @@ mod tests {
             garbage.push_str(&format!("?!bad line {}\n", i));
         }
         garbage.push_str("eof\n");
-        let mut s = FaultySource::new(&garbage, None, FaultPlan::default());
+        let mut s = FaultySource::new(&garbage, None, SourceFaultPlan::default());
         loop {
             if s.poll().eof {
                 break;
@@ -777,26 +834,26 @@ mod tests {
         // Polling again during the backoff window does no filesystem work
         // and keeps the schedule.
         assert!(s.poll().events.is_empty());
-        // Backoff doubles up to the cap.
+        // Backoff doubles up to the RetryPolicy::source_poll cap (100ms).
         for _ in 0..20 {
             s.note_idle();
         }
-        assert_eq!(s.backoff, BACKOFF_MAX);
-        // Data resets the backoff.
+        assert_eq!(s.idle.peek(), Duration::from_millis(100));
+        // Data resets the backoff to the 1ms base.
         std::fs::write(&path, "in A.x\n").unwrap();
         s.next_poll_at = None;
         assert_eq!(s.poll().events.len(), 1);
-        assert_eq!(s.backoff, BACKOFF_MIN);
+        assert_eq!(s.idle.peek(), Duration::from_millis(1));
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn faulty_source_duplicates_and_corrupts_deterministically() {
         let text = "in A.x\nin A.x\nin A.x\nin A.x\neof\n";
-        let plan = FaultPlan {
+        let plan = SourceFaultPlan {
             corrupt_every: 3,
             duplicate_every: 2,
-            ..FaultPlan::default()
+            ..SourceFaultPlan::default()
         };
         let run = || {
             let mut s = FaultySource::new(text, None, plan);
@@ -822,10 +879,10 @@ mod tests {
 
     #[test]
     fn faulty_source_stalls() {
-        let plan = FaultPlan {
+        let plan = SourceFaultPlan {
             stall_every: 1,
             stall_polls: 2,
-            ..FaultPlan::default()
+            ..SourceFaultPlan::default()
         };
         let mut s = FaultySource::new("in A.x\neof\n", None, plan);
         assert_eq!(s.poll().events.len(), 1); // line 1 delivered, stall armed
@@ -836,9 +893,9 @@ mod tests {
 
     #[test]
     fn faulty_source_truncates_midline() {
-        let plan = FaultPlan {
+        let plan = SourceFaultPlan {
             truncate_every: 1,
-            ..FaultPlan::default()
+            ..SourceFaultPlan::default()
         };
         // Midpoint falls before the dot, so neither half is a legal line:
         // `in Alpha` lacks the interaction, `betical.x` lacks a direction.

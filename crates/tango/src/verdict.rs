@@ -116,6 +116,11 @@ pub struct AnalysisReport {
     /// tails) and, on `Inconclusive(SpillFailure)`, the unrecoverable
     /// error that degraded the run. Empty when spilling is off or clean.
     pub spill_faults: Vec<String>,
+    /// Checkpoint autosave failures. Autosave is warn-and-continue — a
+    /// failing save must not kill a healthy search — but the failure has
+    /// to outlive stderr: a run that dies later would otherwise resume
+    /// from an older checkpoint than the operator believes exists.
+    pub checkpoint_faults: Vec<String>,
 }
 
 impl AnalysisReport {
@@ -130,6 +135,7 @@ impl AnalysisReport {
             checkpoint: None,
             source_faults: Vec::new(),
             spill_faults: Vec::new(),
+            checkpoint_faults: Vec::new(),
         }
     }
 }

@@ -11,7 +11,7 @@ use protocols::tp0;
 use std::time::Duration;
 use tango::{
     AnalysisOptions, FaultPlan, FaultySource, FollowFileSource, InconclusiveReason,
-    RecoveryPolicy, SearchStats, Trace, Verdict,
+    RecoveryPolicy, SearchStats, SourceFaultPlan, Trace, TraceSource, Verdict,
 };
 
 /// The counters the paper's tables report; `wall_time` is excluded since
@@ -123,9 +123,9 @@ fn corrupted_online_feed_is_skipped_and_diagnosed() {
     let a = tp0::analyzer();
     let good = tp0::complete_valid_trace(2, 2, 1);
     let text = tango::render_trace(&good, Some(a.module()), true);
-    let plan = FaultPlan {
+    let plan = SourceFaultPlan {
         corrupt_every: 5,
-        ..FaultPlan::default()
+        ..SourceFaultPlan::default()
     };
     let mut src = FaultySource::new(&text, Some(a.module().clone()), plan);
     let report = a
@@ -144,11 +144,11 @@ fn duplicating_and_stalling_online_feed_terminates() {
     let a = tp0::analyzer();
     let good = tp0::complete_valid_trace(1, 1, 1);
     let text = tango::render_trace(&good, Some(a.module()), true);
-    let plan = FaultPlan {
+    let plan = SourceFaultPlan {
         duplicate_every: 3,
         stall_every: 2,
         stall_polls: 3,
-        ..FaultPlan::default()
+        ..SourceFaultPlan::default()
     };
     let mut src = FaultySource::new(&text, Some(a.module().clone()), plan);
     let report = a
@@ -162,9 +162,9 @@ fn midline_truncation_in_feed_is_diagnosed() {
     let a = tp0::analyzer();
     let good = tp0::complete_valid_trace(1, 1, 1);
     let text = tango::render_trace(&good, Some(a.module()), true);
-    let plan = FaultPlan {
+    let plan = SourceFaultPlan {
         truncate_every: 4,
-        ..FaultPlan::default()
+        ..SourceFaultPlan::default()
     };
     let mut src = FaultySource::new(&text, Some(a.module().clone()), plan);
     let report = a
@@ -180,10 +180,10 @@ fn stalled_source_cannot_wedge_a_deadlined_monitor() {
     let a = tp0::analyzer();
     // One event, then the source stalls forever: without a deadline the
     // monitor would poll indefinitely waiting for the eof.
-    let plan = FaultPlan {
+    let plan = SourceFaultPlan {
         stall_every: 1,
         stall_polls: usize::MAX,
-        ..FaultPlan::default()
+        ..SourceFaultPlan::default()
     };
     let mut src = FaultySource::new("in U.tconreq\n", Some(a.module().clone()), plan);
     let mut opts = AnalysisOptions::default();
@@ -202,9 +202,9 @@ fn injected_read_errors_retry_under_restart_policy() {
     let text = tango::render_trace(&good, Some(a.module()), true);
     // Every third read attempt errors; Restart retries the same line on
     // the next poll, so no data is lost and the verdict stays Valid.
-    let plan = FaultPlan {
+    let plan = SourceFaultPlan {
         read_error_every: 3,
-        ..FaultPlan::default()
+        ..SourceFaultPlan::default()
     };
     let mut src = FaultySource::new(&text, Some(a.module().clone()), plan)
         .with_recovery(RecoveryPolicy::Restart);
@@ -227,9 +227,9 @@ fn injected_read_error_fails_closed_under_fail_policy() {
     let a = tp0::analyzer();
     let good = tp0::complete_valid_trace(2, 2, 1);
     let text = tango::render_trace(&good, Some(a.module()), true);
-    let plan = FaultPlan {
+    let plan = SourceFaultPlan {
         read_error_every: 3,
-        ..FaultPlan::default()
+        ..SourceFaultPlan::default()
     };
     // Default policy is Fail: the first injected error reads as
     // end-of-trace, so the analysis terminates conclusively on the
@@ -254,9 +254,9 @@ fn short_reads_under_fail_policy_skip_and_diagnose() {
     let a = tp0::analyzer();
     let good = tp0::complete_valid_trace(2, 2, 1);
     let text = tango::render_trace(&good, Some(a.module()), true);
-    let plan = FaultPlan {
+    let plan = SourceFaultPlan {
         short_read_every: 4,
-        ..FaultPlan::default()
+        ..SourceFaultPlan::default()
     };
     let mut src = FaultySource::new(&text, Some(a.module().clone()), plan);
     let report = a
@@ -363,4 +363,42 @@ fn follow_file_rotation_restarts_from_the_top() {
         .iter()
         .any(|f| f.contains("restarting")));
     std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn unified_plan_arms_the_source_site_like_a_hand_built_one() {
+    let a = tp0::analyzer();
+    let good = tp0::complete_valid_trace(2, 2, 1);
+    let text = tango::render_trace(&good, Some(a.module()), true);
+    // The composed plan spec is the CLI's `--fault-plan` language; the
+    // source it builds must behave exactly like the struct-literal plan
+    // the pre-unification tests used.
+    let plan =
+        FaultPlan::parse("seed=1,source.read_error_every=3,source.recovery=restart").unwrap();
+    let mut src = plan
+        .build_source(&text, Some(a.module().clone()))
+        .expect("source site armed");
+    let report = a
+        .analyze_online(&mut src, &AnalysisOptions::default(), &mut |_| true)
+        .unwrap();
+    assert_eq!(report.verdict, Verdict::Valid);
+    assert!(src.fault_retries() > 0, "restart policy counts retries");
+    assert_eq!(src.fault_giveups(), 0);
+    assert!(report
+        .source_faults
+        .iter()
+        .any(|f| f.contains("injected read error")));
+}
+
+#[test]
+fn deprecated_source_plan_alias_still_compiles() {
+    // `tango::trace::source::FaultPlan` was the site-local name before
+    // the unified `tango::FaultPlan` took it; the alias stays one
+    // release so existing callers get a deprecation warning, not a break.
+    #[allow(deprecated)]
+    let plan: tango::trace::source::FaultPlan = SourceFaultPlan {
+        corrupt_every: 2,
+        ..SourceFaultPlan::default()
+    };
+    assert_eq!(plan.corrupt_every, 2);
 }

@@ -240,10 +240,18 @@ fn reopen_skips_damage_but_serves_what_survived() {
 #[test]
 fn injected_bit_flips_through_the_public_fault_plan_are_typed() {
     let dir = tmpdir("fault-plan");
-    let plan = SpillFaultPlan {
-        flip_bit_every: 2,
-        ..SpillFaultPlan::default()
-    };
+    // Armed through the unified composable plan (the CLI's
+    // `--fault-plan` language); the site-local SpillFaultPlan it carries
+    // is what the tier consumes.
+    let unified = tango::FaultPlan::parse("seed=0,spill.flip_bit_every=2").unwrap();
+    let plan = unified.spill.expect("spill site armed");
+    assert_eq!(
+        plan,
+        SpillFaultPlan {
+            flip_bit_every: 2,
+            ..SpillFaultPlan::default()
+        }
+    );
     let faulty: Box<dyn SpillDir> =
         Box::new(FaultySpillDir::new(Box::new(FsSpillDir::new(&dir)), plan));
     let mut tier = SpillTier::open(faulty, 64 << 20, 0).unwrap();
