@@ -118,6 +118,60 @@ if grep -q '"fault\.' "$CKPT_DIR/unarmed-metrics.json"; then
 fi
 grep -q "chaos: plan=unarmed" "$CKPT_DIR/unarmed.err"
 
+echo "== black box smoke (flight recorder / dump / dump-info) =="
+# Any non-completed outcome writes a versioned post-mortem dump. The
+# dump must verify and render both ways, with the JSONL form validating
+# under the dependency-free checker; the library/CLI suites run first.
+cargo test -q -p tango --test flight_recorder
+cargo test -q -p tango-cli --test black_box
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" \
+    --max-transitions 5 --dump-file "$CKPT_DIR/pm.tangodump" 2> "$CKPT_DIR/dump.err" \
+    && { echo "expected an inconclusive (exit 2) stop"; exit 1; } || [ "$?" -eq 2 ]
+grep -q "post-mortem dump written" "$CKPT_DIR/dump.err"
+cargo run -q --release -p tango-cli -- dump-info "$CKPT_DIR/pm.tangodump" \
+    > "$CKPT_DIR/dump.txt"
+grep -q "flight recorder:" "$CKPT_DIR/dump.txt"
+cargo run -q --release -p tango-cli -- dump-info --jsonl "$CKPT_DIR/pm.tangodump" \
+    > "$CKPT_DIR/dump.jsonl"
+cargo run -q --release -p bench --bin json_check -- --jsonl "$CKPT_DIR/dump.jsonl"
+grep -q '"schema":"tango-dump"' "$CKPT_DIR/dump.jsonl"
+
+echo "== black box zero-cost gate (--flight-recorder off) =="
+# Turning the recorder off must change nothing but the dump: identical
+# verdict and TE/GE/RE/SA to the plain all-RAM run, and no dump file
+# ever appears.
+cargo run -q --release -p tango-cli -- analyze specs/tp0.est "$CKPT_DIR/trace.txt" \
+    --flight-recorder=off --dump-file "$CKPT_DIR/off.tangodump" > "$CKPT_DIR/rec-off.txt"
+[ "$(verdict_and_counters "$CKPT_DIR/all-ram.txt")" = "$(verdict_and_counters "$CKPT_DIR/rec-off.txt")" ]
+[ ! -f "$CKPT_DIR/off.tangodump" ]
+
+echo "== live introspection smoke (--listen + http-get) =="
+# Follow a trace that never reaches its eof marker with a wall-clock
+# limit and a live endpoint: fetch /status and /metrics mid-run with the
+# shipped curl substitute and validate both documents; the TimeLimit
+# stop must leave a verifiable post-mortem dump behind.
+head -n 3 "$CKPT_DIR/trace.txt" > "$CKPT_DIR/partial.txt"
+cargo run -q --release -p tango-cli -- online specs/tp0.est "$CKPT_DIR/partial.txt" \
+    --max-seconds 10 --listen 127.0.0.1:0 --dump-file "$CKPT_DIR/online.tangodump" \
+    > "$CKPT_DIR/online.txt" 2> "$CKPT_DIR/online.err" &
+LISTEN_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's#^introspect: listening on http://\(.*\)/$#\1#p' "$CKPT_DIR/online.err")
+    if [ -n "$ADDR" ]; then break; fi
+    sleep 0.2
+done
+[ -n "$ADDR" ]
+cargo run -q --release -p tango-cli -- http-get "$ADDR/status" > "$CKPT_DIR/status.json"
+cargo run -q --release -p bench --bin json_check -- "$CKPT_DIR/status.json"
+grep -q '"schema":"tango-status"' "$CKPT_DIR/status.json"
+cargo run -q --release -p tango-cli -- http-get "$ADDR/metrics" > "$CKPT_DIR/live-metrics.json"
+cargo run -q --release -p bench --bin json_check -- "$CKPT_DIR/live-metrics.json"
+grep -q '"schema":"tango-metrics"' "$CKPT_DIR/live-metrics.json"
+wait "$LISTEN_PID" && { echo "expected a TimeLimit (exit 2) stop"; exit 1; } || [ "$?" -eq 2 ]
+grep -q "post-mortem dump written" "$CKPT_DIR/online.err"
+cargo run -q --release -p tango-cli -- dump-info "$CKPT_DIR/online.tangodump" > /dev/null
+
 echo "== exec A/B differential smoke =="
 # Compiled VM vs. tree-walking interpreter must agree everywhere; the
 # dedicated suite checks fireable sets, verdicts, counters, telemetry

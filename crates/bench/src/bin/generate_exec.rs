@@ -25,7 +25,10 @@ use bench::json;
 use estelle_runtime::ExecMode;
 use protocols::synthetic::SyntheticSpec;
 use protocols::{lapd, tp0};
-use tango::{AnalysisOptions, ChoicePolicy, OrderOptions, Telemetry, Trace, TraceAnalyzer};
+use tango::{
+    AnalysisOptions, ChoicePolicy, OrderOptions, Telemetry, Trace, TraceAnalyzer,
+    DEFAULT_RING_CAPACITY,
+};
 
 /// Profile one compiled run and feed the fire counts back into the
 /// compiler (the `--pgo-out` → `--pgo-in` round trip, in-process).
@@ -235,6 +238,63 @@ fn workloads(quick: bool) -> Vec<Workload> {
     w
 }
 
+/// One timed compiled-mode run of a workload with the flight recorder on
+/// or off: aggregate nodes/sec over the workload's repetitions, plus the
+/// per-run counter signature for the identical-results check.
+fn timed_run(w: &Workload, recorder: bool) -> (f64, (u64, u64, u64, u64), String) {
+    let mut options = AnalysisOptions::with_order(w.order);
+    options.exec_mode = ExecMode::Compiled;
+    options.limits.max_transitions = w.cap;
+    let mut secs = 0.0;
+    let mut te_total = 0u64;
+    let mut counters = (0, 0, 0, 0);
+    let mut verdict = String::new();
+    for _ in 0..w.reps.max(1) {
+        let mut tel = if recorder {
+            Telemetry::off().with_recorder(DEFAULT_RING_CAPACITY)
+        } else {
+            Telemetry::off()
+        };
+        let r = w
+            .analyzer
+            .analyze_with(&w.trace, &options, &mut tel)
+            .expect("analysis runs");
+        tel.finalize(&r.stats);
+        secs += r.stats.wall_time.as_secs_f64();
+        te_total += r.stats.transitions_executed;
+        counters = (
+            r.stats.transitions_executed,
+            r.stats.generates,
+            r.stats.restores,
+            r.stats.saves,
+        );
+        verdict = r.verdict.to_string();
+    }
+    let nps = if secs > 0.0 { te_total as f64 / secs } else { 0.0 };
+    (nps, counters, verdict)
+}
+
+/// Flight-recorder A/B on one workload: best-of-3 interleaved on/off
+/// pairs. Returns (on, off) best nodes/sec; panics if the recorder
+/// changes any verdict or counter (it must be pure observation).
+fn recorder_overhead(w: &Workload) -> (f64, f64) {
+    let mut best_on = 0.0f64;
+    let mut best_off = 0.0f64;
+    for _ in 0..3 {
+        let (off_nps, off_counters, off_verdict) = timed_run(w, false);
+        let (on_nps, on_counters, on_verdict) = timed_run(w, true);
+        assert_eq!(
+            (on_counters, &on_verdict),
+            (off_counters, &off_verdict),
+            "{}: the flight recorder changed the analysis",
+            w.name
+        );
+        best_off = best_off.max(off_nps);
+        best_on = best_on.max(on_nps);
+    }
+    (best_on, best_off)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--check") {
@@ -343,10 +403,30 @@ fn main() {
         ));
     }
 
+    // Flight-recorder overhead: the always-on black box must cost ≤5%
+    // nodes/sec on a real row (best-of-3 interleaved A/B pairs).
+    let overhead_row = workloads(quick)
+        .into_iter()
+        .next()
+        .expect("at least one workload");
+    let (on_nps, off_nps) = recorder_overhead(&overhead_row);
+    let ratio = if off_nps > 0.0 { on_nps / off_nps } else { 0.0 };
+    println!(
+        "flight recorder on {}: {:.0} vs {:.0} nodes/s (ratio {:.3})",
+        overhead_row.name, on_nps, off_nps, ratio
+    );
+
     let doc = format!(
         "{{\n  \"benchmark\": \"generate_exec\",\n  \"quick\": {},\n  \
+         \"recorder_overhead\": {{\"workload\": \"{}\", \
+         \"on_nodes_per_sec\": {}, \"off_nodes_per_sec\": {}, \
+         \"ratio\": {}, \"counters_match\": true}},\n  \
          \"workloads\": [\n{}\n  ]\n}}\n",
         quick,
+        json::escape(&overhead_row.name),
+        json::number(on_nps),
+        json::number(off_nps),
+        json::number(ratio),
         rows.join(",\n")
     );
     json::validate(&doc).expect("emitted record is well-formed JSON");
@@ -361,6 +441,14 @@ fn main() {
             gate_speedups.iter().any(|(_, s)| *s >= 3.0),
             "acceptance gate: expected >=3x compiled+PGO speedup on a LAPD workload, got {:?}",
             gate_speedups
+        );
+        assert!(
+            ratio >= 0.95,
+            "acceptance gate: flight recorder overhead must be <=5% nodes/sec \
+             (on {:.0} vs off {:.0}, ratio {:.3})",
+            on_nps,
+            off_nps,
+            ratio
         );
     }
 }

@@ -32,6 +32,14 @@
 //!     Verify a checkpoint file's integrity and print its progress
 //!     summary (depth, pending frames, events, counters) without
 //!     loading any machine state.
+//!
+//! tango dump-info [--jsonl] <file.tangodump>
+//!     Verify a post-mortem dump and render it human-readable (or as
+//!     JSONL documents with --jsonl).
+//!
+//! tango http-get <host:port[/path]>
+//!     Fetch one URL from a running `--listen` endpoint and print the
+//!     body — a curl substitute for scripts and CI.
 //! ```
 //!
 //! Durable analysis (static mode): `--checkpoint-file PATH` autosaves
@@ -39,6 +47,15 @@
 //! any limit stop), atomically, so a killed process loses at most one
 //! interval of work; `--resume PATH` continues from such a file with the
 //! counters intact.
+//!
+//! Black box (both modes): the flight recorder is on by default
+//! (`--flight-recorder off` disables it) and costs a bounded ring of
+//! compact records. Any non-completed outcome — an inconclusive verdict,
+//! a fault giveup, an isolated specification panic — writes a post-mortem
+//! dump (`--dump-file PATH`, default `tango-postmortem.tangodump`)
+//! readable with `tango dump-info`. `--listen ADDR` additionally serves
+//! live `/status`, `/metrics` and `/profile` JSON over HTTP while the
+//! analysis runs.
 
 use estelle_frontend::parse_specification;
 use estelle_runtime::normal_form::normalize_specification;
@@ -46,14 +63,18 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 use tango::{
-    AnalysisOptions, AnalysisReport, Checkpoint, FaultPlan, FollowFileSource,
-    InconclusiveReason, JsonlSink, OrderOptions, ProgressMode, ProgressReporter,
-    RecoveryPolicy, RetryPolicy, Tango, Telemetry, TraceAnalyzer, TraceSource, Verdict,
+    should_dump, AnalysisOptions, AnalysisReport, Checkpoint, FaultPlan, FollowFileSource,
+    InconclusiveReason, IntrospectionServer, JsonlSink, OrderOptions, PostMortemDump,
+    ProgressMode, ProgressReporter, RecoveryPolicy, RetryPolicy, Tango, Telemetry,
+    TraceAnalyzer, TraceSource, Verdict, DEFAULT_RING_CAPACITY,
 };
 
 /// Poll budget for draining a fault-injected source on a static chaos
 /// run; generous enough for any plan `FaultPlan::random` can emit.
 const CHAOS_MAX_POLLS: usize = 1_000_000;
+
+/// Where the post-mortem dump lands unless `--dump-file` says otherwise.
+const DEFAULT_DUMP_FILE: &str = "tango-postmortem.tangodump";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +99,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "graph" => graph(args.get(1).map(String::as_str).ok_or_else(usage)?),
         "generate" => generate(&args[1..]),
         "checkpoint-info" => checkpoint_info(args.get(1).map(String::as_str).ok_or_else(usage)?),
+        "dump-info" => dump_info(&args[1..]),
+        "http-get" => http_get(args.get(1).map(String::as_str).ok_or_else(usage)?),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -87,8 +110,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn usage() -> String {
-    "usage: tango <check|analyze|online|normalize|graph|generate|checkpoint-info> \
-     <spec.est|checkpoint.bin> \
+    "usage: tango <check|analyze|online|normalize|graph|generate|checkpoint-info\
+     |dump-info|http-get> \
+     <spec.est|checkpoint.bin|file.tangodump|host:port/path> \
      [trace.txt|script.txt] [--order nr|io|ip|full] [--disable-ip NAME] \
      [--unobserved-ip NAME] [--initial-state-search] [--state-hashing] \
      [--cow=on|off] [--exec=auto|compiled|interp] [--max-seconds F] [--max-mem N[k|m|g][b]] \
@@ -97,7 +121,8 @@ fn usage() -> String {
      [--resume PATH] [--on-truncate restart|fail] [--seed N] \
      [--trace-out PATH] [--metrics-out PATH] [--progress SECS|jsonl[:SECS]] \
      [--profile] [--profile-dot PATH] [--pgo-out PATH] [--pgo-in PATH] \
-     [--chaos-seed N] [--fault-plan SPEC]"
+     [--chaos-seed N] [--fault-plan SPEC] \
+     [--flight-recorder on|off] [--dump-file PATH] [--listen ADDR] [--jsonl]"
         .to_string()
 }
 
@@ -284,27 +309,80 @@ struct TelemetryFlags {
     /// Apply a previously recorded PGO profile before the run
     /// (`--pgo-in`; validated against the spec like a checkpoint).
     pgo_in: Option<PathBuf>,
+    /// `--flight-recorder off`: disable the always-on black box (the
+    /// recorder is the default; this exists for A/B timing and for
+    /// proving the recorder changes nothing but the dump).
+    recorder_off: bool,
+    /// Post-mortem dump destination (`--dump-file`; defaults to
+    /// [`DEFAULT_DUMP_FILE`] in the working directory).
+    dump_file: Option<PathBuf>,
+    /// Serve live `/status`, `/metrics`, `/profile` here (`--listen`).
+    listen: Option<String>,
 }
 
 impl TelemetryFlags {
-    /// Build the analysis telemetry handle these flags ask for.
-    fn build(&self, transition_count: usize) -> Result<Telemetry, String> {
+    /// Build the analysis telemetry handle these flags ask for, plus the
+    /// live introspection server when `--listen` is set (kept alive by
+    /// the caller for the duration of the run; dropping it frees the
+    /// port).
+    fn build(
+        &self,
+        analyzer: &TraceAnalyzer,
+    ) -> Result<(Telemetry, Option<IntrospectionServer>), String> {
+        let transition_count = analyzer.machine.module.transition_count();
         let mut tel = Telemetry::off();
         if let Some(path) = &self.trace_out {
             let f = std::fs::File::create(path)
                 .map_err(|e| format!("cannot create {}: {}", path.display(), e))?;
             tel = tel.with_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(f))));
         }
-        if self.metrics_out.is_some() {
+        if self.metrics_out.is_some() || self.listen.is_some() {
             tel = tel.with_metrics();
         }
-        if self.profile || self.profile_dot.is_some() || self.pgo_out.is_some() {
+        if self.profile
+            || self.profile_dot.is_some()
+            || self.pgo_out.is_some()
+            || self.listen.is_some()
+        {
             tel = tel.with_profile(transition_count);
         }
         if let Some((mode, every)) = self.progress {
             tel = tel.with_progress(ProgressReporter::stderr(mode, every));
         }
-        Ok(tel)
+        if !self.recorder_off {
+            tel = tel.with_recorder(DEFAULT_RING_CAPACITY);
+        }
+        let mut server = None;
+        if let Some(addr) = &self.listen {
+            let s = IntrospectionServer::bind(addr)
+                .map_err(|e| format!("cannot listen on {}: {}", addr, e))?;
+            eprintln!("introspect: listening on http://{}/", s.local_addr());
+            tel = tel.with_introspection(s.handle());
+            server = Some(s);
+        }
+        if !self.recorder_off || self.listen.is_some() {
+            tel = tel.with_transition_names(analyzer.transition_names());
+        }
+        Ok((tel, server))
+    }
+
+    /// The dump destination these flags select.
+    fn dump_path(&self) -> PathBuf {
+        self.dump_file
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(DEFAULT_DUMP_FILE))
+    }
+}
+
+/// Parse the `--flight-recorder` mode: `on` (the default) or `off`.
+fn parse_recorder(v: &str) -> Result<bool, String> {
+    match v.to_ascii_lowercase().as_str() {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!(
+            "bad --flight-recorder mode `{}` (expected on|off)",
+            other
+        )),
     }
 }
 
@@ -477,6 +555,30 @@ fn parse_options(
                 let v = &flag["--fault-plan=".len()..];
                 chaos = Some(FaultPlan::parse(v).map_err(|e| e.to_string())?);
             }
+            "--flight-recorder" => {
+                let v = it.next().ok_or("--flight-recorder needs on|off")?;
+                tflags.recorder_off = !parse_recorder(v)?;
+            }
+            flag if flag.starts_with("--flight-recorder=") => {
+                tflags.recorder_off = !parse_recorder(&flag["--flight-recorder=".len()..])?;
+            }
+            "--dump-file" => {
+                let v = it.next().ok_or("--dump-file needs a path")?;
+                tflags.dump_file = Some(PathBuf::from(v));
+            }
+            flag if flag.starts_with("--dump-file=") => {
+                tflags.dump_file = Some(PathBuf::from(&flag["--dump-file=".len()..]));
+            }
+            "--listen" => {
+                let v = it.next().ok_or("--listen needs an address (host:port)")?;
+                tflags.listen = Some(v.clone());
+                options.listen = Some(v.clone());
+            }
+            flag if flag.starts_with("--listen=") => {
+                let v = flag["--listen=".len()..].to_string();
+                tflags.listen = Some(v.clone());
+                options.listen = Some(v);
+            }
             "--initial-state-search" => options.initial_state_search = true,
             "--state-hashing" => options.state_hashing = true,
             "--cow" => {
@@ -562,7 +664,9 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
     }
     let analyzer = analyzer;
 
-    let mut tel = tflags.build(analyzer.machine.module.transition_count())?;
+    // `_server` must outlive the analysis: it serves /status, /metrics
+    // and /profile until the final (done=true) push lands in finalize.
+    let (mut tel, _server) = tflags.build(&analyzer)?;
 
     let report = if online {
         let trace_path = trace_path.ok_or_else(usage)?;
@@ -600,6 +704,33 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
     // Fold the cumulative counters into the metrics registry and flush
     // the event stream, then write the requested artifacts.
     tel.finalize(&report.stats);
+
+    // Black box: any non-completed outcome gets a post-mortem dump. The
+    // autosave path is named inside the dump so `dump-info` can point
+    // straight at the file to resume from.
+    if tel.recorder().is_some() && should_dump(&report) {
+        let dump_path = tflags.dump_path();
+        let resume_from = if report.checkpoint.is_some() {
+            ckpt.file.as_deref()
+        } else {
+            None
+        };
+        let dump = PostMortemDump::capture(&report, &tel, resume_from, chaos.as_ref());
+        match dump.write_to(&dump_path) {
+            Ok(()) => eprintln!(
+                "note: post-mortem dump written to {}; inspect with \
+                 `tango dump-info {}`",
+                dump_path.display(),
+                dump_path.display()
+            ),
+            Err(e) => eprintln!(
+                "warning: post-mortem dump to {} failed: {}",
+                dump_path.display(),
+                e
+            ),
+        }
+    }
+
     if let Some(path) = &tflags.metrics_out {
         let doc = tel.metrics().expect("metrics enabled by flag").to_json();
         std::fs::write(path, doc)
@@ -803,7 +934,97 @@ fn checkpoint_info(path: &str) -> Result<ExitCode, String> {
     println!("  pending frames: {}", info.pending_frames);
     println!("  events: {}", info.events_total);
     println!("  {}", info.stats);
+    // Codec v3 carries the fault/spill story; show it so a resumed run's
+    // operator knows what the interrupted one survived.
+    let s = &info.stats;
+    println!(
+        "  source faults: retries={} giveups={}",
+        s.source_retries, s.source_giveups
+    );
+    println!(
+        "  spill faults: retries={} giveups={}",
+        s.spill_retries, s.spill_giveups
+    );
+    println!(
+        "  checkpoint faults: retries={} giveups={}",
+        s.checkpoint_retries, s.checkpoint_giveups
+    );
+    println!(
+        "  peak memory: resident={} bytes, spilled={} bytes (peak_spilled_bytes)",
+        s.peak_snapshot_bytes, s.peak_spilled_bytes
+    );
     Ok(ExitCode::SUCCESS)
+}
+
+/// Verify a post-mortem dump (magic, version, per-section and whole-file
+/// checksums) and render it.
+fn dump_info(args: &[String]) -> Result<ExitCode, String> {
+    let mut jsonl = false;
+    let mut path: Option<&str> = None;
+    for a in args {
+        match a.as_str() {
+            "--jsonl" => jsonl = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{}` (dump-info takes --jsonl)", flag));
+            }
+            p => {
+                if path.replace(p).is_some() {
+                    return Err(usage());
+                }
+            }
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    let dump = PostMortemDump::read_from(std::path::Path::new(path))
+        .map_err(|e| format!("{}: {}", path, e))?;
+    if jsonl {
+        print!("{}", dump.render_jsonl());
+    } else {
+        println!("dump: {}", path);
+        print!("{}", dump.render_human());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Minimal HTTP/1.1 GET over a plain `TcpStream` — enough to fetch the
+/// `--listen` endpoints from `sh` scripts without curl. Prints the
+/// response body; exits 0 only on a 200.
+fn http_get(target: &str) -> Result<ExitCode, String> {
+    use std::io::{Read, Write};
+    let target = target.strip_prefix("http://").unwrap_or(target);
+    let (addr, path) = match target.find('/') {
+        Some(i) => (&target[..i], &target[i..]),
+        None => (target, "/"),
+    };
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {}: {}", addr, e))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!(
+                "GET {} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+                path, addr
+            )
+            .as_bytes(),
+        )
+        .map_err(|e| format!("cannot send request to {}: {}", addr, e))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("cannot read response from {}: {}", addr, e))?;
+    let text = String::from_utf8_lossy(&response);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response from {}", addr))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let ok = status_line.split_whitespace().nth(1) == Some("200");
+    if !ok {
+        eprintln!("http-get: {}", status_line);
+    }
+    print!("{}", body);
+    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
 
 #[cfg(test)]
@@ -931,6 +1152,52 @@ mod tests {
         assert_eq!(tflags.pgo_in.as_deref(), Some(std::path::Path::new("/tmp/q.pgo")));
         assert!(parse_options(&["--pgo-out".to_string()]).is_err());
         assert!(parse_options(&["--pgo-in".to_string()]).is_err());
+    }
+
+    #[test]
+    fn flight_recorder_flag_both_spellings_and_default_on() {
+        let (_, _, _, tflags, _, _) = parse_options(&["x".to_string()]).unwrap();
+        assert!(!tflags.recorder_off, "the black box is on by default");
+
+        let (_, _, _, tflags, _, _) =
+            parse_options(&["--flight-recorder=off".to_string(), "x".to_string()]).unwrap();
+        assert!(tflags.recorder_off);
+        let (_, _, _, tflags, _, _) = parse_options(&[
+            "--flight-recorder".to_string(),
+            "on".to_string(),
+            "x".to_string(),
+        ])
+        .unwrap();
+        assert!(!tflags.recorder_off);
+        assert!(parse_options(&["--flight-recorder=maybe".to_string()]).is_err());
+        assert!(parse_options(&["--flight-recorder".to_string()]).is_err());
+    }
+
+    #[test]
+    fn dump_file_and_listen_flags_parse() {
+        let args: Vec<String> = ["--dump-file=/tmp/d.tangodump", "--listen", "127.0.0.1:0", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (opts, _, _, tflags, _, _) = parse_options(&args).unwrap();
+        assert_eq!(
+            tflags.dump_path(),
+            PathBuf::from("/tmp/d.tangodump"),
+            "--dump-file overrides the default destination"
+        );
+        assert_eq!(tflags.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(
+            opts.listen.as_deref(),
+            Some("127.0.0.1:0"),
+            "--listen threads through AnalysisOptions too"
+        );
+
+        let (opts, _, _, tflags, _, _) = parse_options(&["x".to_string()]).unwrap();
+        assert_eq!(tflags.dump_path(), PathBuf::from(DEFAULT_DUMP_FILE));
+        assert!(tflags.listen.is_none());
+        assert!(opts.listen.is_none());
+        assert!(parse_options(&["--dump-file".to_string()]).is_err());
+        assert!(parse_options(&["--listen".to_string()]).is_err());
     }
 
     #[test]

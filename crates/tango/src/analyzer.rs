@@ -58,6 +58,15 @@ impl TraceAnalyzer {
         &self.machine.module.analyzed
     }
 
+    /// Display names of every compiled transition, indexed by id — what
+    /// `Telemetry::with_transition_names` wants for dump hot-spot rows
+    /// and the `/profile` endpoint.
+    pub fn transition_names(&self) -> Vec<String> {
+        (0..self.machine.module.transition_count())
+            .map(|i| self.machine.transition_name(i).to_string())
+            .collect()
+    }
+
     /// Snapshot a recorded [`TransitionProfile`] into the serializable
     /// `--pgo-out` form, tagged with this analyzer's spec name and
     /// transition names for later validation.

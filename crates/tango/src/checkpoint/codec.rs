@@ -320,7 +320,9 @@ fn encode_meta(cp: &Checkpoint) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn encode_stats(w: &mut ByteWriter, s: &SearchStats) {
+/// Shared with the post-mortem dump format (`telemetry::dump`), whose
+/// `STATS` section is exactly this block — one stats codec, two files.
+pub(crate) fn encode_stats(w: &mut ByteWriter, s: &SearchStats) {
     w.put_u64(s.transitions_executed);
     w.put_u64(s.generates);
     w.put_u64(s.restores);
@@ -400,7 +402,7 @@ fn encode_fireable(w: &mut ByteWriter, f: &Fireable) {
     }
 }
 
-fn kind_to_u8(k: RuntimeErrorKind) -> u8 {
+pub(crate) fn kind_to_u8(k: RuntimeErrorKind) -> u8 {
     match k {
         RuntimeErrorKind::UndefinedValue => 0,
         RuntimeErrorKind::UndefinedControl => 1,
@@ -656,7 +658,7 @@ fn decode_meta(r: &mut ByteReader<'_>, version: u32) -> Result<CheckpointInfo, C
     })
 }
 
-fn decode_stats(r: &mut ByteReader<'_>) -> Result<SearchStats, CodecError> {
+pub(crate) fn decode_stats(r: &mut ByteReader<'_>) -> Result<SearchStats, CodecError> {
     Ok(SearchStats {
         transitions_executed: r.get_u64("TE")?,
         generates: r.get_u64("GE")?,
@@ -923,7 +925,7 @@ fn tmp_path(path: &Path) -> PathBuf {
 /// leaves either the old file or the new one, never a mix. Retries are
 /// the caller's job, via [`RetryPolicy::checkpoint`] — each attempt is
 /// this full sequence, so a retry never observes a half-written file.
-fn write_atomic_once(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+pub(crate) fn write_atomic_once(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
     let tmp = tmp_path(path);
     let result = (|| -> Result<(), CheckpointError> {
         let mut f = File::create(&tmp)?;

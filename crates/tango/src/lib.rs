@@ -80,8 +80,10 @@ pub use options::{AnalysisOptions, OrderOptions, SearchLimits};
 pub use search::spill::{SpillError, SpillFaultPlan, SpillMode, SpillOptions};
 pub use stats::SearchStats;
 pub use telemetry::{
-    EventSink, JsonlSink, MetricsRegistry, PgoError, PgoProfile, ProgressMode, ProgressReporter,
-    RingBufferSink, SearchEvent, Telemetry, TransitionProfile,
+    should_dump, DumpError, EventSink, FlightRecorder, IntrospectHandle, IntrospectionServer,
+    JsonlSink, MetricsRegistry, PgoError, PgoProfile, PostMortemDump, ProgressMode,
+    ProgressReporter, RingBufferSink, SearchEvent, Telemetry, TransitionProfile,
+    DEFAULT_RING_CAPACITY,
 };
 pub use trace::format::{parse_trace, render_trace};
 pub use trace::source::{

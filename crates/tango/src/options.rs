@@ -164,6 +164,12 @@ pub struct AnalysisOptions {
     /// The default (`auto` with no directory) leaves spilling off, so
     /// budget-only runs keep their stop-with-checkpoint behavior.
     pub spill: SpillOptions,
+    /// Live introspection endpoint (CLI `--listen ADDR`): when set, the
+    /// run binds a std-only HTTP responder on this address serving
+    /// `/metrics`, `/status` and `/profile`. `None` (default) binds
+    /// nothing. Threaded through options so a multi-session daemon can
+    /// mount one endpoint per analysis.
+    pub listen: Option<String>,
     pub limits: SearchLimits,
 }
 
@@ -180,6 +186,7 @@ impl Default for AnalysisOptions {
             cow_snapshots: true,
             exec_mode: ExecMode::Auto,
             spill: SpillOptions::default(),
+            listen: None,
             limits: SearchLimits::default(),
         }
     }

@@ -364,6 +364,7 @@ fn search(
                 Ok(()) => {}
                 Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
                 Err(e) => {
+                    tel.on_error_branch(path.len(), e.kind);
                     record_error(&mut spec_errors, stats, e);
                     // Keep the GE == generate-events invariant: the failed
                     // expansion is an event with zero fanout.
@@ -594,6 +595,7 @@ fn try_fire(
         Ok(FireOutcome::OutputRejected) => Ok(false),
         Err(e) if is_fatal(&e) => Err(TangoError::Runtime(e)),
         Err(e) => {
+            tel.on_error_branch(depth, e.kind);
             record_error(spec_errors, stats, e);
             Ok(false)
         }

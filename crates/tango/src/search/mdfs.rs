@@ -490,6 +490,7 @@ pub fn run_mdfs(
                 Ok(()) => {}
                 Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
                 Err(e) => {
+                    tel.on_error_branch(node.path.len(), e.kind);
                     record_error(&mut spec_errors, &mut stats, e);
                     // Keep GE == generate-events: a failed expansion is an
                     // event with zero fanout.
@@ -549,6 +550,7 @@ pub fn run_mdfs(
                 Ok(FireOutcome::OutputRejected) => false,
                 Err(e) if is_fatal(&e) => return Err(TangoError::Runtime(e)),
                 Err(e) => {
+                    tel.on_error_branch(node.path.len(), e.kind);
                     record_error(&mut spec_errors, &mut stats, e);
                     false
                 }
@@ -656,6 +658,7 @@ pub fn run_mdfs(
             Verdict::LikelyInvalid
         };
         if last_status.as_ref() != Some(&status) {
+            tel.on_interim_verdict(&status);
             last_status = Some(status.clone());
         }
         if !on_status(&status) {

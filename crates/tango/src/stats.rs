@@ -164,6 +164,14 @@ impl SearchStats {
     pub fn total_fault_retries(&self) -> u64 {
         self.source_retries + self.spill_retries + self.checkpoint_retries
     }
+
+    /// Faults that exhausted their retries, across every site. Non-zero
+    /// means the run degraded somewhere — the post-mortem dump layer
+    /// treats any giveup as a dump-worthy outcome even when the verdict
+    /// itself completed.
+    pub fn total_fault_giveups(&self) -> u64 {
+        self.source_giveups + self.spill_giveups + self.checkpoint_giveups
+    }
 }
 
 impl fmt::Display for SearchStats {

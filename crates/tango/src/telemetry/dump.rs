@@ -1,0 +1,951 @@
+//! Post-mortem `.tangodump` files: what the black box writes down when
+//! a run ends badly.
+//!
+//! Any non-Completed outcome — every [`InconclusiveReason`], a fault
+//! site that gave up after its retries, a panic-isolated branch — is
+//! worth a durable artifact that explains itself *after* the process is
+//! gone (GenTra4CP's self-describing-trace principle). The dump captures
+//! the flight recorder's retained tail, the final [`SearchStats`], the
+//! top-K transition hot spots, the armed chaos plan and the path of the
+//! newest autosaved checkpoint, so the triage loop is: read the dump,
+//! see where the time and memory went, resume from the checkpoint it
+//! names.
+//!
+//! The byte format deliberately mirrors the checkpoint codec (DESIGN
+//! §6.12 holds the section table):
+//!
+//! ```text
+//! +----------------+---------+-----------+
+//! | magic (8B)     | version | #sections |   header
+//! | b"TANGODMP"    |  u32 LE |  u32 LE   |
+//! +----------------+---------+-----------+
+//! | tag u32 | len u64 | payload | CRC32  |   META | STATS | RING |
+//! +------------------------------------+-+   HOTSPOTS | PLAN
+//! | CRC32 of everything above            |   whole-file digest
+//! +--------------------------------------+
+//! ```
+//!
+//! The `STATS` payload is byte-for-byte the checkpoint codec's stats
+//! block (one codec, two formats), integrity failures map to the typed
+//! [`DumpError`] (never a panic — pinned by `tests/flight_recorder.rs`),
+//! and writes go through the same atomic temp+fsync+rename sequence as
+//! checkpoints, so a crash mid-dump never leaves a torn file.
+//!
+//! [`InconclusiveReason`]: crate::verdict::InconclusiveReason
+
+use super::recorder::{kind_name, FlightRecord, KIND_COUNT};
+use super::Telemetry;
+use crate::checkpoint::codec::{
+    crc32, decode_stats, encode_stats, kind_to_u8, write_atomic_once, CheckpointError,
+};
+use crate::fault::FaultPlan;
+use crate::stats::SearchStats;
+use crate::telemetry::event::json_escape;
+use crate::verdict::{AnalysisReport, Verdict};
+use estelle_runtime::{ByteReader, ByteWriter, CodecError, RuntimeErrorKind};
+use std::fmt;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// First 8 bytes of every dump file.
+pub const DUMP_MAGIC: [u8; 8] = *b"TANGODMP";
+
+/// Current dump format version. Bump on any change to the byte layout;
+/// old readers refuse newer files instead of misreading them.
+pub const DUMP_FORMAT_VERSION: u32 = 1;
+
+/// Hot-spot rows captured per dump — enough to see where the time went
+/// without embedding the whole profile of a large specification.
+pub const HOTSPOT_TOP_K: usize = 16;
+
+/// Fault diagnostics retained per category (source/spill/checkpoint):
+/// the first few tell the story; a thousand repeats of "no space left"
+/// do not.
+const FAULTS_CAP: usize = 8;
+
+const SEC_META: u32 = 1;
+const SEC_STATS: u32 = 2;
+const SEC_RING: u32 = 3;
+const SEC_HOTSPOTS: u32 = 4;
+const SEC_PLAN: u32 = 5;
+
+fn section_name(tag: u32) -> &'static str {
+    match tag {
+        SEC_META => "meta",
+        SEC_STATS => "stats",
+        SEC_RING => "ring",
+        SEC_HOTSPOTS => "hotspots",
+        SEC_PLAN => "plan",
+        _ => "unknown",
+    }
+}
+
+/// Why a dump file could not be written or read. Mirrors
+/// [`CheckpointError`] variant-for-variant so the two post-crash
+/// artifact formats fail the same way.
+#[derive(Debug)]
+pub enum DumpError {
+    Io(std::io::Error),
+    /// The file does not start with the dump magic — not a dump at all.
+    BadMagic,
+    UnsupportedVersion { found: u32, supported: u32 },
+    Truncated { context: String },
+    ChecksumMismatch { section: &'static str },
+    Malformed(String),
+}
+
+impl fmt::Display for DumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DumpError::Io(e) => write!(f, "dump I/O error: {}", e),
+            DumpError::BadMagic => f.write_str("not a tango post-mortem dump (bad magic)"),
+            DumpError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "dump format version {} not supported (this build reads up to {})",
+                found, supported
+            ),
+            DumpError::Truncated { context } => {
+                write!(f, "dump file truncated while reading {}", context)
+            }
+            DumpError::ChecksumMismatch { section } => {
+                write!(f, "dump checksum mismatch in {} section", section)
+            }
+            DumpError::Malformed(m) => write!(f, "malformed dump: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for DumpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DumpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DumpError {
+    fn from(e: std::io::Error) -> Self {
+        DumpError::Io(e)
+    }
+}
+
+impl From<CodecError> for DumpError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated { context } => DumpError::Truncated {
+                context: context.to_string(),
+            },
+            CodecError::Malformed(m) => DumpError::Malformed(m),
+        }
+    }
+}
+
+impl From<CheckpointError> for DumpError {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Io(e) => DumpError::Io(e),
+            CheckpointError::BadMagic => DumpError::BadMagic,
+            CheckpointError::UnsupportedVersion { found, supported } => {
+                DumpError::UnsupportedVersion { found, supported }
+            }
+            CheckpointError::Truncated { context } => DumpError::Truncated { context },
+            CheckpointError::ChecksumMismatch { section } => {
+                DumpError::ChecksumMismatch { section }
+            }
+            CheckpointError::Malformed(m) => DumpError::Malformed(m),
+        }
+    }
+}
+
+/// One hot-spot row: a transition's profile counters with its name
+/// resolved at capture time (the ring itself stores only indices).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotspotRow {
+    pub trans: u32,
+    pub name: String,
+    pub fires: u64,
+    pub fails: u64,
+    pub nanos: u64,
+}
+
+/// The flight recorder's state frozen into a dump: lifetime accounting
+/// plus the retained tail, oldest record first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RingCapture {
+    pub capacity: u32,
+    pub seen: u64,
+    pub counts: [u64; KIND_COUNT],
+    pub records: Vec<FlightRecord>,
+}
+
+/// The armed chaos plan at dump time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanCapture {
+    pub seed: u64,
+    pub spec: String,
+}
+
+/// A complete in-memory post-mortem dump — what `capture` assembles,
+/// `write_to` persists and `read_from` recovers.
+#[derive(Clone, Debug)]
+pub struct PostMortemDump {
+    /// Format version of the file this was read from (or the current
+    /// version for a fresh capture).
+    pub version: u32,
+    /// Search mode (`dfs` or `mdfs`) and specification module name.
+    pub mode: String,
+    pub spec: String,
+    /// The verdict line — why this dump exists.
+    pub reason: String,
+    /// Gauges at capture: resident and spilled snapshot bytes.
+    pub resident_bytes: u64,
+    pub spilled_bytes: u64,
+    /// Path of the newest autosaved checkpoint, when one exists — the
+    /// resume handle this dump points its reader at.
+    pub checkpoint_path: Option<String>,
+    /// First few fault diagnostics per site (source, spill, checkpoint).
+    pub faults: Vec<String>,
+    /// Final cumulative counters.
+    pub stats: SearchStats,
+    pub ring: RingCapture,
+    /// Top-K transitions by cumulative fire time.
+    pub hotspots: Vec<HotspotRow>,
+    /// The armed fault plan, `None` when the run was chaos-free.
+    pub plan: Option<PlanCapture>,
+}
+
+/// Whether `report` is a dump-worthy outcome: any `Inconclusive`
+/// verdict, any fault site that gave up, or a panic isolated on an
+/// abandoned branch. Conclusive, fault-free runs produce no dump.
+pub fn should_dump(report: &AnalysisReport) -> bool {
+    matches!(report.verdict, Verdict::Inconclusive(_))
+        || report.stats.total_fault_giveups() > 0
+        || report
+            .spec_errors
+            .iter()
+            .any(|e| e.kind == RuntimeErrorKind::Panic)
+}
+
+fn capped_faults(report: &AnalysisReport) -> Vec<String> {
+    let mut out = Vec::new();
+    for (site, list) in [
+        ("source", &report.source_faults),
+        ("spill", &report.spill_faults),
+        ("checkpoint", &report.checkpoint_faults),
+    ] {
+        for f in list.iter().take(FAULTS_CAP) {
+            out.push(format!("{}: {}", site, f));
+        }
+        if list.len() > FAULTS_CAP {
+            out.push(format!(
+                "{}: … {} more fault(s) elided",
+                site,
+                list.len() - FAULTS_CAP
+            ));
+        }
+    }
+    out
+}
+
+impl PostMortemDump {
+    /// Freeze the black box: assemble a dump from the final report, the
+    /// telemetry handle (flight recorder, profile, remembered mode/spec
+    /// and transition names), the newest checkpoint path and the armed
+    /// fault plan. Pure in-memory; pair with [`PostMortemDump::write_to`].
+    pub fn capture(
+        report: &AnalysisReport,
+        tel: &Telemetry,
+        checkpoint_path: Option<&Path>,
+        plan: Option<&FaultPlan>,
+    ) -> PostMortemDump {
+        let ring = match tel.recorder() {
+            Some(r) => RingCapture {
+                capacity: r.capacity() as u32,
+                seen: r.seen(),
+                counts: *r.counts(),
+                records: r.records(),
+            },
+            None => RingCapture::default(),
+        };
+        let hotspots = tel
+            .profile()
+            .map(|p| {
+                p.ranked()
+                    .into_iter()
+                    .take(HOTSPOT_TOP_K)
+                    .map(|id| {
+                        let e = p.entries()[id];
+                        HotspotRow {
+                            trans: id as u32,
+                            name: tel.transition_name(id).unwrap_or("?").to_string(),
+                            fires: e.fires,
+                            fails: e.fails,
+                            nanos: e.nanos,
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        PostMortemDump {
+            version: DUMP_FORMAT_VERSION,
+            mode: tel.mode().to_string(),
+            spec: tel.spec().to_string(),
+            reason: report.verdict.to_string(),
+            resident_bytes: report.stats.snapshot_bytes as u64,
+            spilled_bytes: report.stats.spilled_bytes as u64,
+            checkpoint_path: checkpoint_path.map(|p| p.display().to_string()),
+            faults: capped_faults(report),
+            stats: report.stats.clone(),
+            ring,
+            hotspots,
+            plan: plan.filter(|p| p.is_armed()).map(|p| PlanCapture {
+                seed: p.seed,
+                spec: p.describe(),
+            }),
+        }
+    }
+
+    /// Serialize and atomically replace `path` (temp + fsync + rename,
+    /// like a checkpoint: a crash mid-dump leaves no torn file).
+    pub fn write_to(&self, path: &Path) -> Result<(), DumpError> {
+        Ok(write_atomic_once(path, &self.encode())?)
+    }
+
+    /// Load a dump written by [`PostMortemDump::write_to`], verifying
+    /// magic, version, per-section checksums and the whole-file digest.
+    pub fn read_from(path: &Path) -> Result<PostMortemDump, DumpError> {
+        decode_dump(&fs::read(path)?)
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let sections = [
+            (SEC_META, self.encode_meta()),
+            (SEC_STATS, {
+                let mut w = ByteWriter::new();
+                encode_stats(&mut w, &self.stats);
+                w.into_bytes()
+            }),
+            (SEC_RING, self.encode_ring()),
+            (SEC_HOTSPOTS, self.encode_hotspots()),
+            (SEC_PLAN, self.encode_plan()),
+        ];
+        let mut out = Vec::new();
+        out.extend_from_slice(&DUMP_MAGIC);
+        out.extend_from_slice(&DUMP_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        for (tag, payload) in &sections {
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(payload);
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+        }
+        let digest = crc32(&out);
+        out.extend_from_slice(&digest.to_le_bytes());
+        out
+    }
+
+    fn encode_meta(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_str(&self.mode);
+        w.put_str(&self.spec);
+        w.put_str(&self.reason);
+        w.put_u64(self.resident_bytes);
+        w.put_u64(self.spilled_bytes);
+        match &self.checkpoint_path {
+            None => w.put_bool(false),
+            Some(p) => {
+                w.put_bool(true);
+                w.put_str(p);
+            }
+        }
+        w.put_u32(self.faults.len() as u32);
+        for f in &self.faults {
+            w.put_str(f);
+        }
+        w.into_bytes()
+    }
+
+    fn encode_ring(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.ring.capacity);
+        w.put_u64(self.ring.seen);
+        for c in &self.ring.counts {
+            w.put_u64(*c);
+        }
+        w.put_u32(self.ring.records.len() as u32);
+        for r in &self.ring.records {
+            r.encode(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// The encoded `RING` payload alone — what the determinism test
+    /// compares byte-for-byte across same-seed runs.
+    pub fn ring_section_bytes(&self) -> Vec<u8> {
+        self.encode_ring()
+    }
+
+    fn encode_hotspots(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.hotspots.len() as u32);
+        for h in &self.hotspots {
+            w.put_u32(h.trans);
+            w.put_str(&h.name);
+            w.put_u64(h.fires);
+            w.put_u64(h.fails);
+            w.put_u64(h.nanos);
+        }
+        w.into_bytes()
+    }
+
+    fn encode_plan(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match &self.plan {
+            None => w.put_bool(false),
+            Some(p) => {
+                w.put_bool(true);
+                w.put_u64(p.seed);
+                w.put_str(&p.spec);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Render the human-facing triage view (`tango dump-info`).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "tango post-mortem dump (format v{})", self.version);
+        let _ = writeln!(out, "  mode: {}  spec: {}", self.mode, self.spec);
+        let _ = writeln!(out, "  reason: {}", self.reason);
+        let _ = writeln!(out, "  stats: {}", self.stats);
+        let _ = writeln!(
+            out,
+            "  memory: resident={}B spilled={}B (peaks {}B/{}B)",
+            self.resident_bytes,
+            self.spilled_bytes,
+            self.stats.peak_snapshot_bytes,
+            self.stats.peak_spilled_bytes
+        );
+        let _ = writeln!(
+            out,
+            "  faults: retries={} giveups={}",
+            self.stats.total_fault_retries(),
+            self.stats.total_fault_giveups()
+        );
+        for f in &self.faults {
+            let _ = writeln!(out, "    {}", f);
+        }
+        match &self.checkpoint_path {
+            Some(p) => {
+                let _ = writeln!(out, "  resume from: {}", p);
+            }
+            None => {
+                let _ = writeln!(out, "  resume from: (no checkpoint recorded)");
+            }
+        }
+        match &self.plan {
+            Some(p) => {
+                let _ = writeln!(out, "  chaos: seed={} plan={}", p.seed, p.spec);
+            }
+            None => {
+                let _ = writeln!(out, "  chaos: unarmed");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  flight recorder: {} record(s) retained of {} seen (capacity {})",
+            self.ring.records.len(),
+            self.ring.seen,
+            self.ring.capacity
+        );
+        let _ = writeln!(
+            out,
+            "    lifetime counts: fire={} generate={} restore={} save={} \
+             (final TE={} GE={} RE={} SA={})",
+            self.ring.counts[super::recorder::KIND_FIRE as usize],
+            self.ring.counts[super::recorder::KIND_GENERATE as usize],
+            self.ring.counts[super::recorder::KIND_RESTORE as usize],
+            self.ring.counts[super::recorder::KIND_SAVE as usize],
+            self.stats.transitions_executed,
+            self.stats.generates,
+            self.stats.restores,
+            self.stats.saves
+        );
+        if !self.hotspots.is_empty() {
+            let _ = writeln!(out, "  hot transitions:");
+            for (rank, h) in self.hotspots.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "    {:>2}. {:<24} fires={} fails={} total={:.3}ms",
+                    rank + 1,
+                    h.name,
+                    h.fires,
+                    h.fails,
+                    h.nanos as f64 / 1e6
+                );
+            }
+        }
+        let tail = 10.min(self.ring.records.len());
+        if tail > 0 {
+            let _ = writeln!(out, "  last {} record(s):", tail);
+            for r in &self.ring.records[self.ring.records.len() - tail..] {
+                let _ = writeln!(
+                    out,
+                    "    seq={} {} flag={} depth={} trans={} a={} b={}",
+                    r.seq,
+                    kind_name(r.kind),
+                    r.flag,
+                    r.depth,
+                    r.trans,
+                    r.a,
+                    r.b
+                );
+            }
+        }
+        out
+    }
+
+    /// Render the machine-facing view: one `tango-dump` header line then
+    /// one line per retained flight record, every line a JSON document
+    /// (validated by `bench/json_check --jsonl`).
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"tango-dump\",\"version\":{},\"mode\":\"{}\",\"spec\":\"{}\",\
+             \"reason\":\"{}\",\"te\":{},\"ge\":{},\"re\":{},\"sa\":{},\
+             \"resident_bytes\":{},\"spilled_bytes\":{},\"retries\":{},\"giveups\":{},\
+             \"ring_seen\":{},\"ring_retained\":{},\"ring_capacity\":{}",
+            self.version,
+            json_escape(&self.mode),
+            json_escape(&self.spec),
+            json_escape(&self.reason),
+            self.stats.transitions_executed,
+            self.stats.generates,
+            self.stats.restores,
+            self.stats.saves,
+            self.resident_bytes,
+            self.spilled_bytes,
+            self.stats.total_fault_retries(),
+            self.stats.total_fault_giveups(),
+            self.ring.seen,
+            self.ring.records.len(),
+            self.ring.capacity
+        );
+        if let Some(p) = &self.checkpoint_path {
+            let _ = write!(out, ",\"checkpoint\":\"{}\"", json_escape(p));
+        }
+        if let Some(p) = &self.plan {
+            let _ = write!(
+                out,
+                ",\"chaos_seed\":{},\"chaos_plan\":\"{}\"",
+                p.seed,
+                json_escape(&p.spec)
+            );
+        }
+        out.push_str("}\n");
+        for h in &self.hotspots {
+            let _ = writeln!(
+                out,
+                "{{\"schema\":\"tango-dump-hotspot\",\"trans\":{},\"name\":\"{}\",\
+                 \"fires\":{},\"fails\":{},\"nanos\":{}}}",
+                h.trans,
+                json_escape(&h.name),
+                h.fires,
+                h.fails,
+                h.nanos
+            );
+        }
+        for r in &self.ring.records {
+            let _ = writeln!(
+                out,
+                "{{\"schema\":\"tango-dump-record\",\"seq\":{},\"kind\":\"{}\",\"flag\":{},\
+                 \"depth\":{},\"trans\":{},\"a\":{},\"b\":{}}}",
+                r.seq,
+                kind_name(r.kind),
+                r.flag,
+                r.depth,
+                r.trans,
+                r.a,
+                r.b
+            );
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------- decoding
+
+/// `(tag, payload)` pairs in file order, checksum-verified.
+type Sections<'a> = Vec<(u32, &'a [u8])>;
+
+fn parse_file(bytes: &[u8]) -> Result<(u32, Sections<'_>), DumpError> {
+    let truncated = |context: &str| DumpError::Truncated {
+        context: context.to_string(),
+    };
+    if bytes.len() < DUMP_MAGIC.len() {
+        return Err(truncated("magic"));
+    }
+    if bytes[..DUMP_MAGIC.len()] != DUMP_MAGIC {
+        return Err(DumpError::BadMagic);
+    }
+    fn take<'a>(
+        bytes: &'a [u8],
+        pos: &mut usize,
+        n: usize,
+        context: &str,
+    ) -> Result<&'a [u8], DumpError> {
+        if bytes.len() - *pos < n {
+            return Err(DumpError::Truncated {
+                context: context.to_string(),
+            });
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    }
+    let get_u32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4 bytes"));
+
+    let mut pos = DUMP_MAGIC.len();
+    let version = get_u32(take(bytes, &mut pos, 4, "format version")?);
+    if version != DUMP_FORMAT_VERSION {
+        return Err(DumpError::UnsupportedVersion {
+            found: version,
+            supported: DUMP_FORMAT_VERSION,
+        });
+    }
+    let nsections = get_u32(take(bytes, &mut pos, 4, "section count")?) as usize;
+    let mut sections: Vec<(u32, &[u8], u32)> = Vec::new();
+    for _ in 0..nsections {
+        let tag = get_u32(take(bytes, &mut pos, 4, "section tag")?);
+        let len = u64::from_le_bytes(
+            take(bytes, &mut pos, 8, "section length")?
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let len = usize::try_from(len).map_err(|_| truncated("section payload"))?;
+        let payload = take(bytes, &mut pos, len, "section payload")?;
+        let stored = get_u32(take(bytes, &mut pos, 4, "section checksum")?);
+        sections.push((tag, payload, stored));
+    }
+    let digest_at = pos;
+    let stored_digest = get_u32(take(bytes, &mut pos, 4, "file digest")?);
+    if pos != bytes.len() {
+        return Err(DumpError::Malformed(format!(
+            "{} trailing byte(s) after file digest",
+            bytes.len() - pos
+        )));
+    }
+    for &(tag, payload, stored) in &sections {
+        if crc32(payload) != stored {
+            return Err(DumpError::ChecksumMismatch {
+                section: section_name(tag),
+            });
+        }
+    }
+    if crc32(&bytes[..digest_at]) != stored_digest {
+        return Err(DumpError::ChecksumMismatch { section: "file" });
+    }
+    Ok((
+        version,
+        sections.into_iter().map(|(t, p, _)| (t, p)).collect(),
+    ))
+}
+
+fn find_section<'a>(sections: &[(u32, &'a [u8])], tag: u32) -> Result<&'a [u8], DumpError> {
+    sections
+        .iter()
+        .find(|(t, _)| *t == tag)
+        .map(|(_, p)| *p)
+        .ok_or_else(|| DumpError::Malformed(format!("missing {} section", section_name(tag))))
+}
+
+fn expect_done(r: &ByteReader<'_>, tag: u32) -> Result<(), DumpError> {
+    if r.is_done() {
+        Ok(())
+    } else {
+        Err(DumpError::Malformed(format!(
+            "{} trailing byte(s) in {} section",
+            r.remaining(),
+            section_name(tag)
+        )))
+    }
+}
+
+fn decode_dump(bytes: &[u8]) -> Result<PostMortemDump, DumpError> {
+    let (version, sections) = parse_file(bytes)?;
+
+    let mut r = ByteReader::new(find_section(&sections, SEC_META)?);
+    let mode = r.get_str("dump mode")?;
+    let spec = r.get_str("dump spec")?;
+    let reason = r.get_str("dump reason")?;
+    let resident_bytes = r.get_u64("resident bytes")?;
+    let spilled_bytes = r.get_u64("spilled bytes")?;
+    let checkpoint_path = if r.get_bool("checkpoint-path tag")? {
+        Some(r.get_str("checkpoint path")?)
+    } else {
+        None
+    };
+    let nfaults = r.get_u32("fault count")? as usize;
+    let mut faults = Vec::with_capacity(nfaults.min(64));
+    for _ in 0..nfaults {
+        faults.push(r.get_str("fault diagnostic")?);
+    }
+    expect_done(&r, SEC_META)?;
+
+    let mut r = ByteReader::new(find_section(&sections, SEC_STATS)?);
+    let stats = decode_stats(&mut r)?;
+    expect_done(&r, SEC_STATS)?;
+
+    let mut r = ByteReader::new(find_section(&sections, SEC_RING)?);
+    let capacity = r.get_u32("ring capacity")?;
+    let seen = r.get_u64("ring seen")?;
+    let mut counts = [0u64; KIND_COUNT];
+    for c in &mut counts {
+        *c = r.get_u64("ring kind count")?;
+    }
+    let nrecords = r.get_u32("ring record count")? as usize;
+    if nrecords > capacity as usize {
+        return Err(DumpError::Malformed(format!(
+            "ring holds {} records over its capacity {}",
+            nrecords, capacity
+        )));
+    }
+    let mut records = Vec::with_capacity(nrecords.min(65_536));
+    for _ in 0..nrecords {
+        records.push(FlightRecord::decode(&mut r)?);
+    }
+    expect_done(&r, SEC_RING)?;
+
+    let mut r = ByteReader::new(find_section(&sections, SEC_HOTSPOTS)?);
+    let nhot = r.get_u32("hotspot count")? as usize;
+    let mut hotspots = Vec::with_capacity(nhot.min(1024));
+    for _ in 0..nhot {
+        hotspots.push(HotspotRow {
+            trans: r.get_u32("hotspot transition")?,
+            name: r.get_str("hotspot name")?,
+            fires: r.get_u64("hotspot fires")?,
+            fails: r.get_u64("hotspot fails")?,
+            nanos: r.get_u64("hotspot nanos")?,
+        });
+    }
+    expect_done(&r, SEC_HOTSPOTS)?;
+
+    let mut r = ByteReader::new(find_section(&sections, SEC_PLAN)?);
+    let plan = if r.get_bool("plan tag")? {
+        Some(PlanCapture {
+            seed: r.get_u64("plan seed")?,
+            spec: r.get_str("plan spec")?,
+        })
+    } else {
+        None
+    };
+    expect_done(&r, SEC_PLAN)?;
+
+    Ok(PostMortemDump {
+        version,
+        mode,
+        spec,
+        reason,
+        resident_bytes,
+        spilled_bytes,
+        checkpoint_path,
+        faults,
+        stats,
+        ring: RingCapture {
+            capacity,
+            seen,
+            counts,
+            records,
+        },
+        hotspots,
+        plan,
+    })
+}
+
+/// Map a runtime-error kind to the recorder's error-branch flag code
+/// (shared with the checkpoint codec's on-disk mapping).
+pub(crate) fn error_kind_code(kind: RuntimeErrorKind) -> u8 {
+    kind_to_u8(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verdict::InconclusiveReason;
+
+    fn sample_dump() -> PostMortemDump {
+        PostMortemDump {
+            version: DUMP_FORMAT_VERSION,
+            mode: "dfs".to_string(),
+            spec: "tp0".to_string(),
+            reason: "inconclusive (TransitionLimit)".to_string(),
+            resident_bytes: 4096,
+            spilled_bytes: 0,
+            checkpoint_path: Some("out/tp0.ckpt".to_string()),
+            faults: vec!["spill: torn tail".to_string()],
+            stats: SearchStats {
+                transitions_executed: 100,
+                generates: 60,
+                restores: 40,
+                saves: 40,
+                ..Default::default()
+            },
+            ring: RingCapture {
+                capacity: 4,
+                seen: 9,
+                counts: {
+                    let mut c = [0u64; KIND_COUNT];
+                    c[super::super::recorder::KIND_FIRE as usize] = 9;
+                    c
+                },
+                records: vec![
+                    FlightRecord {
+                        seq: 7,
+                        kind: super::super::recorder::KIND_FIRE,
+                        flag: 1,
+                        depth: 3,
+                        trans: 2,
+                        a: 0,
+                        b: 0,
+                    };
+                    4
+                ],
+            },
+            hotspots: vec![HotspotRow {
+                trans: 2,
+                name: "T3".to_string(),
+                fires: 9,
+                fails: 1,
+                nanos: 12_345,
+            }],
+            plan: Some(PlanCapture {
+                seed: 42,
+                spec: "seed=42,spill.io_error=0.5".to_string(),
+            }),
+        }
+    }
+
+    #[test]
+    fn dump_round_trips_byte_exact() {
+        let d = sample_dump();
+        let bytes = d.encode();
+        let back = decode_dump(&bytes).expect("decodes");
+        assert_eq!(back.mode, d.mode);
+        assert_eq!(back.reason, d.reason);
+        assert_eq!(back.checkpoint_path, d.checkpoint_path);
+        assert_eq!(back.faults, d.faults);
+        assert_eq!(back.stats.transitions_executed, 100);
+        assert_eq!(back.ring, d.ring);
+        assert_eq!(back.hotspots, d.hotspots);
+        assert_eq!(back.plan, d.plan);
+        assert_eq!(back.encode(), bytes, "re-encoding is byte-identical");
+    }
+
+    #[test]
+    fn corruption_is_typed_never_a_panic() {
+        let good = sample_dump().encode();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(decode_dump(&bad_magic), Err(DumpError::BadMagic)));
+
+        let mut future = good.clone();
+        future[8] = 0xEE;
+        assert!(matches!(
+            decode_dump(&future),
+            Err(DumpError::UnsupportedVersion { .. })
+        ));
+
+        assert!(matches!(
+            decode_dump(&good[..good.len() / 2]),
+            Err(DumpError::Truncated { .. })
+        ));
+
+        // Flip a byte inside the META payload (header 16B + tag 4B +
+        // len 8B, then the mode string's length prefix and bytes): the
+        // per-section CRC must name the section.
+        let mut flipped = good.clone();
+        flipped[32] ^= 0x01;
+        assert!(matches!(
+            decode_dump(&flipped),
+            Err(DumpError::ChecksumMismatch { section: "meta" })
+        ));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_dump(&trailing),
+            Err(DumpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn should_dump_covers_every_non_completed_outcome() {
+        use estelle_runtime::RuntimeError;
+        for reason in [
+            InconclusiveReason::TransitionLimit,
+            InconclusiveReason::DepthLimit,
+            InconclusiveReason::PgNodeLimit,
+            InconclusiveReason::TimeLimit,
+            InconclusiveReason::MemoryLimit,
+            InconclusiveReason::SpillFailure,
+        ] {
+            let r = AnalysisReport::new(Verdict::Inconclusive(reason), SearchStats::default());
+            assert!(should_dump(&r), "{:?} must dump", reason);
+        }
+        let clean = AnalysisReport::new(Verdict::Valid, SearchStats::default());
+        assert!(!should_dump(&clean), "clean completion must not dump");
+
+        let mut giveup = AnalysisReport::new(Verdict::Valid, SearchStats::default());
+        giveup.stats.checkpoint_giveups = 1;
+        assert!(should_dump(&giveup), "a chaos giveup dumps even when valid");
+
+        let mut panicked = AnalysisReport::new(Verdict::Invalid, SearchStats::default());
+        panicked.spec_errors.push(RuntimeError {
+            kind: RuntimeErrorKind::Panic,
+            message: "isolated".to_string(),
+            span: None,
+        });
+        assert!(should_dump(&panicked), "an isolated panic dumps");
+        panicked.spec_errors[0].kind = RuntimeErrorKind::DivisionByZero;
+        assert!(
+            !should_dump(&panicked),
+            "ordinary spec errors are part of a conclusive verdict"
+        );
+    }
+
+    #[test]
+    fn fault_lists_are_capped_in_the_dump() {
+        let mut r = AnalysisReport::new(
+            Verdict::Inconclusive(InconclusiveReason::SpillFailure),
+            SearchStats::default(),
+        );
+        r.spill_faults = (0..20).map(|i| format!("fault {}", i)).collect();
+        let faults = capped_faults(&r);
+        assert_eq!(faults.len(), FAULTS_CAP + 1);
+        assert!(faults.last().unwrap().contains("12 more fault(s) elided"));
+    }
+
+    #[test]
+    fn jsonl_rendering_is_line_per_document(
+    ) {
+        let text = sample_dump().render_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 1 + 4, "header + hotspot + 4 records");
+        assert!(lines[0].starts_with("{\"schema\":\"tango-dump\""));
+        assert!(lines[0].contains("\"chaos_seed\":42"));
+        assert!(lines[1].starts_with("{\"schema\":\"tango-dump-hotspot\""));
+        assert!(lines[2].contains("\"kind\":\"fire\""));
+    }
+
+    #[test]
+    fn human_rendering_names_the_resume_checkpoint() {
+        let text = sample_dump().render_human();
+        assert!(text.contains("resume from: out/tp0.ckpt"), "{}", text);
+        assert!(text.contains("reason: inconclusive (TransitionLimit)"));
+        assert!(text.contains("chaos: seed=42"));
+    }
+}

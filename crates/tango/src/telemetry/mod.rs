@@ -29,21 +29,33 @@
 //! survives stop/resume rounds, so a CLI autosave run produces one
 //! continuous stream.
 
+pub mod dump;
 pub mod event;
+pub mod http;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
+pub mod recorder;
 pub mod sink;
 
+pub use dump::{
+    should_dump, DumpError, HotspotRow, PlanCapture, PostMortemDump, RingCapture,
+    DUMP_FORMAT_VERSION, DUMP_MAGIC,
+};
 pub use event::{PruneKind, SearchEvent, TRACE_SCHEMA_VERSION};
+pub use http::{IntrospectHandle, IntrospectionServer, STATUS_SCHEMA_VERSION};
 pub use metrics::{Histogram, MetricsRegistry, METRICS_SCHEMA_VERSION};
 pub use profile::{PgoError, PgoProfile, PgoRow, TransitionProfile, TransitionStats};
 pub use progress::{ProgressMode, ProgressReporter};
+pub use recorder::{FlightRecord, FlightRecorder, DEFAULT_RING_CAPACITY};
 pub use sink::{EventSink, JsonlSink, RingBufferSink};
 
 use crate::stats::SearchStats;
 use crate::verdict::Verdict;
-use std::time::Instant;
+use estelle_runtime::RuntimeErrorKind;
+use event::json_escape;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 /// The per-analysis telemetry handle. `Telemetry::off()` (also
 /// `Default`) disables everything; builders switch on the individual
@@ -54,17 +66,44 @@ pub struct Telemetry {
     metrics: Option<MetricsRegistry>,
     progress: Option<ProgressReporter>,
     profile: Option<TransitionProfile>,
+    /// The black-box ring (cheap enough for the CLI to default on).
+    flight: Option<FlightRecorder>,
+    /// Live endpoint push side, when `--listen` mounted one.
+    introspect: Option<Introspection>,
     /// Merge-order sequence number of the next event.
     seq: u64,
     /// Worker id stamped on every event (MDFS workers; 0 for DFS).
     worker: u16,
-    /// Cached: any of sink/metrics/profile is on (progress is checked
-    /// separately — it ticks even when nothing else is enabled).
+    /// Cached: any of sink/metrics/profile/recorder is on (progress is
+    /// checked separately — it ticks even when nothing else is enabled).
     active: bool,
     /// Cached: fire/generate steps should be timed (profile on, or
-    /// metrics wanting the latency histogram).
+    /// metrics wanting the latency histogram). The flight recorder
+    /// deliberately does NOT set this: it never reads clocks.
     timing: bool,
     meta_emitted: bool,
+    /// Remembered from `begin()` for post-mortem capture.
+    mode: String,
+    spec: String,
+    /// Compiled-transition display names, for dump hot-spot rows and the
+    /// `/profile` endpoint (the ring stores indices only).
+    transition_names: Vec<String>,
+}
+
+/// Push-side state for the live endpoint: rate-limits renders so the
+/// search pays one clock read every few hundred steps, not per step.
+struct Introspection {
+    handle: IntrospectHandle,
+    /// Step counter; the clock is consulted every 256 ticks.
+    ticks: u32,
+    last_push: Instant,
+    every: Duration,
+    /// Previous push's (instant, TE) for the status rate.
+    last_sample: Option<(Instant, u64)>,
+    /// Verdict-so-far shown by `/status` while the search runs.
+    verdict: String,
+    /// Transition cap from the most recent tick, for ETA.
+    cap: u64,
 }
 
 impl Telemetry {
@@ -108,8 +147,43 @@ impl Telemetry {
         self
     }
 
+    /// Enable the flight recorder with a ring of `capacity` records
+    /// (see [`DEFAULT_RING_CAPACITY`]). Recording is allocation-free
+    /// after warm-up and never reads clocks.
+    pub fn with_recorder(mut self, capacity: usize) -> Self {
+        self.flight = Some(FlightRecorder::new(capacity));
+        self.recache();
+        self
+    }
+
+    /// Attach the push side of a live introspection endpoint; status
+    /// (and metrics/profile, when those facilities are on) documents are
+    /// re-rendered into it at most every ~200ms.
+    pub fn with_introspection(mut self, handle: IntrospectHandle) -> Self {
+        self.introspect = Some(Introspection {
+            handle,
+            ticks: 0,
+            last_push: Instant::now(),
+            every: Duration::from_millis(200),
+            last_sample: None,
+            verdict: "running".to_string(),
+            cap: 0,
+        });
+        self
+    }
+
+    /// Provide compiled-transition display names (index → name) for
+    /// dump hot-spot rows and the `/profile` endpoint.
+    pub fn with_transition_names(mut self, names: Vec<String>) -> Self {
+        self.transition_names = names;
+        self
+    }
+
     fn recache(&mut self) {
-        self.active = self.sink.is_some() || self.metrics.is_some() || self.profile.is_some();
+        self.active = self.sink.is_some()
+            || self.metrics.is_some()
+            || self.profile.is_some()
+            || self.flight.is_some();
         self.timing = self.profile.is_some() || self.metrics.is_some();
     }
 
@@ -140,16 +214,30 @@ impl Telemetry {
 
     #[inline]
     fn emit(&mut self, ev: &SearchEvent<'_>) {
+        let mut advanced = false;
+        if let Some(r) = &mut self.flight {
+            r.record(self.seq, ev);
+            advanced = true;
+        }
         if let Some(sink) = &mut self.sink {
             sink.emit(self.seq, self.worker, ev);
+            advanced = true;
+        }
+        if advanced {
             self.seq += 1;
         }
     }
 
     /// Emit the stream's `meta` header once per handle (a resumed or
-    /// multi-round analysis keeps one continuous stream).
+    /// multi-round analysis keeps one continuous stream) and remember
+    /// the mode/spec pair for post-mortem capture.
     pub(crate) fn begin(&mut self, mode: &str, spec: &str) {
-        if self.meta_emitted || self.sink.is_none() {
+        if self.meta_emitted {
+            return;
+        }
+        self.mode = mode.to_string();
+        self.spec = spec.to_string();
+        if self.sink.is_none() && self.flight.is_none() {
             return;
         }
         self.meta_emitted = true;
@@ -242,7 +330,7 @@ impl Telemetry {
     /// Terminal hook of one search: verdict event plus the forced final
     /// heartbeat.
     pub(crate) fn on_verdict(&mut self, verdict: &Verdict, stats: &SearchStats, cap: u64) {
-        if self.sink.is_some() {
+        if self.sink.is_some() || self.flight.is_some() {
             let v = verdict.to_string();
             self.emit(&SearchEvent::Verdict {
                 verdict: &v,
@@ -252,26 +340,174 @@ impl Telemetry {
                 sa: stats.saves,
             });
         }
+        if let Some(i) = &mut self.introspect {
+            i.verdict = verdict.to_string();
+        }
         if let Some(p) = &mut self.progress {
             p.finish(stats, cap);
         }
     }
 
+    /// MDFS only: the interim verdict changed (ValidSoFar ⇄
+    /// LikelyInvalid) — keep `/status` truthful between heartbeats.
+    pub(crate) fn on_interim_verdict(&mut self, verdict: &Verdict) {
+        if let Some(i) = &mut self.introspect {
+            i.verdict = verdict.to_string();
+        }
+    }
+
     /// Per-step progress tick (separate from [`Telemetry::hot`] — a
-    /// progress-only configuration still heartbeats).
+    /// progress-only configuration still heartbeats). Also folds fault
+    /// deltas into the flight recorder and, every few hundred steps,
+    /// refreshes the live endpoint.
     #[inline]
     pub(crate) fn tick(&mut self, stats: &SearchStats, cap: u64) {
         if let Some(p) = &mut self.progress {
             p.tick(stats, cap);
         }
+        if let Some(r) = &mut self.flight {
+            self.seq += r.note_faults(self.seq, stats);
+        }
+        if self.introspect.is_some() {
+            self.introspect_tick(stats, cap, false);
+        }
     }
 
-    /// Fold the analysis's final counters into the metrics registry and
-    /// flush the sink. Call once, with `AnalysisReport::stats` (which is
-    /// cumulative across initial-state-search rounds and stop/resume).
+    /// Rate-limited push of `/status` (plus `/metrics` and `/profile`
+    /// when those facilities are on). The per-step cost while idle is
+    /// one counter bump; the clock is read every 256 steps.
+    fn introspect_tick(&mut self, stats: &SearchStats, cap: u64, force: bool) {
+        let due = {
+            let i = self.introspect.as_mut().expect("introspect checked by caller");
+            i.cap = cap;
+            i.ticks = i.ticks.wrapping_add(1);
+            if !force && i.ticks & 0xFF != 0 {
+                return;
+            }
+            let now = Instant::now();
+            let due = force || now.duration_since(i.last_push) >= i.every;
+            if due {
+                i.last_push = now;
+            }
+            due
+        };
+        if !due {
+            return;
+        }
+        let status = self.render_status_json(stats, force);
+        let profile_json = self.profile.as_ref().map(|p| {
+            let names = &self.transition_names;
+            let mut out = String::from("{\"schema\":\"tango-profile\",\"version\":1,\"rows\":[");
+            for (n, id) in p.ranked().into_iter().take(32).enumerate() {
+                let e = p.entries()[id];
+                if n > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"trans\":{},\"name\":\"{}\",\"fires\":{},\"fails\":{},\"nanos\":{}}}",
+                    id,
+                    json_escape(names.get(id).map(String::as_str).unwrap_or("?")),
+                    e.fires,
+                    e.fails,
+                    e.nanos
+                );
+            }
+            out.push_str("]}");
+            out
+        });
+        let metrics_json = self.metrics.as_mut().map(|m| {
+            m.record_stats(stats);
+            m.to_json()
+        });
+        let i = self.introspect.as_mut().expect("introspect checked above");
+        i.handle.set_status(status);
+        if let Some(p) = profile_json {
+            i.handle.set_profile(p);
+        }
+        if let Some(m) = metrics_json {
+            i.handle.set_metrics(m);
+        }
+        i.last_sample = Some((i.last_push, stats.transitions_executed));
+    }
+
+    /// Render the `/status` document: the progress heartbeat's fields as
+    /// one JSON object.
+    fn render_status_json(&self, stats: &SearchStats, done: bool) -> String {
+        let i = self.introspect.as_ref().expect("introspect checked by caller");
+        let te = stats.transitions_executed;
+        let rate = match i.last_sample {
+            Some((t0, te0)) if te >= te0 => {
+                let dt = i.last_push.duration_since(t0).as_secs_f64();
+                if dt > 0.0 {
+                    (te - te0) as f64 / dt
+                } else {
+                    stats.transitions_per_second()
+                }
+            }
+            _ => stats.transitions_per_second(),
+        };
+        let eta = if done || rate <= 0.0 || i.cap == u64::MAX || i.cap <= te {
+            None
+        } else {
+            Some((i.cap - te) as f64 / rate)
+        };
+        let mut out = format!(
+            "{{\"schema\":\"tango-status\",\"version\":{},\"verdict\":\"{}\",\
+             \"te\":{},\"ge\":{},\"re\":{},\"sa\":{},\"depth\":{},\"rate\":{:.1}",
+            STATUS_SCHEMA_VERSION,
+            json_escape(&i.verdict),
+            te,
+            stats.generates,
+            stats.restores,
+            stats.saves,
+            stats.max_depth,
+            rate
+        );
+        match eta {
+            Some(s) => {
+                let _ = write!(out, ",\"eta_s\":{:.0}", s);
+            }
+            None => out.push_str(",\"eta_s\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"retries\":{},\"giveups\":{},\"resident_bytes\":{},\"spilled_bytes\":{},\
+             \"done\":{}}}",
+            stats.total_fault_retries(),
+            stats.total_fault_giveups(),
+            stats.snapshot_bytes,
+            stats.spilled_bytes,
+            done
+        );
+        out
+    }
+
+    /// A branch was abandoned on a runtime error (including isolated
+    /// panics). Recorder-only: the JSONL event stream's schema is pinned
+    /// and does not carry error branches.
+    #[inline]
+    pub(crate) fn on_error_branch(&mut self, depth: usize, kind: RuntimeErrorKind) {
+        if let Some(r) = &mut self.flight {
+            r.record_error(self.seq, depth, dump::error_kind_code(kind));
+            self.seq += 1;
+        }
+    }
+
+    /// Fold the analysis's final counters into the metrics registry,
+    /// fold trailing fault deltas into the recorder, push the final
+    /// (`done`) status to the live endpoint and flush the sink. Call
+    /// once, with `AnalysisReport::stats` (which is cumulative across
+    /// initial-state-search rounds and stop/resume).
     pub fn finalize(&mut self, stats: &SearchStats) {
         if let Some(m) = &mut self.metrics {
             m.record_stats(stats);
+        }
+        if let Some(r) = &mut self.flight {
+            self.seq += r.note_faults(self.seq, stats);
+        }
+        if self.introspect.is_some() {
+            self.introspect_tick(stats, self.introspect.as_ref().map_or(0, |i| i.cap), true);
         }
         self.flush();
     }
@@ -295,6 +531,26 @@ impl Telemetry {
     /// The transition profile, if enabled.
     pub fn profile(&self) -> Option<&TransitionProfile> {
         self.profile.as_ref()
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Search mode remembered from `begin()` (`""` before any search).
+    pub fn mode(&self) -> &str {
+        &self.mode
+    }
+
+    /// Specification module name remembered from `begin()`.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Display name of a compiled transition, when names were provided.
+    pub fn transition_name(&self, trans: usize) -> Option<&str> {
+        self.transition_names.get(trans).map(String::as_str)
     }
 
     /// Events emitted so far (the next sequence number).

@@ -9,8 +9,29 @@
 //! run leaves one line — CI greps for it.
 
 use crate::stats::SearchStats;
+use std::collections::VecDeque;
 use std::io::Write;
 use std::time::{Duration, Instant};
+
+/// Beat samples retained for the sliding-window rate. Eight beats at
+/// the default interval cover the last ~minute of the run; a slow spill
+/// phase ages out of the window instead of dragging the rate (and the
+/// ETA) down for the rest of a multi-hour analysis.
+const RATE_WINDOW_BEATS: usize = 8;
+
+/// Rate over the sliding window: TE gained between the oldest retained
+/// beat sample `(elapsed_secs, te)` and the current `(t, te)` point,
+/// divided by their time span. `None` when there is no prior sample,
+/// the span is zero, or the counter moved backwards (callers fall back
+/// to the lifetime average).
+fn window_rate(window: &VecDeque<(f64, u64)>, t: f64, te: u64) -> Option<f64> {
+    let &(t0, te0) = window.front()?;
+    if t > t0 && te >= te0 {
+        Some((te - te0) as f64 / (t - t0))
+    } else {
+        None
+    }
+}
 
 /// Output format of a heartbeat line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,7 +52,8 @@ pub struct ProgressReporter {
     out: Box<dyn Write + Send>,
     started: Instant,
     last_beat: Instant,
-    last_te: u64,
+    /// The last [`RATE_WINDOW_BEATS`] beat samples, oldest first.
+    window: VecDeque<(f64, u64)>,
 }
 
 impl ProgressReporter {
@@ -45,7 +67,7 @@ impl ProgressReporter {
             out,
             started: now,
             last_beat: now,
-            last_te: 0,
+            window: VecDeque::with_capacity(RATE_WINDOW_BEATS + 1),
         }
     }
 
@@ -70,28 +92,25 @@ impl ProgressReporter {
     }
 
     fn beat(&mut self, now: Instant, stats: &SearchStats, max_transitions: u64, done: bool) {
-        let dt = now.duration_since(self.last_beat).as_secs_f64();
+        let t = now.duration_since(self.started).as_secs_f64();
         let te = stats.transitions_executed;
-        // Interval rate when the window is meaningful, lifetime average
-        // otherwise (first beat, or the forced final one right after a
-        // periodic beat).
-        let rate = if dt > 1e-3 && te >= self.last_te {
-            (te - self.last_te) as f64 / dt
-        } else {
-            let total = now.duration_since(self.started).as_secs_f64();
-            if total > 0.0 {
-                te as f64 / total
+        // Sliding-window rate when the window is meaningful, lifetime
+        // average otherwise (first beat, or a forced final beat in the
+        // same instant as a periodic one).
+        let rate = window_rate(&self.window, t, te).unwrap_or_else(|| {
+            if t > 0.0 {
+                te as f64 / t
             } else {
                 0.0
             }
-        };
+        });
         let eta_s = if done || rate <= 0.0 || te >= max_transitions {
             0.0
         } else {
             (max_transitions - te) as f64 / rate
         };
         self.last_beat = now;
-        self.last_te = te;
+        self.push_sample(t, te);
         // Spill-tier fields appear only once the tier did something, so
         // spill-off heartbeats keep their exact historical shape (and
         // the pinned line prefixes).
@@ -161,6 +180,14 @@ impl ProgressReporter {
         };
         let _ = self.out.write_all(line.as_bytes());
         let _ = self.out.flush();
+    }
+
+    /// Append one beat sample and evict beyond the window capacity.
+    fn push_sample(&mut self, t: f64, te: u64) {
+        self.window.push_back((t, te));
+        while self.window.len() > RATE_WINDOW_BEATS {
+            self.window.pop_front();
+        }
     }
 }
 
@@ -292,6 +319,52 @@ mod tests {
         p.finish(&s, 100);
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert!(text.contains("\"retries\":6,\"done\":true"), "{}", text);
+    }
+
+    #[test]
+    fn window_rate_follows_the_recent_phase_after_eviction() {
+        let buf = Shared::default();
+        let mut p = ProgressReporter::new(
+            ProgressMode::Human,
+            Duration::from_secs(3600),
+            Box::new(buf.clone()),
+        );
+        // A slow phase: one TE every 10 seconds for 8 beats …
+        for i in 0..8u64 {
+            p.push_sample(i as f64 * 10.0, i);
+        }
+        // … then a fast phase of 100 TE/s. Eight fast beats evict every
+        // slow sample (eviction is what distinguishes the window from a
+        // cumulative average).
+        for j in 0..8u64 {
+            p.push_sample(80.0 + j as f64, 7 + (j + 1) * 100);
+        }
+        assert_eq!(p.window.len(), 8, "window is capped");
+        assert_eq!(
+            *p.window.front().unwrap(),
+            (80.0, 107),
+            "slow-phase samples must have aged out"
+        );
+        let rate = window_rate(&p.window, 88.0, 907).unwrap();
+        assert!(
+            (rate - 100.0).abs() < 1e-9,
+            "window rate must be the fast phase's 100/s, not the \
+             cumulative ~10/s; got {rate}"
+        );
+    }
+
+    #[test]
+    fn window_rate_falls_back_when_the_window_is_unusable() {
+        let empty = VecDeque::new();
+        assert!(window_rate(&empty, 5.0, 100).is_none(), "no prior sample");
+        let mut w = VecDeque::new();
+        w.push_back((5.0, 100));
+        assert!(window_rate(&w, 5.0, 200).is_none(), "zero time span");
+        assert!(
+            window_rate(&w, 6.0, 50).is_none(),
+            "TE moved backwards (resumed handle)"
+        );
+        assert_eq!(window_rate(&w, 7.0, 300), Some(100.0));
     }
 
     #[test]

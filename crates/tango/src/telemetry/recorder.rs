@@ -1,0 +1,431 @@
+//! The flight recorder: an always-affordable black box for searches.
+//!
+//! Unlike the opt-in facilities in this module, the recorder is designed
+//! to be **default on**: a fixed-capacity ring of compact binary records
+//! over the [`SearchEvent`] stream plus fault/retry deltas. Its storage
+//! is fully pre-allocated at construction — recording one event is a
+//! bounds-masked store into a `Vec<FlightRecord>` (no allocation, no
+//! clock read, no formatting), so a multi-hour run pays the same few
+//! nanoseconds per step from first event to last.
+//!
+//! The ring retains the *tail* of the run — the part that explains a
+//! verdict — while lifetime per-kind counters retain the whole story in
+//! aggregate: after any non-resumed analysis, `fires()` equals the final
+//! TE, `generates()` GE, `restores()` RE and `saves()` SA, which is the
+//! cross-check `dump-info` prints next to the dumped `SearchStats`.
+//! [`super::dump`] freezes the ring into the `RING` section of a
+//! `.tangodump` post-mortem file.
+
+use super::event::{PruneKind, SearchEvent};
+use crate::stats::SearchStats;
+use estelle_runtime::{ByteReader, ByteWriter, CodecError};
+
+/// Default ring capacity (records), used by the CLI's always-on
+/// recorder. 2048 compact records cover the last few thousand search
+/// steps in ~64 KiB.
+pub const DEFAULT_RING_CAPACITY: usize = 2048;
+
+/// Record kinds. These are *recorder* codes, not the event-stream
+/// schema: the ring additionally records error branches and fault
+/// retries, which the JSONL stream does not carry.
+pub const KIND_META: u8 = 0;
+pub const KIND_GENERATE: u8 = 1;
+pub const KIND_FIRE: u8 = 2;
+pub const KIND_SAVE: u8 = 3;
+pub const KIND_RESTORE: u8 = 4;
+pub const KIND_PRUNE: u8 = 5;
+pub const KIND_PARK: u8 = 6;
+pub const KIND_CHECKPOINT: u8 = 7;
+pub const KIND_VERDICT: u8 = 8;
+pub const KIND_ERROR: u8 = 9;
+pub const KIND_FAULT: u8 = 10;
+/// Number of distinct record kinds (size of the per-kind count table).
+pub const KIND_COUNT: usize = 11;
+
+/// Fault sites for [`KIND_FAULT`] records (`flag` field).
+pub const FAULT_SITE_SOURCE: u8 = 1;
+pub const FAULT_SITE_SPILL: u8 = 2;
+pub const FAULT_SITE_CHECKPOINT: u8 = 3;
+
+pub(crate) fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        KIND_META => "meta",
+        KIND_GENERATE => "generate",
+        KIND_FIRE => "fire",
+        KIND_SAVE => "save",
+        KIND_RESTORE => "restore",
+        KIND_PRUNE => "prune",
+        KIND_PARK => "park",
+        KIND_CHECKPOINT => "checkpoint",
+        KIND_VERDICT => "verdict",
+        KIND_ERROR => "error",
+        KIND_FAULT => "fault",
+        _ => "unknown",
+    }
+}
+
+/// One compact, fixed-size flight record. Strings never enter the ring
+/// (that would allocate on the hot path); transitions are recorded by
+/// index and resolved to names at dump-rendering time.
+///
+/// Field meaning by kind:
+///
+/// | kind       | `flag`            | `trans` | `a`            | `b`        |
+/// |------------|-------------------|---------|----------------|------------|
+/// | meta       | —                 | —       | —              | —          |
+/// | generate   | incomplete        | —       | fanout         | —          |
+/// | fire       | fired             | index   | —              | —          |
+/// | save       | interned          | —       | bytes          | resident   |
+/// | restore    | —                 | —       | —              | —          |
+/// | prune      | 0=hash 1=barren   | —       | —              | —          |
+/// | park       | —                 | —       | pg_nodes       | —          |
+/// | checkpoint | —                 | —       | TE at save     | —          |
+/// | verdict    | —                 | —       | TE             | GE         |
+/// | error      | runtime-error kind| —       | —              | —          |
+/// | fault      | site (1/2/3)      | —       | retries delta  | giveups Δ  |
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlightRecord {
+    pub seq: u64,
+    pub kind: u8,
+    pub flag: u8,
+    pub depth: u32,
+    pub trans: u32,
+    pub a: u64,
+    pub b: u64,
+}
+
+impl FlightRecord {
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.seq);
+        w.put_u8(self.kind);
+        w.put_u8(self.flag);
+        w.put_u32(self.depth);
+        w.put_u32(self.trans);
+        w.put_u64(self.a);
+        w.put_u64(self.b);
+    }
+
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<FlightRecord, CodecError> {
+        Ok(FlightRecord {
+            seq: r.get_u64("flight record seq")?,
+            kind: r.get_u8("flight record kind")?,
+            flag: r.get_u8("flight record flag")?,
+            depth: r.get_u32("flight record depth")?,
+            trans: r.get_u32("flight record trans")?,
+            a: r.get_u64("flight record a")?,
+            b: r.get_u64("flight record b")?,
+        })
+    }
+}
+
+/// The fixed-capacity event ring plus lifetime per-kind counters.
+pub struct FlightRecorder {
+    /// Pre-allocated ring storage; `len <= capacity` during warm-up,
+    /// then a plain overwrite at `head`.
+    ring: Vec<FlightRecord>,
+    capacity: usize,
+    /// Next write position (== oldest record once the ring is full).
+    head: usize,
+    /// Records written over the recorder's lifetime (including
+    /// overwritten ones).
+    seen: u64,
+    /// Lifetime counts per record kind — the TE/GE/RE/SA cross-check.
+    counts: [u64; KIND_COUNT],
+    /// Last-observed per-site fault counters, so the recorder can turn
+    /// the monotone `SearchStats` counters into delta records without
+    /// hooks inside the retry loops themselves.
+    last_faults: [(u64, u64); 3],
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            ring: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            seen: 0,
+            counts: [0; KIND_COUNT],
+            last_faults: [(0, 0); 3],
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, rec: FlightRecord) {
+        self.seen += 1;
+        self.counts[usize::from(rec.kind.min(KIND_COUNT as u8 - 1))] += 1;
+        if self.ring.len() < self.capacity {
+            // Warm-up: the only allocations the recorder ever performs
+            // happen while filling the pre-reserved ring the first time.
+            self.ring.push(rec);
+            self.head = self.ring.len() % self.capacity;
+        } else {
+            self.ring[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Record one search event (called from the [`super::Telemetry`]
+    /// emit path with the event's merge-order sequence number).
+    pub(crate) fn record(&mut self, seq: u64, ev: &SearchEvent<'_>) {
+        let rec = match ev {
+            SearchEvent::Meta { .. } => FlightRecord {
+                seq,
+                kind: KIND_META,
+                ..FlightRecord::default()
+            },
+            SearchEvent::Generate {
+                depth,
+                fanout,
+                incomplete,
+            } => FlightRecord {
+                seq,
+                kind: KIND_GENERATE,
+                flag: u8::from(*incomplete),
+                depth: *depth as u32,
+                a: *fanout as u64,
+                ..FlightRecord::default()
+            },
+            SearchEvent::Fire {
+                depth,
+                trans,
+                fired,
+                ..
+            } => FlightRecord {
+                seq,
+                kind: KIND_FIRE,
+                flag: u8::from(*fired),
+                depth: *depth as u32,
+                trans: *trans as u32,
+                ..FlightRecord::default()
+            },
+            SearchEvent::Save {
+                depth,
+                bytes,
+                interned,
+                resident,
+            } => FlightRecord {
+                seq,
+                kind: KIND_SAVE,
+                flag: u8::from(*interned),
+                depth: *depth as u32,
+                a: *bytes as u64,
+                b: *resident as u64,
+                ..FlightRecord::default()
+            },
+            SearchEvent::Restore { depth } => FlightRecord {
+                seq,
+                kind: KIND_RESTORE,
+                depth: *depth as u32,
+                ..FlightRecord::default()
+            },
+            SearchEvent::Prune { depth, kind } => FlightRecord {
+                seq,
+                kind: KIND_PRUNE,
+                flag: match kind {
+                    PruneKind::Hash => 0,
+                    PruneKind::Barren => 1,
+                },
+                depth: *depth as u32,
+                ..FlightRecord::default()
+            },
+            SearchEvent::Park { depth, pg_nodes } => FlightRecord {
+                seq,
+                kind: KIND_PARK,
+                depth: *depth as u32,
+                a: *pg_nodes,
+                ..FlightRecord::default()
+            },
+            SearchEvent::Checkpoint { te, .. } => FlightRecord {
+                seq,
+                kind: KIND_CHECKPOINT,
+                a: *te,
+                ..FlightRecord::default()
+            },
+            SearchEvent::Verdict { te, ge, .. } => FlightRecord {
+                seq,
+                kind: KIND_VERDICT,
+                a: *te,
+                b: *ge,
+                ..FlightRecord::default()
+            },
+        };
+        self.push(rec);
+    }
+
+    /// Record a panic-isolated (or other runtime-error) branch abort.
+    pub(crate) fn record_error(&mut self, seq: u64, depth: usize, kind_code: u8) {
+        self.push(FlightRecord {
+            seq,
+            kind: KIND_ERROR,
+            flag: kind_code,
+            depth: depth as u32,
+            ..FlightRecord::default()
+        });
+    }
+
+    /// Fold the monotone fault counters of `stats` into delta records —
+    /// one per site whose retries or giveups advanced since the last
+    /// call. Called from the per-step tick, so the cost when nothing
+    /// changed is six integer compares. Returns how many records were
+    /// pushed (the caller advances its sequence counter by this).
+    pub(crate) fn note_faults(&mut self, mut seq: u64, stats: &SearchStats) -> u64 {
+        let start = seq;
+        let sites = [
+            (FAULT_SITE_SOURCE, stats.source_retries, stats.source_giveups),
+            (FAULT_SITE_SPILL, stats.spill_retries, stats.spill_giveups),
+            (
+                FAULT_SITE_CHECKPOINT,
+                stats.checkpoint_retries,
+                stats.checkpoint_giveups,
+            ),
+        ];
+        for (site, retries, giveups) in sites {
+            let slot = &mut self.last_faults[usize::from(site) - 1];
+            if retries > slot.0 || giveups > slot.1 {
+                let rec = FlightRecord {
+                    seq,
+                    kind: KIND_FAULT,
+                    flag: site,
+                    a: retries - slot.0,
+                    b: giveups - slot.1,
+                    ..FlightRecord::default()
+                };
+                *slot = (retries, giveups);
+                self.push(rec);
+                seq += 1;
+            }
+        }
+        seq - start
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records written over the recorder's lifetime, including those the
+    /// ring has already overwritten.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Lifetime count of one record kind.
+    pub fn count(&self, kind: u8) -> u64 {
+        self.counts[usize::from(kind.min(KIND_COUNT as u8 - 1))]
+    }
+
+    /// Lifetime fire records — equals the final TE of a non-resumed
+    /// analysis (a run resumed from an on-disk checkpoint carries TE
+    /// from before this process, which the recorder never saw).
+    pub fn fires(&self) -> u64 {
+        self.count(KIND_FIRE)
+    }
+
+    pub fn generates(&self) -> u64 {
+        self.count(KIND_GENERATE)
+    }
+
+    pub fn restores(&self) -> u64 {
+        self.count(KIND_RESTORE)
+    }
+
+    pub fn saves(&self) -> u64 {
+        self.count(KIND_SAVE)
+    }
+
+    /// The per-kind lifetime count table, indexed by record kind.
+    pub fn counts(&self) -> &[u64; KIND_COUNT] {
+        &self.counts
+    }
+
+    /// The retained tail, oldest record first.
+    pub fn records(&self) -> Vec<FlightRecord> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        if self.ring.len() < self.capacity {
+            out.extend_from_slice(&self.ring);
+        } else {
+            out.extend_from_slice(&self.ring[self.head..]);
+            out.extend_from_slice(&self.ring[..self.head]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fire(seq: u64, depth: usize) -> SearchEvent<'static> {
+        SearchEvent::Fire {
+            depth,
+            trans: seq as usize,
+            name: "t",
+            observable: None,
+            fired: true,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_keeps_lifetime_counts() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.record(i, &fire(i, i as usize));
+        }
+        assert_eq!(r.seen(), 10);
+        assert_eq!(r.fires(), 10);
+        let recs = r.records();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].seq, 6, "oldest retained record");
+        assert_eq!(recs[3].seq, 9, "newest record");
+    }
+
+    #[test]
+    fn warm_up_fills_in_order_without_wrap() {
+        let mut r = FlightRecorder::new(8);
+        for i in 0..3 {
+            r.record(i, &SearchEvent::Restore { depth: i as usize });
+        }
+        let recs = r.records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!((recs[0].seq, recs[2].seq), (0, 2));
+        assert_eq!(r.restores(), 3);
+    }
+
+    #[test]
+    fn fault_deltas_recorded_once_per_advance() {
+        let mut r = FlightRecorder::new(8);
+        let mut s = SearchStats::default();
+        r.note_faults(0, &s);
+        assert_eq!(r.count(KIND_FAULT), 0, "no change, no record");
+        s.spill_retries = 3;
+        r.note_faults(1, &s);
+        r.note_faults(2, &s);
+        assert_eq!(r.count(KIND_FAULT), 1, "idempotent until counters move");
+        let rec = r.records()[0];
+        assert_eq!(rec.flag, FAULT_SITE_SPILL);
+        assert_eq!(rec.a, 3, "delta, not absolute");
+        s.spill_retries = 5;
+        s.checkpoint_giveups = 1;
+        r.note_faults(3, &s);
+        assert_eq!(r.count(KIND_FAULT), 3);
+    }
+
+    #[test]
+    fn record_round_trips_through_the_codec() {
+        let rec = FlightRecord {
+            seq: 7,
+            kind: KIND_SAVE,
+            flag: 1,
+            depth: 12,
+            trans: 0,
+            a: 4096,
+            b: 65536,
+        };
+        let mut w = ByteWriter::new();
+        rec.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(FlightRecord::decode(&mut r).unwrap(), rec);
+        assert_eq!(r.remaining(), 0);
+    }
+}

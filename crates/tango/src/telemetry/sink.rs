@@ -5,9 +5,10 @@
 //! id — sinks see events in merge order and never reorder them. Two
 //! implementations ship: [`JsonlSink`] streams rendered lines into any
 //! writer (a file for `--trace-out`, a `Vec<u8>` in tests), and
-//! [`RingBufferSink`] keeps the last N rendered lines in memory — the
-//! "flight recorder" for long searches where only the tail explains a
-//! verdict.
+//! [`RingBufferSink`] keeps the last N *rendered lines* in memory.
+//! (The always-on black box over compact binary records is the
+//! [`super::recorder::FlightRecorder`], which needs no sink at all;
+//! a ring of rendered JSONL is for tests and ad-hoc tooling.)
 
 use super::event::SearchEvent;
 use std::collections::VecDeque;
