@@ -172,6 +172,37 @@ wait "$LISTEN_PID" && { echo "expected a TimeLimit (exit 2) stop"; exit 1; } || 
 grep -q "post-mortem dump written" "$CKPT_DIR/online.err"
 cargo run -q --release -p tango-cli -- dump-info "$CKPT_DIR/online.tangodump" > /dev/null
 
+echo "== multi-core MDFS smoke (work-stealing online search) =="
+# The same on-line analysis at 1 and 4 workers must print the identical
+# verdict/counter line on the heavyweight LAPD spec — the work-stealing
+# schedule may never leak into the verdict or TE/GE/RE/SA. Then a
+# 4-worker run stopped on a transition limit after eof must checkpoint a
+# worker-split front that checkpoint-info can describe and that resumes
+# at a different worker count to the uninterrupted totals; the library
+# suite runs the full worker matrix first.
+cargo test -q --test mdfs_parallel
+printf 'in U.dl_est_req\nin L.ua\nin U.dl_data_req(0)\nin U.dl_data_req(1)\nin U.dl_data_req(2)\n' \
+    > "$CKPT_DIR/lapd-script.txt"
+cargo run -q --release -p tango-cli -- generate specs/lapd.est "$CKPT_DIR/lapd-script.txt" \
+    > "$CKPT_DIR/lapd-trace.txt"
+cargo run -q --release -p tango-cli -- online specs/lapd.est "$CKPT_DIR/lapd-trace.txt" \
+    --workers 1 > "$CKPT_DIR/online-w1.txt"
+cargo run -q --release -p tango-cli -- online specs/lapd.est "$CKPT_DIR/lapd-trace.txt" \
+    --workers 4 > "$CKPT_DIR/online-w4.txt"
+[ -n "$(verdict_and_counters "$CKPT_DIR/online-w1.txt")" ]
+[ "$(verdict_and_counters "$CKPT_DIR/online-w1.txt")" = "$(verdict_and_counters "$CKPT_DIR/online-w4.txt")" ]
+cargo run -q --release -p tango-cli -- online specs/lapd.est "$CKPT_DIR/lapd-trace.txt" \
+    --workers 4 --max-transitions 5 --checkpoint-file "$CKPT_DIR/online.ckpt" \
+    && { echo "expected an inconclusive (exit 2) stop"; exit 1; } || [ "$?" -eq 2 ]
+cargo run -q --release -p tango-cli -- checkpoint-info "$CKPT_DIR/online.ckpt" \
+    > "$CKPT_DIR/online-info.txt"
+grep -q "mode: mdfs" "$CKPT_DIR/online-info.txt"
+grep -q "workers at save: 4" "$CKPT_DIR/online-info.txt"
+grep -q "worker 0: deque=" "$CKPT_DIR/online-info.txt"
+cargo run -q --release -p tango-cli -- online specs/lapd.est --resume "$CKPT_DIR/online.ckpt" \
+    --workers 2 > "$CKPT_DIR/online-resumed.txt"
+[ "$(verdict_and_counters "$CKPT_DIR/online-w1.txt")" = "$(verdict_and_counters "$CKPT_DIR/online-resumed.txt")" ]
+
 echo "== exec A/B differential smoke =="
 # Compiled VM vs. tree-walking interpreter must agree everywhere; the
 # dedicated suite checks fireable sets, verdicts, counters, telemetry

@@ -26,7 +26,7 @@ use estelle_runtime::ExecMode;
 use protocols::synthetic::SyntheticSpec;
 use protocols::{lapd, tp0};
 use tango::{
-    AnalysisOptions, ChoicePolicy, OrderOptions, Telemetry, Trace, TraceAnalyzer,
+    AnalysisOptions, ChoicePolicy, OrderOptions, StaticSource, Telemetry, Trace, TraceAnalyzer,
     DEFAULT_RING_CAPACITY,
 };
 
@@ -295,6 +295,57 @@ fn recorder_overhead(w: &Workload) -> (f64, f64) {
     (best_on, best_off)
 }
 
+/// One worker-count row of the multi-core MDFS scaling record.
+struct ScaleRow {
+    workers: usize,
+    wall_seconds: f64,
+    nodes_per_sec: f64,
+    counters: (u64, u64, u64, u64),
+    verdict: String,
+}
+
+/// Work-stealing MDFS scaling on the backtracking-heavy invalid TP0
+/// trace (the §3.1 NR regime, where the search re-expands millions of
+/// nodes): the same analysis at 1/2/4/8 workers. Counters must be
+/// bit-identical across every row; the wall-clock column is only a
+/// scaling measurement where the host actually has cores to scale onto.
+fn mdfs_scaling(quick: bool) -> (String, usize, Vec<ScaleRow>) {
+    let up = if quick { 3 } else { 4 };
+    let name = format!("tp0-invalid-{0}+{0}-NR", up);
+    let analyzer = tp0::analyzer();
+    let trace = tp0::invalidate_last_data(&tp0::complete_valid_trace(up, up, 13))
+        .expect("complete trace ends in DATA");
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let mut options = AnalysisOptions::with_order(OrderOptions::none());
+        options.workers = workers;
+        let mut src = StaticSource::new(trace.clone());
+        let t = std::time::Instant::now();
+        let r = analyzer
+            .analyze_online(&mut src, &options, &mut |_| true)
+            .expect("analysis runs");
+        let secs = t.elapsed().as_secs_f64();
+        rows.push(ScaleRow {
+            workers,
+            wall_seconds: secs,
+            nodes_per_sec: if secs > 0.0 {
+                r.stats.transitions_executed as f64 / secs
+            } else {
+                0.0
+            },
+            counters: (
+                r.stats.transitions_executed,
+                r.stats.generates,
+                r.stats.restores,
+                r.stats.saves,
+            ),
+            verdict: r.verdict.to_string(),
+        });
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (name, cores, rows)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--check") {
@@ -312,6 +363,15 @@ fn main() {
         }
         if !text.contains("\"benchmark\": \"generate_exec\"") {
             eprintln!("generate_exec --check: {}: not a generate_exec record", path);
+            std::process::exit(1);
+        }
+        if !text.contains("\"mdfs_scaling\"") || !text.contains("\"scaling_gate_ok\": true") {
+            eprintln!(
+                "generate_exec --check: {}: missing a passing mdfs_scaling record \
+                 (identical counters at every worker count, and >=1.7x nodes/sec at \
+                 4 workers on hosts with >=4 cores)",
+                path
+            );
             std::process::exit(1);
         }
         println!("{}: well-formed generate_exec record", path);
@@ -416,17 +476,96 @@ fn main() {
         overhead_row.name, on_nps, off_nps, ratio
     );
 
+    // Multi-core MDFS: 1/2/4/8-worker rows over the same search. The
+    // counter gate is unconditional (the work-stealing schedule may
+    // never leak into TE/GE/RE/SA); the throughput gate only binds
+    // where the host has the cores to show it — on fewer cores the
+    // workers time-slice one CPU and the honest measurement is the
+    // bounded coordination overhead, not a speedup.
+    let (scale_name, cores, scale_rows) = mdfs_scaling(quick);
+    let base = &scale_rows[0];
+    for r in &scale_rows {
+        println!(
+            "{:>24} {:>2} workers {:>10.3}s {:>12.0} nodes/s",
+            scale_name, r.workers, r.wall_seconds, r.nodes_per_sec
+        );
+        assert_eq!(
+            (r.counters, &r.verdict),
+            (base.counters, &base.verdict),
+            "{}: {} workers changed the verdict or a TE/GE/RE/SA counter",
+            scale_name,
+            r.workers
+        );
+    }
+    let four = scale_rows
+        .iter()
+        .find(|r| r.workers == 4)
+        .expect("4-worker row");
+    let speedup_4w = if base.nodes_per_sec > 0.0 {
+        four.nodes_per_sec / base.nodes_per_sec
+    } else {
+        0.0
+    };
+    println!(
+        "{}: 4 workers = {:.2}x single-worker nodes/s on {} core(s)",
+        scale_name, speedup_4w, cores
+    );
+    if !quick {
+        if cores >= 4 {
+            assert!(
+                speedup_4w >= 1.7,
+                "acceptance gate: expected >=1.7x nodes/sec at 4 workers on a \
+                 {}-core host, got {:.2}x",
+                cores,
+                speedup_4w
+            );
+        } else {
+            assert!(
+                speedup_4w >= 1.0 / 1.6,
+                "acceptance gate: 4-worker coordination overhead on a {}-core host \
+                 must stay under 1.6x single-worker wall time, got {:.2}x",
+                cores,
+                1.0 / speedup_4w.max(1e-9)
+            );
+        }
+    }
+    let scale_json = scale_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"workers\": {}, \"wall_seconds\": {}, \"nodes_per_sec\": {}, \
+                 \"te\": {}, \"ge\": {}, \"re\": {}, \"sa\": {}, \"verdict\": \"{}\"}}",
+                r.workers,
+                json::number(r.wall_seconds),
+                json::number(r.nodes_per_sec),
+                r.counters.0,
+                r.counters.1,
+                r.counters.2,
+                r.counters.3,
+                json::escape(&r.verdict)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let doc = format!(
         "{{\n  \"benchmark\": \"generate_exec\",\n  \"quick\": {},\n  \
          \"recorder_overhead\": {{\"workload\": \"{}\", \
          \"on_nodes_per_sec\": {}, \"off_nodes_per_sec\": {}, \
          \"ratio\": {}, \"counters_match\": true}},\n  \
+         \"mdfs_scaling\": {{\"workload\": \"{}\", \"cores\": {}, \
+         \"speedup_4_workers\": {}, \"counters_match\": true, \
+         \"scaling_gate_ok\": true,\n    \"rows\": [\n{}\n    ]}},\n  \
          \"workloads\": [\n{}\n  ]\n}}\n",
         quick,
         json::escape(&overhead_row.name),
         json::number(on_nps),
         json::number(off_nps),
         json::number(ratio),
+        json::escape(&scale_name),
+        cores,
+        json::number(speedup_4w),
+        scale_json,
         rows.join(",\n")
     );
     json::validate(&doc).expect("emitted record is well-formed JSON");

@@ -115,7 +115,8 @@ fn usage() -> String {
      <spec.est|checkpoint.bin|file.tangodump|host:port/path> \
      [trace.txt|script.txt] [--order nr|io|ip|full] [--disable-ip NAME] \
      [--unobserved-ip NAME] [--initial-state-search] [--state-hashing] \
-     [--cow=on|off] [--exec=auto|compiled|interp] [--max-seconds F] [--max-mem N[k|m|g][b]] \
+     [--cow=on|off] [--exec=auto|compiled|interp] [--workers N] \
+     [--max-seconds F] [--max-mem N[k|m|g][b]] \
      [--spill=on|off|auto] [--spill-dir PATH] \
      [--max-transitions N] [--checkpoint-file PATH] [--checkpoint-every N] \
      [--resume PATH] [--on-truncate restart|fail] [--seed N] \
@@ -281,12 +282,6 @@ struct CheckpointFlags {
     resume: Option<PathBuf>,
     /// Autosave interval, in executed transitions.
     every: Option<u64>,
-}
-
-impl CheckpointFlags {
-    fn any(&self) -> bool {
-        self.file.is_some() || self.resume.is_some() || self.every.is_some()
-    }
 }
 
 /// Telemetry flags (both modes): structured event stream, metrics
@@ -595,6 +590,18 @@ fn parse_options(
             flag if flag.starts_with("--exec=") => {
                 options.exec_mode = flag["--exec=".len()..].parse()?;
             }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a count (0 = one per core)")?;
+                options.workers = v
+                    .parse()
+                    .map_err(|_| format!("bad --workers value `{}`", v))?;
+            }
+            flag if flag.starts_with("--workers=") => {
+                let v = &flag["--workers=".len()..];
+                options.workers = v
+                    .parse()
+                    .map_err(|_| format!("bad --workers value `{}`", v))?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{}`", flag));
             }
@@ -616,11 +623,21 @@ fn parse_options(
 
 fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
     let (mut options, recovery, ckpt, tflags, positional, chaos) = parse_options(args)?;
-    if online && ckpt.any() {
-        return Err(
-            "--checkpoint-file/--resume/--checkpoint-every apply to static `analyze` only"
-                .to_string(),
-        );
+    if online {
+        // On-line mode defaults to one worker per core; `--workers 1`
+        // opts back into the single-threaded search.
+        let explicit = args
+            .iter()
+            .any(|a| a == "--workers" || a.starts_with("--workers="));
+        if !explicit {
+            options.workers = 0;
+        }
+        // `--checkpoint-file`/`--resume` work on-line too (save on a limit
+        // stop, resume an eof-reached front); only the autosave round loop
+        // is static-only.
+        if ckpt.every.is_some() {
+            return Err("--checkpoint-every applies to static `analyze` only".to_string());
+        }
     }
     if online && chaos.is_some() {
         return Err(
@@ -669,25 +686,49 @@ fn analyze(args: &[String], online: bool) -> Result<ExitCode, String> {
     let (mut tel, _server) = tflags.build(&analyzer)?;
 
     let report = if online {
-        let trace_path = trace_path.ok_or_else(usage)?;
-        let mut src = FollowFileSource::new(trace_path, Some(analyzer.module().clone()))
-            .with_recovery(recovery);
-        let report = analyzer
-            .analyze_online_with(
-                &mut src,
-                &options,
-                &mut |v| {
-                    println!("interim: {}", v);
-                    true
-                },
-                &mut tel,
-            )
-            .map_err(|e| e.to_string())?;
-        if src.skipped_lines() > 0 {
-            eprintln!(
-                "warning: {} unparseable trace line(s) skipped",
-                src.skipped_lines()
-            );
+        let mut on_status = |v: &Verdict| {
+            println!("interim: {}", v);
+            true
+        };
+        let report = match &ckpt.resume {
+            Some(path) => {
+                let cp = Checkpoint::read_from(path).map_err(|e| e.to_string())?;
+                analyzer
+                    .analyze_online_resume_with(cp, &options, &mut on_status, &mut tel)
+                    .map_err(|e| e.to_string())?
+            }
+            None => {
+                let trace_path = trace_path.ok_or_else(usage)?;
+                let mut src =
+                    FollowFileSource::new(trace_path, Some(analyzer.module().clone()))
+                        .with_recovery(recovery);
+                let report = analyzer
+                    .analyze_online_with(&mut src, &options, &mut on_status, &mut tel)
+                    .map_err(|e| e.to_string())?;
+                if src.skipped_lines() > 0 {
+                    eprintln!(
+                        "warning: {} unparseable trace line(s) skipped",
+                        src.skipped_lines()
+                    );
+                }
+                report
+            }
+        };
+        // A limit stop after eof carries a resumable multi-worker front;
+        // persist it like static mode's autosave (single-shot, no rounds).
+        if let (Some(path), Some(cp)) = (&ckpt.file, report.checkpoint.as_deref()) {
+            let out = cp.write_to_with(path, &RetryPolicy::checkpoint(), None);
+            match out.result {
+                Ok(()) => tel.on_checkpoint(
+                    cp.stats().transitions_executed,
+                    &path.display().to_string(),
+                ),
+                Err(e) => eprintln!(
+                    "warning: checkpoint save to {} failed: {}",
+                    path.display(),
+                    e
+                ),
+            }
         }
         report
     } else {
@@ -930,6 +971,16 @@ fn checkpoint_info(path: &str) -> Result<ExitCode, String> {
         .map_err(|e| format!("{}: {}", path, e))?;
     println!("checkpoint: {}", path);
     println!("  format version: {}", info.version);
+    println!("  mode: {}", info.mode);
+    if let Some(n) = info.workers_at_save {
+        println!("  workers at save: {}", n);
+        let deque: usize = info.worker_loads.iter().map(|&(d, _)| d).sum();
+        let parked: usize = info.worker_loads.iter().map(|&(_, p)| p).sum();
+        println!("  front: {} deque node(s), {} parked node(s)", deque, parked);
+        for (i, &(d, p)) in info.worker_loads.iter().enumerate() {
+            println!("    worker {}: deque={} parked={}", i, d, p);
+        }
+    }
     println!("  depth: {}", info.depth);
     println!("  pending frames: {}", info.pending_frames);
     println!("  events: {}", info.events_total);

@@ -171,7 +171,7 @@ fn flight_recorder_off_is_observably_identical_minus_the_dump() {
 }
 
 #[test]
-fn checkpoint_info_reports_codec_v3_fault_counters() {
+fn checkpoint_info_reports_fault_counters() {
     let dir = tmpdir("ckpt-info");
     let (spec, trace) = write_inputs(&dir, 8);
     let ckpt = dir.join("state.bin");
@@ -190,7 +190,7 @@ fn checkpoint_info_reports_codec_v3_fault_counters() {
     assert_eq!(info.status.code(), Some(0), "{}", stderr_of(&info));
     let text = stdout_of(&info);
     for needle in [
-        "format version: 3",
+        "format version: 4",
         "source faults: retries=0 giveups=0",
         "spill faults: retries=0 giveups=0",
         "checkpoint faults: retries=0 giveups=0",

@@ -7,7 +7,7 @@
 //! ([`TraceAnalyzer::analyze_online`]), supports the runtime options of
 //! §2.4, and doubles as an implementation generator (§4.1's methodology).
 
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, CheckpointBody};
 use crate::error::TangoError;
 use crate::genimpl::{run_implementation, ChoicePolicy, ScriptedInput};
 use crate::options::AnalysisOptions;
@@ -234,7 +234,15 @@ impl TraceAnalyzer {
         checkpoint
             .validate_against(self.module(), self.machine.module.transition_count())
             .map_err(|m| TangoError::Env(crate::env::EnvError(format!("resume: {}", m))))?;
-        let Checkpoint { dfs, trace, stats } = checkpoint;
+        let Checkpoint { body, trace, stats } = checkpoint;
+        let dfs = match body {
+            CheckpointBody::Dfs(dfs) => dfs,
+            CheckpointBody::Mdfs(_) => {
+                return Err(TangoError::Env(crate::env::EnvError(
+                    "resume: on-line (MDFS) checkpoint — use analyze_online_resume".into(),
+                )))
+            }
+        };
         let mut stats = stats;
         tel.begin("dfs", &self.module().module_name);
         let mut env = TraceEnv::new(self.module(), trace.clone(), options, false)?;
@@ -269,6 +277,60 @@ impl TraceAnalyzer {
         run_mdfs(&self.machine, self.module(), source, options, on_status, tel)
     }
 
+    /// Continue an on-line analysis stopped on a resource limit.
+    ///
+    /// Only checkpoints saved *after* the trace source reached end-of-file
+    /// are resumable (before eof the remaining events are unknowable, so a
+    /// saved front could not be replayed faithfully). The checkpoint may be
+    /// resumed at a different worker count than it was saved at: the saved
+    /// search front is redistributed over the resolved worker set.
+    pub fn analyze_online_resume(
+        &self,
+        checkpoint: Checkpoint,
+        options: &AnalysisOptions,
+        on_status: &mut dyn FnMut(&Verdict) -> bool,
+    ) -> Result<AnalysisReport, TangoError> {
+        self.analyze_online_resume_with(checkpoint, options, on_status, &mut Telemetry::off())
+    }
+
+    /// [`TraceAnalyzer::analyze_online_resume`] with a telemetry handle.
+    pub fn analyze_online_resume_with(
+        &self,
+        checkpoint: Checkpoint,
+        options: &AnalysisOptions,
+        on_status: &mut dyn FnMut(&Verdict) -> bool,
+        tel: &mut Telemetry,
+    ) -> Result<AnalysisReport, TangoError> {
+        checkpoint
+            .validate_against(self.module(), self.machine.module.transition_count())
+            .map_err(|m| TangoError::Env(crate::env::EnvError(format!("resume: {}", m))))?;
+        let Checkpoint { body, trace, stats } = checkpoint;
+        let mdfs = match body {
+            CheckpointBody::Mdfs(m) => m,
+            CheckpointBody::Dfs(_) => {
+                return Err(TangoError::Env(crate::env::EnvError(
+                    "resume: static (DFS) checkpoint — use analyze_resume".into(),
+                )))
+            }
+        };
+        if !mdfs.eof {
+            return Err(TangoError::Env(crate::env::EnvError(
+                "resume: only eof-reached on-line checkpoints are resumable".into(),
+            )));
+        }
+        tel.begin("mdfs", &self.module().module_name);
+        crate::search::mdfs::resume_mdfs(
+            &self.machine,
+            self.module(),
+            mdfs,
+            trace,
+            stats,
+            options,
+            on_status,
+            tel,
+        )
+    }
+
     /// Implementation-generation mode (§4.1 methodology): execute the
     /// specification against scripted inputs, logging a valid trace.
     pub fn generate_trace(
@@ -301,7 +363,7 @@ fn report_from_outcome(
     }
     if let Some(dfs) = outcome.checkpoint {
         report.checkpoint = Some(Box::new(Checkpoint {
-            dfs,
+            body: CheckpointBody::Dfs(dfs),
             trace: trace.clone(),
             stats: report.stats.clone(),
         }));

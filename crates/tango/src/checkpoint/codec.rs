@@ -20,8 +20,11 @@
 //! ```
 //!
 //! Sections: `META` (progress numbers + [`SearchStats`], readable without
-//! touching the machine state), `TRACE` (the resolved trace), `STATES`
-//! (the deduplicated machine-state table) and `DFS` (the frozen search).
+//! touching the machine state), `TRACE` (the resolved trace), then the
+//! frozen search itself — for a static checkpoint `STATES` (the
+//! deduplicated machine-state table) and `DFS`; for an on-line
+//! (multi-worker MDFS) checkpoint a single `MDFS` section holding every
+//! worker's deque and parked PG-nodes with their states inline.
 //!
 //! **COW dedup is preserved on disk.** In-memory, frames whose saves were
 //! interned share one `Rc<MachineState>`; the encoder writes each unique
@@ -44,7 +47,7 @@
 //!
 //! [`SnapshotStore::rebuild`]: crate::search::snapshot::SnapshotStore::rebuild
 
-use super::Checkpoint;
+use super::{Checkpoint, CheckpointBody, MdfsCheckpoint, MdfsNodeCkpt, MdfsWorkerCkpt};
 use crate::env::Cursors;
 use crate::search::dfs::{DfsCheckpoint, Frame};
 use crate::search::snapshot::{FxBuildHasher, SavedState, Slot};
@@ -73,13 +76,19 @@ pub const MAGIC: [u8; 8] = *b"TANGOCKP";
 /// Version 2 added the spill counters to the stats block and the
 /// explicit charges-state flag to each DFS frame. Version 3 added the
 /// per-site fault counters (source/checkpoint retries and giveups,
-/// spill giveups) to the stats block.
-pub const FORMAT_VERSION: u32 = 3;
+/// spill giveups) to the stats block. Version 4 added the work-stealing
+/// counters to the stats block, the mode byte (+ per-worker load table)
+/// to `META`, and the `MDFS` section for on-line checkpoints.
+pub const FORMAT_VERSION: u32 = 4;
 
 const SEC_META: u32 = 1;
 const SEC_TRACE: u32 = 2;
 const SEC_STATES: u32 = 3;
 const SEC_DFS: u32 = 4;
+const SEC_MDFS: u32 = 5;
+
+const MODE_DFS: u8 = 0;
+const MODE_MDFS: u8 = 1;
 
 fn section_name(tag: u32) -> &'static str {
     match tag {
@@ -87,6 +96,7 @@ fn section_name(tag: u32) -> &'static str {
         SEC_TRACE => "trace",
         SEC_STATES => "states",
         SEC_DFS => "dfs",
+        SEC_MDFS => "mdfs",
         _ => "unknown",
     }
 }
@@ -164,12 +174,19 @@ impl From<CodecError> for CheckpointError {
 pub struct CheckpointInfo {
     /// Format version of the file.
     pub version: u32,
+    /// `"dfs"` for a static-mode checkpoint, `"mdfs"` for an on-line one.
+    pub mode: &'static str,
     /// Depth of the search path at the stop point.
     pub depth: usize,
     /// Saved backtracking frames awaiting exploration.
     pub pending_frames: usize,
     /// Checkable events in the trace under analysis.
     pub events_total: usize,
+    /// Worker count of the saving run (`mdfs` checkpoints only).
+    pub workers_at_save: Option<u32>,
+    /// Per-worker `(deque, parked)` node counts of the saving run
+    /// (`mdfs` checkpoints only; empty for `dfs`).
+    pub worker_loads: Vec<(usize, usize)>,
     /// Counters accumulated up to the stop.
     pub stats: SearchStats,
 }
@@ -268,33 +285,41 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
 // ------------------------------------------------------------- encoding
 
 fn encode_checkpoint(cp: &Checkpoint) -> Result<Vec<u8>, CheckpointError> {
-    // Unique-state table: frames whose saves were interned share a
-    // snapshot slot, so slot identity recovers the dedup the snapshot
-    // store established. Each unique snapshot is written once. The
-    // search makes every frame resident before checkpointing; a spilled
-    // frame here means that read-back failed, which is not encodable.
-    let mut order: Vec<Rc<MachineState>> = Vec::new();
-    let mut index: HashMap<usize, u32> = HashMap::new();
-    for f in &cp.dfs.stack {
-        let slot = f.state.slot_id();
-        if let std::collections::hash_map::Entry::Vacant(e) = index.entry(slot) {
-            let rc = f.state.resident_state().ok_or_else(|| {
-                CheckpointError::Malformed(
-                    "cannot encode a checkpoint while a frame's snapshot is spilled to disk"
-                        .to_string(),
-                )
-            })?;
-            e.insert(order.len() as u32);
-            order.push(rc);
+    let sections = match &cp.body {
+        CheckpointBody::Dfs(dfs) => {
+            // Unique-state table: frames whose saves were interned share a
+            // snapshot slot, so slot identity recovers the dedup the snapshot
+            // store established. Each unique snapshot is written once. The
+            // search makes every frame resident before checkpointing; a spilled
+            // frame here means that read-back failed, which is not encodable.
+            let mut order: Vec<Rc<MachineState>> = Vec::new();
+            let mut index: HashMap<usize, u32> = HashMap::new();
+            for f in &dfs.stack {
+                let slot = f.state.slot_id();
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(slot) {
+                    let rc = f.state.resident_state().ok_or_else(|| {
+                        CheckpointError::Malformed(
+                            "cannot encode a checkpoint while a frame's snapshot is spilled to disk"
+                                .to_string(),
+                        )
+                    })?;
+                    e.insert(order.len() as u32);
+                    order.push(rc);
+                }
+            }
+            vec![
+                (SEC_META, encode_meta(cp)),
+                (SEC_TRACE, encode_trace(&cp.trace)),
+                (SEC_STATES, encode_states(&order)),
+                (SEC_DFS, encode_dfs(dfs, &index)),
+            ]
         }
-    }
-
-    let sections = [
-        (SEC_META, encode_meta(cp)),
-        (SEC_TRACE, encode_trace(&cp.trace)),
-        (SEC_STATES, encode_states(&order)),
-        (SEC_DFS, encode_dfs(&cp.dfs, &index)),
-    ];
+        CheckpointBody::Mdfs(m) => vec![
+            (SEC_META, encode_meta(cp)),
+            (SEC_TRACE, encode_trace(&cp.trace)),
+            (SEC_MDFS, encode_mdfs(m)),
+        ],
+    };
 
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
@@ -313,10 +338,22 @@ fn encode_checkpoint(cp: &Checkpoint) -> Result<Vec<u8>, CheckpointError> {
 
 fn encode_meta(cp: &Checkpoint) -> Vec<u8> {
     let mut w = ByteWriter::new();
-    w.put_usize(cp.dfs.depth());
-    w.put_usize(cp.dfs.pending_frames());
-    w.put_usize(cp.dfs.events_total());
+    w.put_usize(cp.depth());
+    w.put_usize(cp.pending_frames());
+    w.put_usize(cp.events_total());
     encode_stats(&mut w, &cp.stats);
+    match &cp.body {
+        CheckpointBody::Dfs(_) => w.put_u8(MODE_DFS),
+        CheckpointBody::Mdfs(m) => {
+            w.put_u8(MODE_MDFS);
+            w.put_u32(m.workers_at_save);
+            w.put_u32(m.workers.len() as u32);
+            for wk in &m.workers {
+                w.put_usize(wk.deque.len());
+                w.put_usize(wk.parked.len());
+            }
+        }
+    }
     w.into_bytes()
 }
 
@@ -350,6 +387,8 @@ pub(crate) fn encode_stats(w: &mut ByteWriter, s: &SearchStats) {
     w.put_u64(s.checkpoint_retries);
     w.put_u64(s.checkpoint_giveups);
     w.put_u64(s.spill_giveups);
+    w.put_u64(s.steals);
+    w.put_u64(s.steal_failures);
 }
 
 fn encode_trace(trace: &ResolvedTrace) -> Vec<u8> {
@@ -507,6 +546,45 @@ fn encode_dfs(dfs: &DfsCheckpoint, index: &HashMap<usize, u32>) -> Vec<u8> {
     w.into_bytes()
 }
 
+fn encode_mdfs_node(w: &mut ByteWriter, n: &MdfsNodeCkpt) {
+    encode_state(w, &n.state);
+    encode_cursors(w, &n.cursors);
+    w.put_u32(n.tried.len() as u32);
+    for &t in &n.tried {
+        w.put_usize(t);
+    }
+    w.put_u32(n.blocked.len() as u32);
+    for &t in &n.blocked {
+        w.put_usize(t);
+    }
+    w.put_usize(n.barren);
+    encode_path(w, &n.path);
+}
+
+fn encode_mdfs_nodes(w: &mut ByteWriter, nodes: &[MdfsNodeCkpt]) {
+    w.put_u32(nodes.len() as u32);
+    for n in nodes {
+        encode_mdfs_node(w, n);
+    }
+}
+
+/// The frozen multi-worker search front. Unlike `DFS`, states are inline
+/// per node (MDFS nodes own their snapshots; there is no intern table to
+/// reconstruct) — the store dedup is re-established by the resuming run's
+/// own saves.
+fn encode_mdfs(m: &MdfsCheckpoint) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(m.workers_at_save);
+    w.put_bool(m.eof);
+    w.put_u32(m.workers.len() as u32);
+    for wk in &m.workers {
+        encode_mdfs_nodes(&mut w, &wk.deque);
+        encode_mdfs_nodes(&mut w, &wk.parked);
+    }
+    encode_mdfs_nodes(&mut w, &m.pg_prior);
+    w.into_bytes()
+}
+
 // ------------------------------------------------------------- decoding
 
 /// A section's tag and raw payload, CRC-verified by [`parse_file`].
@@ -629,16 +707,27 @@ fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
     let trace = decode_trace(&mut r)?;
     expect_done(&r, SEC_TRACE)?;
 
-    let mut r = ByteReader::new(find_section(&sections, SEC_STATES)?);
-    let states = decode_states(&mut r)?;
-    expect_done(&r, SEC_STATES)?;
+    let body = match info.mode {
+        "mdfs" => {
+            let mut r = ByteReader::new(find_section(&sections, SEC_MDFS)?);
+            let m = decode_mdfs(&mut r)?;
+            expect_done(&r, SEC_MDFS)?;
+            CheckpointBody::Mdfs(m)
+        }
+        _ => {
+            let mut r = ByteReader::new(find_section(&sections, SEC_STATES)?);
+            let states = decode_states(&mut r)?;
+            expect_done(&r, SEC_STATES)?;
 
-    let mut r = ByteReader::new(find_section(&sections, SEC_DFS)?);
-    let dfs = decode_dfs(&mut r, &states)?;
-    expect_done(&r, SEC_DFS)?;
+            let mut r = ByteReader::new(find_section(&sections, SEC_DFS)?);
+            let dfs = decode_dfs(&mut r, &states)?;
+            expect_done(&r, SEC_DFS)?;
+            CheckpointBody::Dfs(dfs)
+        }
+    };
 
     Ok(Checkpoint {
-        dfs,
+        body,
         trace,
         stats: info.stats,
     })
@@ -649,11 +738,34 @@ fn decode_meta(r: &mut ByteReader<'_>, version: u32) -> Result<CheckpointInfo, C
     let pending_frames = r.get_usize("pending frames")?;
     let events_total = r.get_usize("events total")?;
     let stats = decode_stats(r)?;
+    let (mode, workers_at_save, worker_loads) = match r.get_u8("mode")? {
+        MODE_DFS => ("dfs", None, Vec::new()),
+        MODE_MDFS => {
+            let workers_at_save = r.get_u32("workers at save")?;
+            let n = r.get_u32("worker load count")? as usize;
+            let mut loads = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let deque = r.get_usize("worker deque length")?;
+                let parked = r.get_usize("worker parked length")?;
+                loads.push((deque, parked));
+            }
+            ("mdfs", Some(workers_at_save), loads)
+        }
+        other => {
+            return Err(CheckpointError::Malformed(format!(
+                "unknown checkpoint mode {}",
+                other
+            )))
+        }
+    };
     Ok(CheckpointInfo {
         version,
+        mode,
         depth,
         pending_frames,
         events_total,
+        workers_at_save,
+        worker_loads,
         stats,
     })
 }
@@ -686,6 +798,8 @@ pub(crate) fn decode_stats(r: &mut ByteReader<'_>) -> Result<SearchStats, CodecE
         checkpoint_retries: r.get_u64("checkpoint retries")?,
         checkpoint_giveups: r.get_u64("checkpoint giveups")?,
         spill_giveups: r.get_u64("spill giveups")?,
+        steals: r.get_u64("steals")?,
+        steal_failures: r.get_u64("steal failures")?,
     })
 }
 
@@ -910,6 +1024,59 @@ fn decode_dfs(
     })
 }
 
+fn decode_mdfs_node(r: &mut ByteReader<'_>) -> Result<MdfsNodeCkpt, CheckpointError> {
+    let state = decode_state(r)?;
+    let cursors = decode_cursors(r)?;
+    let nt = r.get_u32("tried count")? as usize;
+    let mut tried = Vec::with_capacity(nt.min(1024));
+    for _ in 0..nt {
+        tried.push(r.get_usize("tried transition")?);
+    }
+    let nb = r.get_u32("blocked count")? as usize;
+    let mut blocked = Vec::with_capacity(nb.min(1024));
+    for _ in 0..nb {
+        blocked.push(r.get_usize("blocked transition")?);
+    }
+    let barren = r.get_usize("node barren count")?;
+    let path = decode_path(r)?;
+    Ok(MdfsNodeCkpt {
+        state,
+        cursors,
+        tried,
+        blocked,
+        barren,
+        path,
+    })
+}
+
+fn decode_mdfs_nodes(r: &mut ByteReader<'_>) -> Result<Vec<MdfsNodeCkpt>, CheckpointError> {
+    let n = r.get_u32("node count")? as usize;
+    let mut nodes = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        nodes.push(decode_mdfs_node(r)?);
+    }
+    Ok(nodes)
+}
+
+fn decode_mdfs(r: &mut ByteReader<'_>) -> Result<MdfsCheckpoint, CheckpointError> {
+    let workers_at_save = r.get_u32("workers at save")?;
+    let eof = r.get_bool("eof flag")?;
+    let nw = r.get_u32("worker count")? as usize;
+    let mut workers = Vec::with_capacity(nw.min(1024));
+    for _ in 0..nw {
+        let deque = decode_mdfs_nodes(r)?;
+        let parked = decode_mdfs_nodes(r)?;
+        workers.push(MdfsWorkerCkpt { deque, parked });
+    }
+    let pg_prior = decode_mdfs_nodes(r)?;
+    Ok(MdfsCheckpoint {
+        workers_at_save,
+        eof,
+        workers,
+        pg_prior,
+    })
+}
+
 // --------------------------------------------------------- atomic write
 
 /// The temp-file sibling one atomic write stages into before the rename
@@ -995,6 +1162,8 @@ mod tests {
             checkpoint_retries: 4,
             checkpoint_giveups: 2,
             spill_giveups: 3,
+            steals: 31,
+            steal_failures: 6,
         };
         let mut w = ByteWriter::new();
         encode_stats(&mut w, &s);
@@ -1013,6 +1182,8 @@ mod tests {
         assert_eq!(back.checkpoint_retries, s.checkpoint_retries);
         assert_eq!(back.checkpoint_giveups, s.checkpoint_giveups);
         assert_eq!(back.spill_giveups, s.spill_giveups);
+        assert_eq!(back.steals, s.steals);
+        assert_eq!(back.steal_failures, s.steal_failures);
     }
 
     #[test]

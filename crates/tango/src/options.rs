@@ -170,6 +170,14 @@ pub struct AnalysisOptions {
     /// nothing. Threaded through options so a multi-session daemon can
     /// mount one endpoint per analysis.
     pub listen: Option<String>,
+    /// On-line MDFS search workers (CLI `--workers N`). `1` (the
+    /// default) runs the single-threaded search unchanged; `0` means
+    /// "one per available core"; `N > 1` runs N true workers over
+    /// per-worker work-stealing deques and the sharded snapshot store.
+    /// Verdicts and the TE/GE/RE/SA counters are identical at every
+    /// worker count (see DESIGN §6.13 for the determinism argument);
+    /// only wall time differs. Static DFS ignores this knob.
+    pub workers: usize,
     pub limits: SearchLimits,
 }
 
@@ -187,6 +195,7 @@ impl Default for AnalysisOptions {
             exec_mode: ExecMode::Auto,
             spill: SpillOptions::default(),
             listen: None,
+            workers: 1,
             limits: SearchLimits::default(),
         }
     }
@@ -214,6 +223,15 @@ impl AnalysisOptions {
         self.unobserved_ips.insert(name.to_ascii_lowercase());
         self.policy = UndefinedPolicy::Propagate;
         self
+    }
+
+    /// The effective MDFS worker count: `workers`, with `0` resolved to
+    /// the number of available cores (at least 1).
+    pub fn resolved_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
     }
 }
 
@@ -258,5 +276,19 @@ mod tests {
             !o.spill.enabled(Some(1 << 20)),
             "a bare memory budget must keep its kill-switch semantics"
         );
+        assert_eq!(
+            o.workers, 1,
+            "library callers get the single-threaded search unless they opt in"
+        );
+    }
+
+    #[test]
+    fn resolved_worker_count_interprets_zero_as_auto() {
+        let mut o = AnalysisOptions::default();
+        assert_eq!(o.resolved_workers(), 1);
+        o.workers = 4;
+        assert_eq!(o.resolved_workers(), 4);
+        o.workers = 0;
+        assert!(o.resolved_workers() >= 1, "auto is at least one worker");
     }
 }

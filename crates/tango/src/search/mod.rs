@@ -16,6 +16,7 @@ pub mod dfs;
 pub mod mdfs;
 pub(crate) mod snapshot;
 pub mod spill;
+pub(crate) mod store;
 
 use crate::stats::SearchStats;
 use estelle_runtime::{RuntimeError, RuntimeErrorKind};

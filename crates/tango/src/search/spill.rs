@@ -55,13 +55,12 @@
 
 use estelle_runtime::codec::{decode_state, encode_state};
 use estelle_runtime::{ByteReader, ByteWriter, MachineState};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{self, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::checkpoint::codec::crc32;
@@ -188,7 +187,7 @@ struct SegmentRecord {
 /// a trait so fault injection can sit between the tier and the
 /// filesystem.
 #[allow(clippy::len_without_is_empty)]
-pub trait SpillMedium {
+pub trait SpillMedium: Send {
     /// Append `data` at end-of-file.
     fn append(&mut self, data: &[u8]) -> io::Result<()>;
     /// Read exactly `buf.len()` bytes starting at `offset`.
@@ -200,7 +199,7 @@ pub trait SpillMedium {
 }
 
 /// A directory of numbered segments.
-pub trait SpillDir {
+pub trait SpillDir: Send {
     /// Open segment `id` for appending, creating it if absent.
     fn create_segment(&mut self, id: u32) -> io::Result<Box<dyn SpillMedium>>;
     /// Open an existing segment `id` for reading.
@@ -336,7 +335,7 @@ fn due(op: u64, every: u64) -> bool {
 pub struct FaultySpillDir {
     inner: Box<dyn SpillDir>,
     plan: SpillFaultPlan,
-    counters: Rc<RefCell<FaultCounters>>,
+    counters: Arc<Mutex<FaultCounters>>,
 }
 
 impl FaultySpillDir {
@@ -344,7 +343,7 @@ impl FaultySpillDir {
         FaultySpillDir {
             inner,
             plan,
-            counters: Rc::new(RefCell::new(FaultCounters::default())),
+            counters: Arc::new(Mutex::new(FaultCounters::default())),
         }
     }
 
@@ -352,7 +351,7 @@ impl FaultySpillDir {
         Box::new(FaultyMedium {
             inner: medium,
             plan: self.plan,
-            counters: Rc::clone(&self.counters),
+            counters: Arc::clone(&self.counters),
         })
     }
 }
@@ -374,13 +373,13 @@ impl SpillDir for FaultySpillDir {
 struct FaultyMedium {
     inner: Box<dyn SpillMedium>,
     plan: SpillFaultPlan,
-    counters: Rc<RefCell<FaultCounters>>,
+    counters: Arc<Mutex<FaultCounters>>,
 }
 
 impl SpillMedium for FaultyMedium {
     fn append(&mut self, data: &[u8]) -> io::Result<()> {
         let op = {
-            let mut c = self.counters.borrow_mut();
+            let mut c = self.counters.lock().expect("fault counter lock");
             c.appends += 1;
             c.appends
         };
@@ -401,7 +400,7 @@ impl SpillMedium for FaultyMedium {
 
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         let op = {
-            let mut c = self.counters.borrow_mut();
+            let mut c = self.counters.lock().expect("fault counter lock");
             c.reads += 1;
             c.reads
         };
@@ -975,6 +974,33 @@ impl SpillOptions {
         let root = self.dir.clone().unwrap_or_else(|| {
             std::env::temp_dir().join(format!("tango-spill-{}", std::process::id()))
         });
+        let fs_dir: Box<dyn SpillDir> = Box::new(FsSpillDir::new(root));
+        let dir: Box<dyn SpillDir> = match self.fault_plan {
+            Some(plan) => Box::new(FaultySpillDir::new(fs_dir, plan)),
+            None => fs_dir,
+        };
+        SpillTier::open(dir, self.max_segment_bytes, self.retries).map(Some)
+    }
+
+    /// [`SpillOptions::build_tier`] rooted at `<dir>/<subdir>` — one
+    /// independent tier per snapshot-store shard, so shard evictions
+    /// never contend on a shared segment writer. Each shard tier gets
+    /// its own fault-injection sequence from the same plan.
+    pub(crate) fn build_tier_at(
+        &self,
+        max_state_bytes: Option<usize>,
+        subdir: &str,
+    ) -> Result<Option<SpillTier>, SpillError> {
+        if !self.enabled(max_state_bytes) {
+            return Ok(None);
+        }
+        let root = self
+            .dir
+            .clone()
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("tango-spill-{}", std::process::id()))
+            })
+            .join(subdir);
         let fs_dir: Box<dyn SpillDir> = Box::new(FsSpillDir::new(root));
         let dir: Box<dyn SpillDir> = match self.fault_plan {
             Some(plan) => Box::new(FaultySpillDir::new(fs_dir, plan)),

@@ -87,6 +87,12 @@ pub struct SearchStats {
     /// Spill operations abandoned after exhausting retries (the search
     /// then degrades to `Inconclusive(SpillFailure)`).
     pub spill_giveups: u64,
+    /// Search nodes taken from *another* worker's deque (multi-worker
+    /// MDFS only; always 0 single-threaded).
+    pub steals: u64,
+    /// Steal sweeps that found every other deque empty (the worker then
+    /// parked until new work appeared or the burst ended).
+    pub steal_failures: u64,
 }
 
 impl SearchStats {
@@ -157,6 +163,8 @@ impl SearchStats {
         self.checkpoint_retries += other.checkpoint_retries;
         self.checkpoint_giveups += other.checkpoint_giveups;
         self.spill_giveups += other.spill_giveups;
+        self.steals += other.steals;
+        self.steal_failures += other.steal_failures;
     }
 
     /// Faults absorbed by retrying, across every site — the number the
@@ -293,6 +301,21 @@ mod tests {
             6 + 8 + 4,
             "heartbeat total spans source+spill+checkpoint"
         );
+    }
+
+    #[test]
+    fn absorb_sums_steal_counters() {
+        let mut total = SearchStats::default();
+        for _ in 0..2 {
+            let round = SearchStats {
+                steals: 7,
+                steal_failures: 2,
+                ..Default::default()
+            };
+            total.absorb(&round);
+        }
+        assert_eq!(total.steals, 14);
+        assert_eq!(total.steal_failures, 4);
     }
 
     #[test]

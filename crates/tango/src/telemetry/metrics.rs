@@ -122,7 +122,9 @@ fn json_number(x: f64) -> String {
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
+    // Gauge names are owned: worker-indexed series (`mdfs.worker3.…`)
+    // are built at runtime, unlike the fixed counter/histogram names.
+    gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<&'static str, Histogram>,
 }
 
@@ -143,8 +145,8 @@ impl MetricsRegistry {
     }
 
     /// Set a gauge.
-    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
-        self.gauges.insert(name, value);
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
     }
 
     /// Record one histogram sample; the histogram is created with
@@ -195,6 +197,13 @@ impl MetricsRegistry {
             "search.peak_snapshot_bytes",
             stats.peak_snapshot_bytes as f64,
         );
+        // Work-stealing series appear only when a steal was attempted
+        // (i.e. the run actually had ≥2 workers), so single-worker runs
+        // export a byte-identical document.
+        if stats.steals + stats.steal_failures > 0 {
+            self.set_counter("mdfs.steals", stats.steals);
+            self.set_counter("mdfs.steal_failures", stats.steal_failures);
+        }
         // Spill-tier series appear only when the tier did something, so
         // spill-off runs export a byte-identical document.
         if stats.spill_writes + stats.spill_reads + stats.spill_evictions > 0 {

@@ -147,6 +147,23 @@ impl Telemetry {
         self
     }
 
+    /// Switch the worker id stamped on subsequent events in place. The
+    /// multi-worker MDFS coordinator replays each worker's buffered
+    /// events through the one (non-`Send`) telemetry handle, setting
+    /// the id per batch so the merged stream stays attributable.
+    pub(crate) fn set_worker(&mut self, worker: u16) {
+        self.worker = worker;
+    }
+
+    /// Record the run's search worker count; surfaced on progress
+    /// heartbeats (` workers=N`, only when N > 1, so single-worker
+    /// heartbeats keep their exact historical shape).
+    pub(crate) fn set_workers(&mut self, n: usize) {
+        if let Some(p) = &mut self.progress {
+            p.set_workers(n);
+        }
+    }
+
     /// Enable the flight recorder with a ring of `capacity` records
     /// (see [`DEFAULT_RING_CAPACITY`]). Recording is allocation-free
     /// after warm-up and never reads clocks.
@@ -251,12 +268,26 @@ impl Telemetry {
         incomplete: bool,
         t0: Option<Instant>,
     ) {
+        let lat_us = t0.map(|t| t.elapsed().as_secs_f64() * 1e6);
+        self.on_generate_dur(depth, fanout, incomplete, lat_us);
+    }
+
+    /// [`Telemetry::on_generate`] with the latency pre-measured —
+    /// worker threads time their own steps and the coordinator replays
+    /// them here, so the duration must not be re-read from a clock.
+    pub(crate) fn on_generate_dur(
+        &mut self,
+        depth: usize,
+        fanout: usize,
+        incomplete: bool,
+        lat_us: Option<f64>,
+    ) {
         if let Some(m) = &mut self.metrics {
-            if let Some(t0) = t0 {
+            if let Some(lat_us) = lat_us {
                 m.observe(
                     "search.generate_latency_us",
                     metrics::LATENCY_US_BOUNDS,
-                    t0.elapsed().as_secs_f64() * 1e6,
+                    lat_us,
                 );
             }
             if fanout > 0 {
@@ -281,6 +312,20 @@ impl Telemetry {
         t0: Option<Instant>,
     ) {
         let nanos = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        self.on_fire_dur(depth, trans, name, observable, fired, nanos);
+    }
+
+    /// [`Telemetry::on_fire`] with the duration pre-measured (see
+    /// [`Telemetry::on_generate_dur`]).
+    pub(crate) fn on_fire_dur(
+        &mut self,
+        depth: usize,
+        trans: usize,
+        name: &str,
+        observable: Option<(&str, &str)>,
+        fired: bool,
+        nanos: u64,
+    ) {
         if let Some(p) = &mut self.profile {
             p.record(trans, fired, nanos);
         }

@@ -54,6 +54,12 @@ pub struct ProgressReporter {
     last_beat: Instant,
     /// The last [`RATE_WINDOW_BEATS`] beat samples, oldest first.
     window: VecDeque<(f64, u64)>,
+    /// Search workers feeding the counters. Multi-worker runs aggregate
+    /// all workers into one TE stream before ticking, so the window
+    /// still sees a single producer; the count is surfaced on the
+    /// heartbeat (and `> 1` arms the non-monotone sample purge — a
+    /// witness-aborted burst rolls TE back).
+    workers: usize,
 }
 
 impl ProgressReporter {
@@ -68,7 +74,13 @@ impl ProgressReporter {
             started: now,
             last_beat: now,
             window: VecDeque::with_capacity(RATE_WINDOW_BEATS + 1),
+            workers: 1,
         }
+    }
+
+    /// Record the run's worker count (surfaced on heartbeats when > 1).
+    pub(crate) fn set_workers(&mut self, n: usize) {
+        self.workers = n.max(1);
     }
 
     /// A reporter on standard error — where the CLI points `--progress`
@@ -119,6 +131,9 @@ impl ProgressReporter {
         // Same gating for fault-retry totals: a clean run's heartbeat is
         // byte-identical with the fault hooks compiled in.
         let fault_retries = stats.total_fault_retries();
+        // And for the worker count: single-worker heartbeats keep their
+        // exact historical shape.
+        let multi = self.workers > 1;
         let line = match self.mode {
             ProgressMode::Human => {
                 let spill = if spilling {
@@ -134,13 +149,19 @@ impl ProgressReporter {
                 } else {
                     String::new()
                 };
+                let workers = if multi {
+                    format!(" workers={}", self.workers)
+                } else {
+                    String::new()
+                };
                 format!(
-                    "progress: TE={} GE={} RE={} SA={} depth={} rate={:.0}/s eta={:.1}s{}{}{}\n",
+                    "progress: TE={} GE={} RE={} SA={} depth={}{} rate={:.0}/s eta={:.1}s{}{}{}\n",
                     te,
                     stats.generates,
                     stats.restores,
                     stats.saves,
                     stats.max_depth,
+                    workers,
                     rate,
                     eta_s,
                     spill,
@@ -162,14 +183,20 @@ impl ProgressReporter {
                 } else {
                     String::new()
                 };
+                let workers = if multi {
+                    format!("\"workers\":{},", self.workers)
+                } else {
+                    String::new()
+                };
                 format!(
                     "{{\"ev\":\"heartbeat\",\"te\":{},\"ge\":{},\"re\":{},\"sa\":{},\
-                     \"depth\":{},\"rate\":{:.1},\"eta_s\":{:.1},{}{}\"done\":{}}}\n",
+                     \"depth\":{},{}\"rate\":{:.1},\"eta_s\":{:.1},{}{}\"done\":{}}}\n",
                     te,
                     stats.generates,
                     stats.restores,
                     stats.saves,
                     stats.max_depth,
+                    workers,
                     rate,
                     eta_s,
                     spill,
@@ -183,7 +210,14 @@ impl ProgressReporter {
     }
 
     /// Append one beat sample and evict beyond the window capacity.
+    /// Samples ahead of the current counter are purged first: a
+    /// multi-worker witness abort rolls the aggregated TE back to the
+    /// burst start, and keeping the inflated samples would wedge the
+    /// window rate on its fallback for up to a full window span.
     fn push_sample(&mut self, t: f64, te: u64) {
+        while self.window.back().is_some_and(|&(_, te0)| te0 > te) {
+            self.window.pop_back();
+        }
         self.window.push_back((t, te));
         while self.window.len() > RATE_WINDOW_BEATS {
             self.window.pop_front();
@@ -365,6 +399,60 @@ mod tests {
             "TE moved backwards (resumed handle)"
         );
         assert_eq!(window_rate(&w, 7.0, 300), Some(100.0));
+    }
+
+    #[test]
+    fn workers_field_appears_only_on_multi_worker_runs() {
+        let buf = Shared::default();
+        let mut p = ProgressReporter::new(
+            ProgressMode::Human,
+            Duration::ZERO,
+            Box::new(buf.clone()),
+        );
+        p.tick(&stats(10), 100);
+        p.set_workers(4);
+        p.finish(&stats(20), 100);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].contains("workers="), "{}", lines[0]);
+        assert!(lines[1].contains(" depth=5 workers=4 rate="), "{}", lines[1]);
+
+        let buf = Shared::default();
+        let mut p = ProgressReporter::new(
+            ProgressMode::Jsonl,
+            Duration::ZERO,
+            Box::new(buf.clone()),
+        );
+        p.set_workers(4);
+        p.finish(&stats(20), 100);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"depth\":5,\"workers\":4,\"rate\":"), "{}", text);
+    }
+
+    #[test]
+    fn window_recovers_after_a_multi_worker_rollback() {
+        let buf = Shared::default();
+        let mut p = ProgressReporter::new(
+            ProgressMode::Human,
+            Duration::from_secs(3600),
+            Box::new(buf.clone()),
+        );
+        // Aggregated TE climbs, then a witness-aborted burst rolls it
+        // back to the burst-start value …
+        for i in 0..6u64 {
+            p.push_sample(i as f64, i * 100);
+        }
+        p.push_sample(6.0, 250); // rollback: burst deltas discarded
+        // … and the inflated samples must be gone so the very next beat
+        // measures the replay's real rate instead of wedging on the
+        // lifetime-average fallback.
+        assert!(
+            p.window.iter().all(|&(_, te)| te <= 250),
+            "samples ahead of the rolled-back counter must be purged"
+        );
+        let rate = window_rate(&p.window, 7.0, 300).unwrap();
+        assert!(rate > 0.0, "rate must be measurable right after rollback");
     }
 
     #[test]

@@ -313,6 +313,62 @@ fn chaos_fault_counters_reach_the_metrics_registry() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The multi-core cell: a spill-armed plan under the work-stealing
+/// search. Four workers hammer the sharded store through a faulty disk
+/// tier; the run must either recover losslessly to the single-worker
+/// fault-free verdict and counters, or degrade into the typed
+/// `Inconclusive(SpillFailure)` with its diagnostic — never panic,
+/// never drift.
+#[test]
+fn chaos_spill_faults_under_four_workers() {
+    for (tag, plan_spec) in [
+        ("retry", "seed=11,spill.write_error_every=4"),
+        ("corrupt", "seed=12,spill.flip_bit_every=3"),
+        ("hard", "seed=13,spill.hard_writes_after=20"),
+    ] {
+        let plan = FaultPlan::parse(plan_spec).unwrap();
+        for spec_seed in [0u64, 5, 9] {
+            let (analyzer, valid) = setup(spec_seed);
+            let dir = scratch_dir(&format!("mdfs4-{}-{}", tag, spec_seed));
+
+            // Fault-free sequential reference, spill engaged the same way.
+            let mut ref_opts = base_options();
+            ref_opts.limits.max_state_bytes = Some(256);
+            ref_opts.spill.mode = SpillMode::On;
+            ref_opts.spill.dir = Some(dir.join("ref-spill"));
+            let mut src = tango::StaticSource::new(valid.clone());
+            let reference = analyzer
+                .analyze_online(&mut src, &ref_opts, &mut |_| true)
+                .unwrap();
+            assert_eq!(reference.verdict, Verdict::Valid, "spec seed {}", spec_seed);
+
+            let mut opts = chaos_options(&plan, &dir);
+            opts.workers = 4;
+            let mut src = tango::StaticSource::new(valid.clone());
+            let report = analyzer
+                .analyze_online(&mut src, &opts, &mut |_| true)
+                .unwrap();
+            let ctx = || format!("mdfs4 cell {} spec {} plan `{}`", tag, spec_seed, plan.describe());
+            if report.verdict == Verdict::Inconclusive(InconclusiveReason::SpillFailure) {
+                assert!(
+                    !report.spill_faults.is_empty(),
+                    "{}: degraded run must carry its diagnostic",
+                    ctx()
+                );
+            } else {
+                assert_eq!(report.verdict, reference.verdict, "{}", ctx());
+                assert_eq!(
+                    counters(&report.stats),
+                    counters(&reference.stats),
+                    "{}",
+                    ctx()
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
 /// Reproduce-by-seed: the same seed builds the same plan, and the
 /// described plan re-parses to itself — the CLI's `--chaos-seed N` and
 /// the log line's `--fault-plan '<spec>'` both re-run the same cell.

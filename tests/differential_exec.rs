@@ -124,6 +124,62 @@ fn corrupted_traces_keep_exec_configurations_in_agreement() {
     }
 }
 
+/// On-line signature of a trace at a given MDFS worker count.
+fn online_signature(analyzer: &TraceAnalyzer, trace: &Trace, workers: usize) -> Signature {
+    let options = AnalysisOptions {
+        workers,
+        ..Default::default()
+    };
+    let mut src = tango::StaticSource::new(trace.clone());
+    let r = analyzer
+        .analyze_online(&mut src, &options, &mut |_| true)
+        .expect("analysis runs");
+    Signature {
+        verdict: r.verdict.to_string(),
+        totals: (
+            r.stats.transitions_executed,
+            r.stats.generates,
+            r.stats.restores,
+            r.stats.saves,
+        ),
+        witness: r.witness,
+    }
+}
+
+/// The workers=1 vs workers=4 column of the randspec matrix: the
+/// work-stealing search must agree with the single-threaded one on
+/// verdict, witness and every counter — on the self-generated valid
+/// trace and on its corrupted variant.
+#[test]
+fn multi_worker_mdfs_agrees_with_single_worker_on_random_specs() {
+    for seed in 0..SEEDS {
+        let (analyzer, trace) = setup(seed);
+        let one = online_signature(&analyzer, &trace, 1);
+        assert_eq!(one.verdict, Verdict::Valid.to_string(), "seed {}: self-trace", seed);
+        let four = online_signature(&analyzer, &trace, 4);
+        assert_eq!(four, one, "seed {}: workers=4 drifted on the valid trace", seed);
+
+        let mut bad = trace.clone();
+        let corrupted = bad
+            .events
+            .iter_mut()
+            .rev()
+            .find(|e| e.dir == tango::Dir::Out && !e.params.is_empty())
+            .map(|e| {
+                if let Some(estelle_runtime::Value::Int(v)) = e.params.first_mut() {
+                    *v += 1000;
+                }
+            })
+            .is_some();
+        if !corrupted {
+            continue;
+        }
+        let one = online_signature(&analyzer, &bad, 1);
+        let four = online_signature(&analyzer, &bad, 4);
+        assert_eq!(four, one, "seed {}: workers=4 drifted on the corrupted trace", seed);
+    }
+}
+
 /// Raw `Machine::generate` differential: the dispatch index (plain and
 /// PGO-reordered) must produce the same fireable list, in declaration
 /// order, as the interpreter's linear scan — stepped through a script.
